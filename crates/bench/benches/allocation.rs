@@ -1,0 +1,93 @@
+//! Two-phase allocation benchmarks (§5.2): one full scheduling epoch at
+//! cluster scale, and the policy comparison (Lyra vs Pollux's GA vs AFS's
+//! greedy loop) on identical snapshots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lyra_core::policies::{
+    AfsScheduler, GandivaScheduler, JobScheduler, LyraScheduler, PolluxConfig, PolluxScheduler,
+};
+use lyra_core::snapshot::{PendingJobView, PoolKind, ServerView, Snapshot};
+use lyra_core::{two_phase_allocate, AllocationConfig, GpuType, JobSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn snapshot(servers: u32, pending: usize, seed: u64) -> Snapshot {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let servers: Vec<ServerView> = (0..servers)
+        .map(|i| {
+            let mut s = ServerView::idle(i, PoolKind::Training, GpuType::V100, 8);
+            s.free_gpus = rng.gen_range(0..=8);
+            s
+        })
+        .collect();
+    let pending = (0..pending)
+        .map(|i| {
+            let spec = if rng.gen_bool(0.3) {
+                let w = rng.gen_range(1..=4);
+                JobSpec::elastic(i as u64, 0.0, w, w * 2, 2, rng.gen_range(600.0..86_400.0))
+            } else {
+                JobSpec::inelastic(
+                    i as u64,
+                    0.0,
+                    rng.gen_range(1..=8),
+                    [1, 2, 4][rng.gen_range(0..3)],
+                    rng.gen_range(60.0..86_400.0),
+                )
+            };
+            PendingJobView::fresh(spec)
+        })
+        .collect();
+    Snapshot {
+        time_s: 0.0,
+        servers,
+        pending,
+        running: vec![],
+    }
+}
+
+fn bench_two_phase(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocation/two_phase");
+    for pending in [20usize, 100, 400] {
+        let snap = snapshot(443, pending, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(pending), &snap, |b, snap| {
+            b.iter(|| two_phase_allocate(black_box(snap), AllocationConfig::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let snap = snapshot(200, 80, 2);
+    let mut g = c.benchmark_group("allocation/policy_epoch");
+    g.bench_function("lyra", |b| {
+        let mut p = LyraScheduler::default();
+        b.iter(|| p.schedule(black_box(&snap)))
+    });
+    g.bench_function("gandiva", |b| {
+        let mut p = GandivaScheduler::new();
+        b.iter(|| p.schedule(black_box(&snap)))
+    });
+    g.bench_function("afs", |b| {
+        let mut p = AfsScheduler::new();
+        b.iter(|| p.schedule(black_box(&snap)))
+    });
+    g.bench_function("pollux_250_iters", |b| {
+        let mut p = PolluxScheduler::new(PolluxConfig::default());
+        b.iter(|| p.schedule(black_box(&snap)))
+    });
+    g.finish();
+}
+
+
+/// Bounded measurement so the whole suite completes in minutes on one
+/// core; pass `--sample-size`/`--measurement-time` to override.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = fast(); targets = bench_two_phase, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! LSTM predictor benchmarks (§6): per-step training and inference cost
+//! of the usage predictor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lyra_predictor::{LstmConfig, UsagePredictor};
+use std::hint::black_box;
+
+fn bench_predict(c: &mut Criterion) {
+    let model = UsagePredictor::new(LstmConfig::default());
+    let window = vec![0.6; 10];
+    c.bench_function("lstm/predict", |b| {
+        b.iter(|| model.predict(black_box(&window)))
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    c.bench_function("lstm/train_step", |b| {
+        let mut model = UsagePredictor::new(LstmConfig::default());
+        let window = vec![0.6; 10];
+        b.iter(|| model.train_step(black_box(&window), black_box(0.65)))
+    });
+}
+
+fn bench_train_day(c: &mut Criterion) {
+    // One epoch over a day of 5-minute samples (288 windows).
+    let series: Vec<f64> = (0..288)
+        .map(|i| 0.65 + 0.3 * (i as f64 * 0.02).sin())
+        .collect();
+    let mut g = c.benchmark_group("lstm/train_day");
+    g.bench_function("one_epoch_288_samples", |b| {
+        b.iter(|| {
+            let mut model = UsagePredictor::new(LstmConfig::default());
+            model.train_series(black_box(&series), 1)
+        })
+    });
+    g.finish();
+}
+
+
+/// Bounded measurement so the whole suite completes in minutes on one
+/// core; pass `--sample-size`/`--measurement-time` to override.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = fast(); targets = bench_predict, bench_train_step, bench_train_day);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! MCKP solve-time benchmarks (§5.2).
+//!
+//! The paper reports that dynamic programming solves its largest
+//! production instance — 354 items over 245 GPUs — in 0.02 s. The
+//! `paper_point` benchmark reproduces exactly that shape; the sweeps show
+//! the pseudo-polynomial scaling in capacity and item count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lyra_core::{solve_mckp, McKnapsackGroup, McKnapsackItem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Builds `groups` groups of `items_per_group` items with weights like
+/// phase 2 produces (extra-worker counts × GPUs per worker).
+fn instance(groups: usize, items_per_group: usize, seed: u64) -> Vec<McKnapsackGroup> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..groups)
+        .map(|g| {
+            let gpw = [1u32, 2, 4][rng.gen_range(0..3)];
+            McKnapsackGroup {
+                key: g as u64,
+                items: (1..=items_per_group as u32)
+                    .map(|k| McKnapsackItem {
+                        weight: k * gpw,
+                        value: rng.gen_range(1.0..500.0) * f64::from(k),
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+fn bench_paper_point(c: &mut Criterion) {
+    // 354 items / 245 GPUs: the paper's largest observed instance.
+    let groups = instance(59, 6, 1); // 59 × 6 = 354 items
+    c.bench_function("mckp/paper_point_354_items_245_gpus", |b| {
+        b.iter(|| solve_mckp(black_box(&groups), black_box(245)))
+    });
+}
+
+fn bench_capacity_sweep(c: &mut Criterion) {
+    let groups = instance(50, 6, 2);
+    let mut g = c.benchmark_group("mckp/capacity");
+    for capacity in [64u32, 256, 1024, 4096] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(capacity),
+            &capacity,
+            |b, &cap| b.iter(|| solve_mckp(black_box(&groups), black_box(cap))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_group_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mckp/groups");
+    for n in [10usize, 50, 200, 500] {
+        let groups = instance(n, 4, 3);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &groups, |b, groups| {
+            b.iter(|| solve_mckp(black_box(groups), black_box(512)))
+        });
+    }
+    g.finish();
+}
+
+
+/// Bounded measurement so the whole suite completes in minutes on one
+/// core; pass `--sample-size`/`--measurement-time` to override.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = fast(); targets =     bench_paper_point,
+    bench_capacity_sweep,
+    bench_group_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Placement benchmarks (§5.3): best-fit-decreasing at cluster scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lyra_core::placement::{place_workers, PlacementConfig, PlacementRequest, WorkerRole};
+use lyra_core::snapshot::{PoolKind, ServerView};
+use lyra_core::{GpuType, JobId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn servers(train: u32, loan: u32, seed: u64) -> Vec<ServerView> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<ServerView> = (0..train)
+        .map(|i| {
+            let mut s = ServerView::idle(i, PoolKind::Training, GpuType::V100, 8);
+            // Pre-existing fragmentation.
+            s.free_gpus = rng.gen_range(0..=8);
+            s
+        })
+        .collect();
+    for i in 0..loan {
+        v.push(ServerView::idle(
+            train + i,
+            PoolKind::OnLoan,
+            GpuType::T4,
+            8,
+        ));
+    }
+    v
+}
+
+fn requests(n: usize, seed: u64) -> Vec<PlacementRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let elastic = rng.gen_bool(0.2);
+            PlacementRequest {
+                job: JobId(i as u64),
+                workers: rng.gen_range(1..=8),
+                gpus_per_worker: [1, 2, 4, 8][rng.gen_range(0..4)],
+                role: if elastic {
+                    WorkerRole::ElasticBase
+                } else {
+                    WorkerRole::Inelastic
+                },
+                fungible: rng.gen_bool(0.21),
+                hetero: false,
+            }
+        })
+        .collect()
+}
+
+fn bench_cluster_scale(c: &mut Criterion) {
+    // The paper's cluster: 443 training servers plus ~100 on loan; a busy
+    // epoch places ~50 jobs.
+    let base = servers(443, 100, 1);
+    let reqs = requests(50, 2);
+    c.bench_function("placement/bfd_443_servers_50_jobs", |b| {
+        b.iter(|| {
+            let mut scratch = base.clone();
+            place_workers(
+                black_box(&mut scratch),
+                black_box(&reqs),
+                PlacementConfig::default(),
+            )
+        })
+    });
+}
+
+fn bench_job_sweep(c: &mut Criterion) {
+    let base = servers(200, 50, 3);
+    let mut g = c.benchmark_group("placement/jobs");
+    for n in [10usize, 50, 200] {
+        let reqs = requests(n, 4);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &reqs, |b, reqs| {
+            b.iter(|| {
+                let mut scratch = base.clone();
+                place_workers(&mut scratch, black_box(reqs), PlacementConfig::default())
+            })
+        });
+    }
+    g.finish();
+}
+
+
+/// Bounded measurement so the whole suite completes in minutes on one
+/// core; pass `--sample-size`/`--measurement-time` to override.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = fast(); targets = bench_cluster_scale, bench_job_sweep);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Reclaiming-policy benchmarks (§4, §7.3).
+//!
+//! The paper reports its heuristic takes 1–3 ms per decision while the
+//! exhaustive optimum costs ~420,000× more at scale. `heuristics`
+//! compares Lyra/SCF/Random on the same instance; `optimal_gap` runs the
+//! exhaustive search on small instances to expose the blow-up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lyra_core::reclaim::{
+    reclaim_exhaustive_optimal, reclaim_random, reclaim_scf, reclaim_servers, CostModel,
+    JobFootprint, ReclaimRequest, ReclaimServerView,
+};
+use lyra_core::{JobId, ServerId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Builds a reclaim instance with jobs spanning 1–3 servers.
+fn instance(n_servers: usize, n_jobs: usize, need: usize, seed: u64) -> ReclaimRequest {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut servers: Vec<ReclaimServerView> = (0..n_servers)
+        .map(|i| ReclaimServerView {
+            id: ServerId(i as u32),
+            total_gpus: 8,
+            jobs: vec![],
+        })
+        .collect();
+    let mut jobs = Vec::new();
+    for j in 0..n_jobs {
+        let span = rng.gen_range(1..=3usize).min(n_servers);
+        let mut placed = 0;
+        for _ in 0..span {
+            let h = rng.gen_range(0..n_servers);
+            let used: u32 = servers[h].jobs.iter().map(|(_, g)| g).sum();
+            if used >= 8 {
+                continue;
+            }
+            let g = rng.gen_range(1..=(8 - used).min(4));
+            servers[h].jobs.push((JobId(j as u64), g));
+            placed += g;
+        }
+        if placed > 0 {
+            let hosts = servers
+                .iter()
+                .filter(|s| s.jobs.iter().any(|(id, _)| id.0 == j as u64))
+                .count() as u32;
+            jobs.push(JobFootprint {
+                id: JobId(j as u64),
+                total_servers: hosts,
+                total_gpus: placed,
+            });
+        }
+    }
+    ReclaimRequest {
+        servers,
+        jobs,
+        need,
+    }
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    // A production-plausible reclaim wave: 120 loaned servers, 200 jobs,
+    // 40 servers demanded.
+    let request = instance(120, 200, 40, 1);
+    let mut g = c.benchmark_group("reclaim/heuristics");
+    g.bench_function("lyra", |b| {
+        b.iter(|| reclaim_servers(black_box(&request), CostModel::ServerFraction))
+    });
+    g.bench_function("scf", |b| b.iter(|| reclaim_scf(black_box(&request))));
+    g.bench_function("random", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| reclaim_random(black_box(&request), &mut rng))
+    });
+    g.finish();
+}
+
+fn bench_scale_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reclaim/lyra_scale");
+    for n in [16usize, 64, 256, 512] {
+        let request = instance(n, n * 2, n / 3, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &request, |b, req| {
+            b.iter(|| reclaim_servers(black_box(req), CostModel::ServerFraction))
+        });
+    }
+    g.finish();
+}
+
+fn bench_optimal_gap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reclaim/optimal_gap");
+    for jobs in [4usize, 8, 12] {
+        let request = instance(8, jobs, 3, 3);
+        g.bench_with_input(BenchmarkId::new("optimal", jobs), &request, |b, req| {
+            b.iter(|| reclaim_exhaustive_optimal(black_box(req)))
+        });
+        g.bench_with_input(BenchmarkId::new("lyra", jobs), &request, |b, req| {
+            b.iter(|| reclaim_servers(black_box(req), CostModel::ServerFraction))
+        });
+    }
+    g.finish();
+}
+
+
+/// Bounded measurement so the whole suite completes in minutes on one
+/// core; pass `--sample-size`/`--measurement-time` to override.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = fast(); targets =     bench_heuristics,
+    bench_scale_sweep,
+    bench_optimal_gap
+);
+criterion_main!(benches);

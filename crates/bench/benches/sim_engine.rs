@@ -1,0 +1,77 @@
+//! Simulator throughput benchmarks: full scenario runs per second at
+//! small scale — the fidelity/speed trade the paper's own simulator makes
+//! when replaying 50k jobs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lyra_cluster::state::ClusterConfig;
+use lyra_sim::{run_scenario, PolicyKind, Scenario};
+use lyra_trace::{InferenceTrace, InferenceTraceConfig, JobTrace, TraceConfig};
+use std::hint::black_box;
+
+fn traces(days: u32, servers: u32, seed: u64) -> (JobTrace, InferenceTrace) {
+    let jobs = JobTrace::generate(TraceConfig {
+        days,
+        training_gpus: servers * 8,
+        max_demand_gpus: 32,
+        seed,
+        ..TraceConfig::default()
+    });
+    let inference = InferenceTrace::generate(InferenceTraceConfig {
+        days: days + 2,
+        total_gpus: servers * 8,
+        seed: seed ^ 0xAB,
+        ..InferenceTraceConfig::default()
+    });
+    (jobs, inference)
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let (jobs, inference) = traces(1, 12, 1);
+    let cluster = ClusterConfig {
+        training_servers: 12,
+        inference_servers: 12,
+        gpus_per_server: 8,
+    };
+    let mut g = c.benchmark_group("sim/one_day_12_servers");
+    for (name, scenario) in [
+        ("baseline", Scenario::baseline()),
+        ("basic", Scenario::basic()),
+        (
+            "lyra_scaling",
+            Scenario::elastic_only(PolicyKind::Lyra, "s"),
+        ),
+    ] {
+        let mut s = scenario;
+        s.cluster = cluster;
+        g.bench_with_input(BenchmarkId::from_parameter(name), &s, |b, s| {
+            b.iter(|| run_scenario(black_box(s), black_box(&jobs), black_box(&inference)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("sim/trace_generation_4_days", |b| {
+        b.iter(|| {
+            JobTrace::generate(TraceConfig {
+                days: 4,
+                training_gpus: 1200,
+                seed: 9,
+                ..TraceConfig::default()
+            })
+        })
+    });
+}
+
+
+/// Bounded measurement so the whole suite completes in minutes on one
+/// core; pass `--sample-size`/`--measurement-time` to override.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = fast(); targets = bench_scenarios, bench_trace_generation);
+criterion_main!(benches);

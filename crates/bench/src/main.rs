@@ -1,0 +1,89 @@
+//! The experiment harness CLI.
+//!
+//! ```text
+//! cargo run -p lyra-bench --release -- tab5            # one experiment
+//! cargo run -p lyra-bench --release -- all --small     # everything, CI size
+//! cargo run -p lyra-bench --release -- fig10 --full    # paper scale
+//! cargo run -p lyra-bench --release -- list
+//! ```
+//!
+//! Results print as tables/series on stdout; `--json <dir>` additionally
+//! writes one JSON file per experiment. `plot <file.json>...` renders
+//! archived results as SVG line charts next to the JSON.
+
+use lyra_bench::{experiments, Scale};
+use std::io::Write as _;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <id>... [--small|--medium|--full] [--json <dir>]\n\
+         ids: {}  (or `all`, `list`)",
+        experiments::ALL.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut scale = Scale::Medium;
+    let mut json_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--small" => scale = Scale::Small,
+            "--medium" => scale = Scale::Medium,
+            "--full" => scale = Scale::Full,
+            "--json" => {
+                i += 1;
+                json_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "list" => {
+                for id in experiments::ALL {
+                    println!("{id}");
+                }
+                return;
+            }
+            "plot" => {
+                for path in &args[i + 1..] {
+                    let json = std::fs::read_to_string(path)
+                        .unwrap_or_else(|e| panic!("read {path}: {e}"));
+                    let result: lyra_bench::ExperimentResult =
+                        serde_json::from_str(&json)
+                            .unwrap_or_else(|e| panic!("parse {path}: {e}"));
+                    let svg = lyra_bench::plot::plot_experiment(&result);
+                    let out = path.replace(".json", ".svg");
+                    std::fs::write(&out, svg).expect("write svg");
+                    println!("wrote {out}");
+                }
+                return;
+            }
+            "all" => ids.extend(experiments::ALL.iter().map(|s| s.to_string())),
+            id => ids.push(id.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        usage();
+    }
+    for id in &ids {
+        println!("==== {id} ({scale:?}) ====");
+        let start = std::time::Instant::now();
+        let Some(result) = experiments::run(id, scale) else {
+            eprintln!("unknown experiment: {id}");
+            std::process::exit(2);
+        };
+        println!("[{id} done in {:.1}s]\n", start.elapsed().as_secs_f64());
+        if let Some(dir) = &json_dir {
+            std::fs::create_dir_all(dir).expect("create output dir");
+            let path = format!("{dir}/{id}.json");
+            let mut f = std::fs::File::create(&path).expect("create json file");
+            let payload = serde_json::to_string_pretty(&result).expect("serialise result");
+            f.write_all(payload.as_bytes()).expect("write json");
+            println!("wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Latency-aware inference capacity estimation (§4's assumption).
+//!
+//! "We presume that the inference cluster scheduler dynamically estimates
+//! the capacity needed to meet the latency, GPU utilization, or other
+//! performance targets, based on the predicted inference traffic."
+//! This module builds that estimator: the inference fleet is modelled as
+//! an M/M/c queue of GPUs (requests arrive Poisson at rate λ, each GPU
+//! serves at rate μ) and the estimator finds the smallest GPU count whose
+//! **Erlang-C** expected queueing delay meets the latency SLO.
+//!
+//! The Erlang-B blocking probability is computed with the numerically
+//! stable recurrence `B(0) = 1`, `B(k) = a·B(k−1) / (k + a·B(k−1))`, and
+//! Erlang C follows as `C = B / (1 − ρ(1 − B))`.
+
+use serde::{Deserialize, Serialize};
+
+/// Erlang-B blocking probability for `servers` servers at offered load
+/// `a = λ/μ` (in Erlangs).
+///
+/// # Examples
+///
+/// ```
+/// use lyra_cluster::capacity::erlang_b;
+/// assert!((erlang_b(1, 1.0) - 0.5).abs() < 1e-12);
+/// assert!((erlang_b(2, 1.0) - 0.2).abs() < 1e-12);
+/// ```
+pub fn erlang_b(servers: u32, offered_load: f64) -> f64 {
+    if offered_load <= 0.0 {
+        return 0.0;
+    }
+    let mut b = 1.0;
+    for k in 1..=servers {
+        b = offered_load * b / (f64::from(k) + offered_load * b);
+    }
+    b
+}
+
+/// Erlang-C waiting probability (the chance an arriving request queues)
+/// for an M/M/c system; returns 1.0 when the system is unstable
+/// (`λ ≥ c·μ`).
+///
+/// # Examples
+///
+/// ```
+/// use lyra_cluster::capacity::erlang_c;
+/// // The textbook value: c = 2, a = 1 Erlang → C = 1/3.
+/// assert!((erlang_c(2, 1.0) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn erlang_c(servers: u32, offered_load: f64) -> f64 {
+    if servers == 0 || offered_load >= f64::from(servers) {
+        return 1.0;
+    }
+    let rho = offered_load / f64::from(servers);
+    let b = erlang_b(servers, offered_load);
+    b / (1.0 - rho * (1.0 - b))
+}
+
+/// The latency-driven capacity estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityEstimator {
+    /// Requests per second one GPU serves (µ).
+    pub service_rate_per_gpu: f64,
+    /// Target mean queueing delay, seconds.
+    pub mean_wait_slo_s: f64,
+}
+
+impl CapacityEstimator {
+    /// A typical online-serving profile: 50 requests/s per GPU with a
+    /// 10 ms mean-wait budget.
+    pub fn typical() -> Self {
+        CapacityEstimator {
+            service_rate_per_gpu: 50.0,
+            mean_wait_slo_s: 0.010,
+        }
+    }
+
+    /// Expected queueing delay (seconds) with `gpus` GPUs at arrival rate
+    /// `lambda` requests/s: `W_q = C / (c·µ − λ)`.
+    pub fn mean_wait_s(&self, gpus: u32, lambda: f64) -> f64 {
+        let mu = self.service_rate_per_gpu;
+        if lambda <= 0.0 {
+            return 0.0;
+        }
+        let capacity = f64::from(gpus) * mu;
+        if lambda >= capacity {
+            return f64::INFINITY;
+        }
+        let a = lambda / mu;
+        erlang_c(gpus, a) / (capacity - lambda)
+    }
+
+    /// Smallest GPU count meeting the mean-wait SLO at arrival rate
+    /// `lambda` — the number the inference scheduler reports as "needed".
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lyra_cluster::capacity::CapacityEstimator;
+    /// let est = CapacityEstimator::typical();
+    /// let quiet = est.gpus_needed(100.0);
+    /// let busy = est.gpus_needed(4000.0);
+    /// assert!(busy > quiet);
+    /// // Stability requires at least λ/µ GPUs.
+    /// assert!(f64::from(busy) > 4000.0 / 50.0);
+    /// ```
+    pub fn gpus_needed(&self, lambda: f64) -> u32 {
+        if lambda <= 0.0 {
+            return 0;
+        }
+        // Start at the stability bound and grow until the SLO holds.
+        let mut gpus = (lambda / self.service_rate_per_gpu).floor() as u32 + 1;
+        while self.mean_wait_s(gpus, lambda) > self.mean_wait_slo_s {
+            gpus += 1;
+        }
+        gpus
+    }
+
+    /// Whole servers needed at arrival rate `lambda`.
+    pub fn servers_needed(&self, lambda: f64, gpus_per_server: u32) -> u32 {
+        self.gpus_needed(lambda).div_ceil(gpus_per_server.max(1))
+    }
+
+    /// Arrival rate that drives a fleet of `total_gpus` to the given
+    /// busy-GPU utilisation — converts Figure 1-style utilisation traces
+    /// into request-rate traces (`λ = util · c · µ`).
+    pub fn rate_for_utilization(&self, utilization: f64, total_gpus: u32) -> f64 {
+        utilization.clamp(0.0, 1.0) * f64::from(total_gpus) * self.service_rate_per_gpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_b_textbook_values() {
+        assert_eq!(erlang_b(5, 0.0), 0.0);
+        assert!((erlang_b(1, 1.0) - 0.5).abs() < 1e-12);
+        assert!((erlang_b(2, 1.0) - 0.2).abs() < 1e-12);
+        // B(3, 2) = (2·B2)/(3 + 2·B2) with B2 = 0.4: 0.8/3.8.
+        assert!((erlang_b(3, 2.0) - 0.8 / 3.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erlang_c_textbook_values_and_bounds() {
+        assert!((erlang_c(2, 1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(erlang_c(0, 1.0), 1.0);
+        assert_eq!(erlang_c(2, 2.0), 1.0, "unstable system always queues");
+        assert_eq!(erlang_c(2, 5.0), 1.0);
+        // Waiting probability shrinks as servers grow.
+        let mut last = 1.0;
+        for c in 2..20u32 {
+            let p = erlang_c(c, 1.5);
+            assert!(p <= last + 1e-12);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn mean_wait_decreases_with_capacity() {
+        let est = CapacityEstimator::typical();
+        let lambda = 400.0;
+        let w9 = est.mean_wait_s(9, lambda);
+        let w12 = est.mean_wait_s(12, lambda);
+        let w20 = est.mean_wait_s(20, lambda);
+        assert!(w9 > w12 && w12 > w20);
+        assert_eq!(est.mean_wait_s(8, lambda), f64::INFINITY, "at capacity");
+        assert_eq!(est.mean_wait_s(20, 0.0), 0.0);
+    }
+
+    #[test]
+    fn gpus_needed_meets_the_slo_minimally() {
+        let est = CapacityEstimator::typical();
+        for lambda in [10.0, 250.0, 1000.0, 5000.0] {
+            let c = est.gpus_needed(lambda);
+            assert!(est.mean_wait_s(c, lambda) <= est.mean_wait_slo_s);
+            if c > 1 {
+                assert!(
+                    est.mean_wait_s(c - 1, lambda) > est.mean_wait_slo_s,
+                    "λ={lambda}: {c} is minimal"
+                );
+            }
+        }
+        assert_eq!(est.gpus_needed(0.0), 0);
+    }
+
+    #[test]
+    fn needed_capacity_has_economies_of_scale() {
+        // Larger pools run hotter at the same SLO: needed/λ falls with λ
+        // (statistical multiplexing).
+        let est = CapacityEstimator::typical();
+        let small = f64::from(est.gpus_needed(100.0)) / 100.0;
+        let large = f64::from(est.gpus_needed(10_000.0)) / 10_000.0;
+        assert!(large < small);
+    }
+
+    #[test]
+    fn utilization_roundtrip() {
+        let est = CapacityEstimator::typical();
+        let lambda = est.rate_for_utilization(0.65, 4160);
+        assert!((lambda - 0.65 * 4160.0 * 50.0).abs() < 1e-9);
+        // Serving that load within SLO needs a bit more than 65 % of the
+        // fleet — the headroom the paper's 2 % rule supplements.
+        let needed = est.gpus_needed(lambda);
+        assert!(needed > (0.65f64 * 4160.0) as u32);
+        assert!(needed < 4160);
+    }
+
+    #[test]
+    fn servers_needed_rounds_up() {
+        let est = CapacityEstimator::typical();
+        let gpus = est.gpus_needed(430.0);
+        assert_eq!(est.servers_needed(430.0, 8), gpus.div_ceil(8));
+    }
+}

@@ -1,0 +1,217 @@
+//! The inference-cluster scheduler (§4's assumptions).
+//!
+//! "The inference cluster scheduler autonomously determines when and which
+//! servers to lend, and when and how many servers to ask back, based on
+//! its own policy. The inference performance is not affected by capacity
+//! loaning." Its policy here: serve the utilisation trace's demand, keep
+//! the 2 % headroom of never-loaned machines (§7.1), and lend everything
+//! else. With the optional LSTM predictor it asks back *in advance* of a
+//! predicted rise (§6).
+
+use crate::capacity::CapacityEstimator;
+use lyra_predictor::UsagePredictor;
+use lyra_trace::inference::{InferenceTrace, SAMPLE_INTERVAL_S};
+use serde::{Deserialize, Serialize};
+
+/// What the inference scheduler tells the orchestrator at a tick (§3's
+/// flow (a)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoanInstruction {
+    /// This many more servers are available for loaning.
+    Loan(u32),
+    /// This many on-loan servers must come back.
+    Reclaim(u32),
+    /// No change.
+    Hold,
+}
+
+/// The inference-side scheduler.
+#[derive(Debug, Clone)]
+pub struct InferenceScheduler {
+    /// Utilisation trace driving the demand.
+    pub trace: InferenceTrace,
+    /// Fraction of the cluster never loaned (paper: 0.02).
+    pub headroom_frac: f64,
+    /// GPUs per server.
+    pub gpus_per_server: u32,
+    /// Total servers the inference cluster owns.
+    pub total_servers: u32,
+    /// Optional usage predictor: reclaim ahead of predicted demand.
+    pub predictor: Option<UsagePredictor>,
+    /// Optional latency-aware capacity model: when set, the utilisation
+    /// sample is converted to a request rate and the Erlang-C estimator
+    /// decides how many GPUs the SLO needs, instead of the proportional
+    /// busy-GPU count.
+    pub capacity_model: Option<CapacityEstimator>,
+}
+
+impl InferenceScheduler {
+    /// Creates the scheduler over a trace.
+    pub fn new(trace: InferenceTrace, total_servers: u32, gpus_per_server: u32) -> Self {
+        InferenceScheduler {
+            trace,
+            headroom_frac: 0.02,
+            gpus_per_server,
+            total_servers,
+            predictor: None,
+            capacity_model: None,
+        }
+    }
+
+    /// Servers that must stay under inference control at `time_s`: current
+    /// (or predicted) demand plus headroom.
+    pub fn servers_needed(&self, time_s: f64) -> u32 {
+        let mut util = self.trace.utilization_at(time_s);
+        if let Some(p) = &self.predictor {
+            // Feed the last `window` samples; reclaim ahead of a rise by
+            // taking the max of now and the prediction.
+            let w = p.config.window;
+            let idx = (time_s.max(0.0) as u64 / SAMPLE_INTERVAL_S) as usize;
+            if idx + 1 >= w && !self.trace.samples.is_empty() {
+                let end = (idx + 1).min(self.trace.samples.len());
+                if end >= w {
+                    let window = &self.trace.samples[end - w..end];
+                    util = util.max(p.predict(window).clamp(0.0, 1.0));
+                }
+            }
+        }
+        let total_gpus = self.total_servers * self.gpus_per_server;
+        let demand_gpus = match &self.capacity_model {
+            Some(model) => {
+                let lambda = model.rate_for_utilization(util, total_gpus);
+                f64::from(model.gpus_needed(lambda).min(total_gpus))
+            }
+            None => util * f64::from(total_gpus),
+        };
+        let demand_servers = (demand_gpus / f64::from(self.gpus_per_server)).ceil() as u32;
+        // Small clusters need an absolute floor: one server of noise is
+        // proportionally huge when the fleet has only a handful. Tiny
+        // fleets (the 4-server testbed) keep the floor at one server or
+        // they could never lend anything.
+        let floor = if self.total_servers < 16 { 1 } else { 2 };
+        let headroom = ((self.headroom_frac * f64::from(self.total_servers)).ceil() as u32)
+            .max(floor)
+            .min(self.total_servers / 2);
+        (demand_servers + headroom).min(self.total_servers)
+    }
+
+    /// The instruction for the orchestrator given how many servers are
+    /// currently on loan.
+    pub fn instruction_at(&self, time_s: f64, currently_loaned: u32) -> LoanInstruction {
+        let needed = self.servers_needed(time_s);
+        let in_control = self.total_servers.saturating_sub(currently_loaned);
+        if needed > in_control {
+            LoanInstruction::Reclaim(needed - in_control)
+        } else {
+            let loanable = in_control - needed;
+            if loanable > 0 {
+                LoanInstruction::Loan(loanable)
+            } else {
+                LoanInstruction::Hold
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lyra_trace::inference::InferenceTraceConfig;
+
+    fn flat_trace(util: f64) -> InferenceTrace {
+        InferenceTrace {
+            config: InferenceTraceConfig {
+                days: 1,
+                total_gpus: 80,
+                ..Default::default()
+            },
+            samples: vec![util; 288],
+        }
+    }
+
+    fn sched(util: f64) -> InferenceScheduler {
+        InferenceScheduler::new(flat_trace(util), 10, 8)
+    }
+
+    #[test]
+    fn headroom_is_never_loaned() {
+        let s = sched(0.0);
+        // Zero demand: a 10-server fleet keeps a 1-server floor.
+        assert_eq!(s.servers_needed(0.0), 1);
+        assert_eq!(s.instruction_at(0.0, 0), LoanInstruction::Loan(9));
+    }
+
+    #[test]
+    fn half_utilisation_lends_the_rest() {
+        let s = sched(0.5);
+        // 40 busy GPUs → 5 servers + 1 headroom = 6 needed.
+        assert_eq!(s.servers_needed(0.0), 6);
+        assert_eq!(s.instruction_at(0.0, 0), LoanInstruction::Loan(4));
+        assert_eq!(s.instruction_at(0.0, 4), LoanInstruction::Hold);
+    }
+
+    #[test]
+    fn bigger_fleets_keep_a_two_server_floor() {
+        let trace = InferenceTrace {
+            config: InferenceTraceConfig {
+                days: 1,
+                total_gpus: 160,
+                ..Default::default()
+            },
+            samples: vec![0.0; 288],
+        };
+        let s = InferenceScheduler::new(trace, 20, 8);
+        assert_eq!(s.servers_needed(0.0), 2);
+    }
+
+    #[test]
+    fn demand_spike_triggers_reclaim() {
+        let s = sched(0.9);
+        // 72 GPUs → 9 servers + 2 headroom, capped at the fleet = 10.
+        assert_eq!(s.servers_needed(0.0), 10);
+        assert_eq!(s.instruction_at(0.0, 4), LoanInstruction::Reclaim(4));
+    }
+
+    #[test]
+    fn needed_never_exceeds_fleet() {
+        let s = sched(1.0);
+        assert_eq!(s.servers_needed(0.0), 10);
+    }
+
+    #[test]
+    fn capacity_model_adds_latency_headroom() {
+        // At 65 % utilisation the Erlang-C SLO needs more GPUs than the
+        // busy count alone, so fewer servers are loanable.
+        let mut with_model = sched(0.65);
+        with_model.capacity_model = Some(CapacityEstimator::typical());
+        let without = sched(0.65);
+        assert!(with_model.servers_needed(0.0) >= without.servers_needed(0.0));
+        // At zero traffic both need only the headroom floor.
+        let mut idle = sched(0.0);
+        idle.capacity_model = Some(CapacityEstimator::typical());
+        assert_eq!(idle.servers_needed(0.0), 1);
+    }
+
+    #[test]
+    fn predictor_reclaims_in_advance() {
+        use lyra_predictor::LstmConfig;
+        // Trace rises sharply at sample 20; a "predictor" trained to
+        // always output a high value forces early reclaim. We emulate by
+        // training quickly on a constant-high series so its prediction
+        // exceeds the current low utilisation.
+        let mut trace = flat_trace(0.2);
+        for s in trace.samples.iter_mut().skip(20) {
+            *s = 0.9;
+        }
+        let mut p = UsagePredictor::new(LstmConfig::default());
+        p.train_series(&vec![0.9; 200], 2);
+        let mut s = InferenceScheduler::new(trace, 10, 8);
+        let without = s.servers_needed(15.0 * 300.0);
+        s.predictor = Some(p);
+        let with = s.servers_needed(15.0 * 300.0);
+        assert!(
+            with > without,
+            "prediction raises the target: {without} → {with}"
+        );
+    }
+}

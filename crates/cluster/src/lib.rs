@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # lyra-cluster
+//!
+//! The cluster substrate Lyra runs on: physical servers, the
+//! training/inference management split, the whitelist-based resource
+//! manager interface (§6), the inference-side scheduler that decides when
+//! to lend and when to ask back (§4's assumptions), and the resource
+//! orchestrator that executes loaning and reclaiming (§3).
+//!
+//! * [`server`] — a GPU server with per-job allocations.
+//! * [`state`] — cluster-wide state: whitelists, loans, snapshot
+//!   construction, action application with occupancy checks.
+//! * [`manager`] — the YARN/Kubernetes-like resource-manager shim: the
+//!   whitelist API and container operations, with an auditable op log.
+//! * [`capacity`] — the latency-aware capacity estimator the inference
+//!   scheduler is assumed to run (§4): an Erlang-C M/M/c model mapping a
+//!   request rate to the minimum GPU count meeting a mean-wait SLO.
+//! * [`inference`] — the inference cluster scheduler: capacity targets
+//!   from the utilisation trace (or the Erlang-C estimator over a request
+//!   trace), the 2 % headroom rule, and the optional LSTM predictor for
+//!   reclaiming in advance.
+//! * [`orchestrator`] — loan/reclaim execution: flexible-group release
+//!   first (scale-in instead of preemption), then the §4 heuristic.
+
+pub mod capacity;
+pub mod inference;
+pub mod manager;
+pub mod orchestrator;
+pub mod server;
+pub mod state;
+
+pub use capacity::{erlang_b, erlang_c, CapacityEstimator};
+pub use inference::{InferenceScheduler, LoanInstruction};
+pub use manager::{ResourceManager, RmOp};
+pub use orchestrator::{Orchestrator, OrchestratorDecision, ReclaimPolicy};
+pub use server::Server;
+pub use state::{ClusterConfig, ClusterError, ClusterState};

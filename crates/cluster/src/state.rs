@@ -1,0 +1,522 @@
+//! Cluster-wide state: the two management domains, loans and occupancy.
+//!
+//! The training scheduler controls exactly the servers on its *whitelist*
+//! (§6): its dedicated V100 servers plus whatever inference servers are
+//! currently on loan. Inference-owned servers never appear in scheduler
+//! snapshots. All occupancy mutations validate first and apply atomically,
+//! so a buggy policy cannot corrupt the bookkeeping.
+
+use crate::server::Server;
+use lyra_core::gpu::GpuType;
+use lyra_core::job::JobId;
+use lyra_core::reclaim::{JobFootprint, ReclaimRequest, ReclaimServerView};
+use lyra_core::snapshot::{PoolKind, ServerGroup, ServerId, ServerView};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Cluster shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Dedicated training servers (the paper: 443).
+    pub training_servers: u32,
+    /// Inference-owned servers (the paper: 520).
+    pub inference_servers: u32,
+    /// GPUs per server (8 in both clusters).
+    pub gpus_per_server: u32,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            training_servers: 443,
+            inference_servers: 520,
+            gpus_per_server: 8,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The testbed shape of §7.5: four training and four inference
+    /// servers.
+    pub fn testbed() -> Self {
+        ClusterConfig {
+            training_servers: 4,
+            inference_servers: 4,
+            gpus_per_server: 8,
+        }
+    }
+}
+
+/// Errors from cluster-state operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The server id does not exist.
+    UnknownServer(ServerId),
+    /// The server is not under training-scheduler control.
+    NotWhitelisted(ServerId),
+    /// The server is not currently on loan.
+    NotLoaned(ServerId),
+    /// A loaned server cannot be returned while occupied.
+    Occupied(ServerId),
+    /// An occupancy mutation would overflow or underflow a server.
+    Occupancy(String),
+    /// Not enough idle inference servers to loan.
+    InsufficientLoanable {
+        /// Servers requested.
+        requested: u32,
+        /// Servers actually available.
+        available: u32,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::UnknownServer(s) => write!(f, "unknown {s}"),
+            ClusterError::NotWhitelisted(s) => write!(f, "{s} is not whitelisted"),
+            ClusterError::NotLoaned(s) => write!(f, "{s} is not on loan"),
+            ClusterError::Occupied(s) => write!(f, "{s} still hosts workers"),
+            ClusterError::Occupancy(msg) => write!(f, "occupancy violation: {msg}"),
+            ClusterError::InsufficientLoanable {
+                requested,
+                available,
+            } => write!(
+                f,
+                "asked to loan {requested} servers, only {available} idle"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// The whole cluster as the training scheduler and orchestrator see it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterState {
+    /// Shape the state was built with.
+    pub config: ClusterConfig,
+    servers: BTreeMap<ServerId, Server>,
+    whitelist: BTreeSet<ServerId>,
+    loaned: BTreeSet<ServerId>,
+}
+
+impl ClusterState {
+    /// Builds the cluster: training servers get ids `0..T`, inference
+    /// servers `T..T+I`.
+    pub fn new(config: ClusterConfig) -> Self {
+        let mut servers = BTreeMap::new();
+        let mut whitelist = BTreeSet::new();
+        for i in 0..config.training_servers {
+            let s = Server::new(i, GpuType::V100, config.gpus_per_server, PoolKind::Training);
+            whitelist.insert(s.id);
+            servers.insert(s.id, s);
+        }
+        for i in 0..config.inference_servers {
+            let s = Server::new(
+                config.training_servers + i,
+                GpuType::T4,
+                config.gpus_per_server,
+                PoolKind::OnLoan,
+            );
+            servers.insert(s.id, s);
+        }
+        ClusterState {
+            config,
+            servers,
+            whitelist,
+            loaned: BTreeSet::new(),
+        }
+    }
+
+    /// The scheduler-facing views of all whitelisted servers.
+    pub fn server_views(&self) -> Vec<ServerView> {
+        self.whitelist
+            .iter()
+            .map(|id| self.servers[id].view())
+            .collect()
+    }
+
+    /// Access one server.
+    pub fn server(&self, id: ServerId) -> Option<&Server> {
+        self.servers.get(&id)
+    }
+
+    /// Ids of servers currently on loan, ascending.
+    pub fn loaned_ids(&self) -> Vec<ServerId> {
+        self.loaned.iter().copied().collect()
+    }
+
+    /// Number of servers currently on loan.
+    pub fn loaned_count(&self) -> u32 {
+        self.loaned.len() as u32
+    }
+
+    /// Whether `id` is on loan to training.
+    pub fn is_loaned(&self, id: ServerId) -> bool {
+        self.loaned.contains(&id)
+    }
+
+    /// `(used, total)` GPUs across whitelisted servers of `pool`.
+    pub fn gpu_usage(&self, pool: PoolKind) -> (u32, u32) {
+        let mut used = 0;
+        let mut total = 0;
+        for id in &self.whitelist {
+            let s = &self.servers[id];
+            if s.pool == pool {
+                used += s.used_gpus();
+                total += s.total_gpus;
+            }
+        }
+        (used, total)
+    }
+
+    /// Loans `n` idle inference-owned servers to training, adding them to
+    /// the whitelist. Returns the loaned ids.
+    pub fn loan(&mut self, n: u32) -> Result<Vec<ServerId>, ClusterError> {
+        let candidates: Vec<ServerId> = self
+            .servers
+            .values()
+            .filter(|s| {
+                s.gpu_type == GpuType::T4 && !self.whitelist.contains(&s.id) && s.is_empty()
+            })
+            .map(|s| s.id)
+            .take(n as usize)
+            .collect();
+        if (candidates.len() as u32) < n {
+            return Err(ClusterError::InsufficientLoanable {
+                requested: n,
+                available: candidates.len() as u32,
+            });
+        }
+        for id in &candidates {
+            self.whitelist.insert(*id);
+            self.loaned.insert(*id);
+            if let Some(s) = self.servers.get_mut(id) {
+                s.pool = PoolKind::OnLoan;
+                s.group = ServerGroup::Unassigned;
+            }
+        }
+        Ok(candidates)
+    }
+
+    /// Returns loaned servers to the inference cluster. Each must be on
+    /// loan and empty.
+    pub fn return_servers(&mut self, ids: &[ServerId]) -> Result<(), ClusterError> {
+        for id in ids {
+            let s = self
+                .servers
+                .get(id)
+                .ok_or(ClusterError::UnknownServer(*id))?;
+            if !self.loaned.contains(id) {
+                return Err(ClusterError::NotLoaned(*id));
+            }
+            if !s.is_empty() {
+                return Err(ClusterError::Occupied(*id));
+            }
+        }
+        for id in ids {
+            self.whitelist.remove(id);
+            self.loaned.remove(id);
+        }
+        Ok(())
+    }
+
+    /// Allocates workers of `job` per the assignment, labelling on-loan
+    /// servers with `group` when unassigned. Validates every leg first;
+    /// applies atomically.
+    pub fn allocate(
+        &mut self,
+        job: JobId,
+        assignment: &[(ServerId, u32)],
+        gpus_per_worker: u32,
+        group: ServerGroup,
+    ) -> Result<(), ClusterError> {
+        for (id, workers) in assignment {
+            let s = self
+                .servers
+                .get(id)
+                .ok_or(ClusterError::UnknownServer(*id))?;
+            if !self.whitelist.contains(id) {
+                return Err(ClusterError::NotWhitelisted(*id));
+            }
+            let need = workers * gpus_per_worker;
+            if need > s.free_gpus() {
+                return Err(ClusterError::Occupancy(format!(
+                    "{id}: need {need}, free {}",
+                    s.free_gpus()
+                )));
+            }
+        }
+        for (id, workers) in assignment {
+            let s = self.servers.get_mut(id).expect("validated above");
+            s.allocate(job, workers * gpus_per_worker)
+                .map_err(ClusterError::Occupancy)?;
+            if s.pool == PoolKind::OnLoan && s.group == ServerGroup::Unassigned {
+                s.group = group;
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases workers of `job` per the assignment (scale-in). Validates
+    /// first; applies atomically.
+    pub fn release(
+        &mut self,
+        job: JobId,
+        assignment: &[(ServerId, u32)],
+        gpus_per_worker: u32,
+    ) -> Result<(), ClusterError> {
+        for (id, workers) in assignment {
+            let s = self
+                .servers
+                .get(id)
+                .ok_or(ClusterError::UnknownServer(*id))?;
+            if s.gpus_of(job) < workers * gpus_per_worker {
+                return Err(ClusterError::Occupancy(format!(
+                    "{id}: {job} holds {} GPUs, releasing {}",
+                    s.gpus_of(job),
+                    workers * gpus_per_worker
+                )));
+            }
+        }
+        for (id, workers) in assignment {
+            let s = self.servers.get_mut(id).expect("validated above");
+            s.release(job, workers * gpus_per_worker)
+                .map_err(ClusterError::Occupancy)?;
+        }
+        Ok(())
+    }
+
+    /// Vacates every allocation on one server (flexible-group release),
+    /// returning the `(job, gpus)` pairs that were freed.
+    pub fn vacate_server(&mut self, id: ServerId) -> Result<Vec<(JobId, u32)>, ClusterError> {
+        let s = self
+            .servers
+            .get_mut(&id)
+            .ok_or(ClusterError::UnknownServer(id))?;
+        let jobs: Vec<(JobId, u32)> = s.jobs().collect();
+        for (job, _) in &jobs {
+            s.evict(*job);
+        }
+        Ok(jobs)
+    }
+
+    /// Evicts `job` everywhere (preemption). Returns `(server, gpus)`
+    /// freed.
+    pub fn evict_job(&mut self, job: JobId) -> Vec<(ServerId, u32)> {
+        let mut freed = Vec::new();
+        for s in self.servers.values_mut() {
+            let g = s.evict(job);
+            if g > 0 {
+                freed.push((s.id, g));
+            }
+        }
+        freed
+    }
+
+    /// Servers on loan whose group is `Flexible`, with their jobs — the
+    /// candidates for §5.3's preemption-free release.
+    pub fn flexible_group_servers(&self) -> Vec<(ServerId, Vec<(JobId, u32)>)> {
+        self.loaned
+            .iter()
+            .filter_map(|id| {
+                let s = &self.servers[id];
+                (s.group == ServerGroup::Flexible).then(|| (s.id, s.jobs().collect()))
+            })
+            .collect()
+    }
+
+    /// Builds the §4 reclaim request over the currently loaned servers.
+    ///
+    /// Footprints count each job's servers and GPUs cluster-wide, so the
+    /// preemption-cost denominators include training-side placements.
+    pub fn reclaim_request(&self, need: usize) -> ReclaimRequest {
+        let mut footprints: HashMap<JobId, (u32, u32)> = HashMap::new();
+        for s in self.servers.values() {
+            for (job, gpus) in s.jobs() {
+                let e = footprints.entry(job).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += gpus;
+            }
+        }
+        let servers: Vec<ReclaimServerView> = self
+            .loaned
+            .iter()
+            .map(|id| {
+                let s = &self.servers[id];
+                ReclaimServerView {
+                    id: s.id,
+                    total_gpus: s.total_gpus,
+                    jobs: s.jobs().collect(),
+                }
+            })
+            .collect();
+        let mut jobs: Vec<JobFootprint> = servers
+            .iter()
+            .flat_map(|s| s.jobs.iter().map(|(j, _)| *j))
+            .collect::<BTreeSet<JobId>>()
+            .into_iter()
+            .map(|id| {
+                let (total_servers, total_gpus) = footprints[&id];
+                JobFootprint {
+                    id,
+                    total_servers,
+                    total_gpus,
+                }
+            })
+            .collect();
+        jobs.sort_by_key(|f| f.id);
+        ReclaimRequest {
+            servers,
+            jobs,
+            need,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ClusterState {
+        ClusterState::new(ClusterConfig {
+            training_servers: 2,
+            inference_servers: 3,
+            gpus_per_server: 8,
+        })
+    }
+
+    #[test]
+    fn initial_whitelist_is_training_only() {
+        let c = small();
+        let views = c.server_views();
+        assert_eq!(views.len(), 2);
+        assert!(views.iter().all(|v| v.pool == PoolKind::Training));
+        assert_eq!(c.gpu_usage(PoolKind::Training), (0, 16));
+        assert_eq!(c.gpu_usage(PoolKind::OnLoan), (0, 0));
+    }
+
+    #[test]
+    fn loan_and_return_roundtrip() {
+        let mut c = small();
+        let loaned = c.loan(2).expect("2 of 3 idle");
+        assert_eq!(loaned.len(), 2);
+        assert_eq!(c.loaned_count(), 2);
+        assert_eq!(c.server_views().len(), 4);
+        assert_eq!(c.gpu_usage(PoolKind::OnLoan), (0, 16));
+        c.return_servers(&loaned).expect("all empty");
+        assert_eq!(c.loaned_count(), 0);
+        assert_eq!(c.server_views().len(), 2);
+    }
+
+    #[test]
+    fn loan_rejects_over_request() {
+        let mut c = small();
+        match c.loan(4) {
+            Err(ClusterError::InsufficientLoanable {
+                requested: 4,
+                available: 3,
+            }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.loaned_count(), 0, "failed loan changes nothing");
+    }
+
+    #[test]
+    fn cannot_return_occupied_or_unloaned() {
+        let mut c = small();
+        let loaned = c.loan(1).unwrap();
+        c.allocate(JobId(1), &[(loaned[0], 2)], 2, ServerGroup::Base)
+            .unwrap();
+        assert_eq!(
+            c.return_servers(&loaned),
+            Err(ClusterError::Occupied(loaned[0]))
+        );
+        assert_eq!(
+            c.return_servers(&[ServerId(0)]),
+            Err(ClusterError::NotLoaned(ServerId(0)))
+        );
+    }
+
+    #[test]
+    fn allocate_is_atomic_across_servers() {
+        let mut c = small();
+        // First leg fits, second overflows → nothing applies.
+        let a = [(ServerId(0), 2u32), (ServerId(1), 5u32)];
+        let err = c.allocate(JobId(1), &a, 2, ServerGroup::Base);
+        assert!(matches!(err, Err(ClusterError::Occupancy(_))));
+        assert_eq!(c.gpu_usage(PoolKind::Training).0, 0);
+    }
+
+    #[test]
+    fn allocate_requires_whitelist() {
+        let mut c = small();
+        // Server 2 is inference-owned, not loaned.
+        let err = c.allocate(JobId(1), &[(ServerId(2), 1)], 1, ServerGroup::Base);
+        assert_eq!(err, Err(ClusterError::NotWhitelisted(ServerId(2))));
+    }
+
+    #[test]
+    fn release_and_evict() {
+        let mut c = small();
+        c.allocate(
+            JobId(1),
+            &[(ServerId(0), 2), (ServerId(1), 1)],
+            2,
+            ServerGroup::Base,
+        )
+        .unwrap();
+        c.release(JobId(1), &[(ServerId(0), 1)], 2).unwrap();
+        assert_eq!(c.gpu_usage(PoolKind::Training).0, 4);
+        let freed = c.evict_job(JobId(1));
+        assert_eq!(freed, vec![(ServerId(0), 2), (ServerId(1), 2)]);
+        assert_eq!(c.gpu_usage(PoolKind::Training).0, 0);
+    }
+
+    #[test]
+    fn release_validates_holdings() {
+        let mut c = small();
+        c.allocate(JobId(1), &[(ServerId(0), 1)], 2, ServerGroup::Base)
+            .unwrap();
+        let err = c.release(JobId(1), &[(ServerId(0), 2)], 2);
+        assert!(matches!(err, Err(ClusterError::Occupancy(_))));
+        assert_eq!(c.gpu_usage(PoolKind::Training).0, 2, "unchanged");
+    }
+
+    #[test]
+    fn group_labels_follow_allocations() {
+        let mut c = small();
+        let loaned = c.loan(2).unwrap();
+        c.allocate(JobId(1), &[(loaned[0], 1)], 1, ServerGroup::Flexible)
+            .unwrap();
+        assert_eq!(c.server(loaned[0]).unwrap().group, ServerGroup::Flexible);
+        assert_eq!(
+            c.flexible_group_servers(),
+            vec![(loaned[0], vec![(JobId(1), 1)])]
+        );
+        // Releasing everything resets the label.
+        c.release(JobId(1), &[(loaned[0], 1)], 1).unwrap();
+        assert!(c.flexible_group_servers().is_empty());
+    }
+
+    #[test]
+    fn reclaim_request_footprints_span_pools() {
+        let mut c = small();
+        let loaned = c.loan(1).unwrap();
+        // Job 1 spans a training server and the loaned server.
+        c.allocate(
+            JobId(1),
+            &[(ServerId(0), 1), (loaned[0], 1)],
+            4,
+            ServerGroup::Base,
+        )
+        .unwrap();
+        let req = c.reclaim_request(1);
+        assert_eq!(req.need, 1);
+        assert_eq!(req.servers.len(), 1);
+        assert_eq!(req.jobs.len(), 1);
+        assert_eq!(req.jobs[0].total_servers, 2);
+        assert_eq!(req.jobs[0].total_gpus, 8);
+        req.validate().expect("request is consistent");
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # lyra-core
+//!
+//! The scheduling algorithms of *Lyra: Elastic Scheduling for Deep Learning
+//! Clusters* (EuroSys '23).
+//!
+//! This crate is the paper's primary contribution, implemented as pure,
+//! deterministic functions over snapshot types so that it can be driven by
+//! both the discrete-event simulator (`lyra-sim`) and a real resource
+//! manager:
+//!
+//! * [`reclaim`] — server reclaiming for capacity loaning (§4): the server
+//!   preemption-cost heuristic for the knapsack problem with dependent item
+//!   values, plus the Random, smallest-count-first and exhaustive-optimal
+//!   comparators used in the paper's evaluation.
+//! * [`allocation`] — two-phase resource allocation (§5.2): shortest-job
+//!   first over the inelastic workload, then a multiple-choice knapsack over
+//!   elastic jobs' flexible demand.
+//! * [`mckp`] — the multiple-choice knapsack dynamic program.
+//! * [`placement`] — best-fit-decreasing worker placement with elastic /
+//!   inelastic pool preferences and the base/flexible server-group split
+//!   (§5.3).
+//! * [`policies`] — the complete job schedulers evaluated in §7: the FIFO
+//!   baseline, Gandiva, AFS, Pollux, Lyra and Lyra+TunedJobs.
+//! * [`tuning`] — the Adascale-style batch-size / learning-rate agent shared
+//!   by Pollux and Lyra+TunedJobs (§7.4).
+//!
+//! All algorithms are safe Rust, allocation-light and seeded where stochastic
+//! (Pollux's genetic algorithm), so results are reproducible bit-for-bit.
+
+pub mod allocation;
+pub mod analysis;
+pub mod gpu;
+pub mod job;
+pub mod mckp;
+pub mod placement;
+pub mod policies;
+pub mod reclaim;
+pub mod snapshot;
+pub mod tuning;
+
+pub use allocation::{two_phase_allocate, AllocationConfig, AllocationOutcome};
+pub use analysis::{evaluate_two_job_split, optimal_two_job_allocation, TwoJobOutcome};
+pub use gpu::{GpuSpec, GpuType};
+pub use job::{Elasticity, JobClass, JobId, JobSpec, ScalingCurve};
+pub use mckp::{solve_mckp, McKnapsackGroup, McKnapsackItem, MckpSolution};
+pub use placement::{
+    place_best_effort, place_gang, place_workers, PlacementConfig, PlacementOutcome,
+    PlacementRequest, WorkerRole,
+};
+pub use reclaim::{
+    reclaim_exhaustive_optimal, reclaim_random, reclaim_scf, reclaim_servers, CostModel,
+    ReclaimOutcome, ReclaimRequest,
+};
+pub use snapshot::{PoolKind, RunningJobView, ServerId, ServerView, Snapshot};

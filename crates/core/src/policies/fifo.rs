@@ -1,0 +1,252 @@
+//! The Baseline scheduler: FIFO with gang scheduling (§7.1).
+//!
+//! Jobs launch in strict submission order at their requested demand. The
+//! scheduler stops at the first job whose gang placement fails
+//! (head-of-line blocking — the behaviour of a plain FIFO cluster scheduler
+//! without backfill), or optionally skips blocked jobs when `backfill` is
+//! enabled. No elastic scaling: elastic jobs run at their requested demand
+//! for their whole lifetime.
+//!
+//! Fungible jobs may still use on-loan servers when the scenario loans
+//! capacity (rows 6–9 of Table 5 combine FIFO job scheduling with capacity
+//! loaning): if a fungible job's gang does not fit on training servers, the
+//! scheduler retries on the on-loan pool with the memory-driven worker
+//! multiplier ([`crate::gpu::GpuType::worker_multiplier`]).
+
+use super::JobScheduler;
+use crate::gpu::GpuType;
+use crate::placement::{place_gang, PlacementConfig};
+use crate::snapshot::{Action, PoolKind, ServerGroup, Snapshot};
+
+/// FIFO baseline policy.
+#[derive(Debug, Clone)]
+pub struct FifoScheduler {
+    /// Skip blocked jobs instead of head-of-line blocking.
+    pub backfill: bool,
+    /// Opportunistic mode (§7.1's "Opportunistic Scheduling"): fungible
+    /// jobs queue to the *inference* cluster only — they run on on-loan
+    /// servers when idle ones exist and never occupy training servers.
+    pub fungible_on_loan_only: bool,
+    /// Largest GPU footprint the inference cluster could ever host (its
+    /// capacity minus headroom). Fungible jobs whose adjusted demand
+    /// exceeds this fall back to the training queue instead of waiting
+    /// forever. Zero disables the check.
+    pub on_loan_capacity_cap: u32,
+}
+
+impl FifoScheduler {
+    /// Strict FIFO (the paper's Baseline).
+    pub fn new() -> Self {
+        FifoScheduler {
+            backfill: false,
+            fungible_on_loan_only: false,
+            on_loan_capacity_cap: 0,
+        }
+    }
+
+    /// FIFO with backfill (skips jobs that do not fit).
+    pub fn with_backfill() -> Self {
+        FifoScheduler {
+            backfill: true,
+            ..Self::new()
+        }
+    }
+
+    /// The opportunistic comparator: fungible jobs wait for idle
+    /// inference servers with lower priority than inference work; other
+    /// jobs use the training cluster FIFO. Backfill is implied (the two
+    /// queues are independent).
+    pub fn opportunistic(inference_capacity_gpus: u32) -> Self {
+        FifoScheduler {
+            // Training-side scheduling matches the Baseline's FIFO; the
+            // fungible/inference queue skips independently.
+            backfill: true,
+            fungible_on_loan_only: true,
+            on_loan_capacity_cap: inference_capacity_gpus,
+        }
+    }
+}
+
+impl Default for FifoScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JobScheduler for FifoScheduler {
+    fn name(&self) -> &'static str {
+        if self.backfill {
+            "fifo-backfill"
+        } else {
+            "fifo"
+        }
+    }
+
+    fn schedule(&mut self, snapshot: &Snapshot) -> Vec<Action> {
+        let mut servers = snapshot.servers.clone();
+        let config = PlacementConfig {
+            special_elastic_treatment: false,
+        };
+        let mut actions = Vec::new();
+        for p in &snapshot.pending {
+            let spec = &p.spec;
+            let workers = spec.demand;
+            let mult = GpuType::T4.worker_multiplier(spec.reference_gpu);
+            let fits_inference = self.on_loan_capacity_cap == 0
+                || workers * mult * spec.gpus_per_worker <= self.on_loan_capacity_cap;
+            // A job already evicted from the inference side falls back to
+            // the training queue — users do not resubmit into the same
+            // eviction loop forever.
+            if self.fungible_on_loan_only && spec.fungible && fits_inference && p.preemptions == 0 {
+                // Opportunistic: inference pool only, with the worker
+                // multiplier; blocked fungible jobs never stall others.
+                let w = workers * mult;
+                if let Some(a) = place_gang(
+                    &mut servers,
+                    PoolKind::OnLoan,
+                    w,
+                    spec.gpus_per_worker,
+                    ServerGroup::Base,
+                    config,
+                ) {
+                    actions.push(Action::Launch {
+                        job: spec.id,
+                        workers: w,
+                        placement: a,
+                    });
+                }
+                continue;
+            }
+            // Training pool first.
+            let placed = place_gang(
+                &mut servers,
+                PoolKind::Training,
+                workers,
+                spec.gpus_per_worker,
+                ServerGroup::Base,
+                config,
+            )
+            .map(|a| (workers, a))
+            .or_else(|| {
+                if spec.fungible && !self.fungible_on_loan_only {
+                    let w = workers * mult;
+                    place_gang(
+                        &mut servers,
+                        PoolKind::OnLoan,
+                        w,
+                        spec.gpus_per_worker,
+                        ServerGroup::Base,
+                        config,
+                    )
+                    .map(|a| (w, a))
+                } else {
+                    None
+                }
+            });
+            match placed {
+                Some((w, placement)) => actions.push(Action::Launch {
+                    job: spec.id,
+                    workers: w,
+                    placement,
+                }),
+                None if self.backfill => continue,
+                None => break,
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobId, JobSpec};
+    use crate::snapshot::{PendingJobView, ServerView};
+
+    fn snap(pending: Vec<JobSpec>, train_servers: u32, loan_servers: u32) -> Snapshot {
+        let mut servers: Vec<ServerView> = (0..train_servers)
+            .map(|i| ServerView::idle(i, PoolKind::Training, GpuType::V100, 8))
+            .collect();
+        for i in 0..loan_servers {
+            servers.push(ServerView::idle(
+                train_servers + i,
+                PoolKind::OnLoan,
+                GpuType::T4,
+                8,
+            ));
+        }
+        Snapshot {
+            time_s: 0.0,
+            servers,
+            pending: pending.into_iter().map(PendingJobView::fresh).collect(),
+            running: vec![],
+        }
+    }
+
+    #[test]
+    fn launches_in_submission_order() {
+        let s = snap(
+            vec![
+                JobSpec::inelastic(0, 0.0, 4, 1, 100.0),
+                JobSpec::inelastic(1, 0.0, 4, 1, 1.0),
+            ],
+            1,
+            0,
+        );
+        let actions = FifoScheduler::new().schedule(&s);
+        assert_eq!(actions.len(), 2);
+        assert_eq!(actions[0].job(), JobId(0));
+        assert_eq!(actions[1].job(), JobId(1));
+    }
+
+    #[test]
+    fn head_of_line_blocking() {
+        // Job 0 needs 16 GPUs (doesn't fit); strict FIFO must not launch
+        // job 1 even though it fits.
+        let s = snap(
+            vec![
+                JobSpec::inelastic(0, 0.0, 16, 1, 100.0),
+                JobSpec::inelastic(1, 0.0, 2, 1, 1.0),
+            ],
+            1,
+            0,
+        );
+        assert!(FifoScheduler::new().schedule(&s).is_empty());
+        let actions = FifoScheduler::with_backfill().schedule(&s);
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].job(), JobId(1));
+    }
+
+    #[test]
+    fn fungible_job_falls_through_to_on_loan_with_multiplier() {
+        // 0 training servers; a fungible 2-worker V100-sized job lands on
+        // T4 with 4 workers.
+        let spec = JobSpec::inelastic(0, 0.0, 2, 2, 50.0).with_fungible(true);
+        let s = snap(vec![spec], 0, 1);
+        let actions = FifoScheduler::new().schedule(&s);
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            Action::Launch { workers, .. } => assert_eq!(*workers, 4),
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_fungible_job_cannot_use_on_loan() {
+        let spec = JobSpec::inelastic(0, 0.0, 2, 2, 50.0);
+        let s = snap(vec![spec], 0, 1);
+        assert!(FifoScheduler::new().schedule(&s).is_empty());
+    }
+
+    #[test]
+    fn elastic_jobs_run_at_requested_demand() {
+        let mut spec = JobSpec::elastic(0, 0.0, 2, 6, 1, 30.0);
+        spec.demand = 2;
+        let s = snap(vec![spec], 1, 0);
+        let actions = FifoScheduler::new().schedule(&s);
+        match &actions[0] {
+            Action::Launch { workers, .. } => assert_eq!(*workers, 2),
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+}

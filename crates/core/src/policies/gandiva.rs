@@ -1,0 +1,286 @@
+//! Gandiva-style opportunistic elastic scheduling (§7.1).
+//!
+//! Gandiva "exploits elasticity by scaling out jobs to utilize the remaining
+//! resources on servers whenever they are under-utilized", without any
+//! cluster-wide optimisation. Following the paper's adaptation:
+//!
+//! * pending jobs launch at base demand in arrival order (skipping jobs
+//!   that do not fit);
+//! * when the cluster is under-utilised — resources idle and **no pending
+//!   jobs** — running elastic jobs opportunistically grow, one worker at a
+//!   time in round-robin order;
+//! * when jobs are waiting, previously grown jobs shrink back toward base
+//!   demand to make room.
+
+use super::{assignment_workers, scale_in_removal, JobScheduler};
+use crate::gpu::GpuType;
+use crate::placement::{place_best_effort, place_gang, PlacementConfig};
+use crate::snapshot::{Action, PoolKind, ServerGroup, ServerView, Snapshot};
+
+/// The Gandiva comparator.
+#[derive(Debug, Clone, Default)]
+pub struct GandivaScheduler {
+    _private: (),
+}
+
+impl GandivaScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn config() -> PlacementConfig {
+    PlacementConfig {
+        special_elastic_treatment: false,
+    }
+}
+
+impl JobScheduler for GandivaScheduler {
+    fn name(&self) -> &'static str {
+        "gandiva"
+    }
+
+    fn schedule(&mut self, snapshot: &Snapshot) -> Vec<Action> {
+        let mut servers: Vec<ServerView> = snapshot.servers.clone();
+        let mut actions: Vec<Action> = Vec::new();
+
+        // Under pressure, shrink grown jobs back to base first.
+        let queued_demand: u32 = snapshot.pending.iter().map(|p| p.spec.base_gpus()).sum();
+        let free = snapshot.free_gpus();
+        if !snapshot.pending.is_empty() && queued_demand > free {
+            let mut reclaimable = queued_demand - free;
+            for r in &snapshot.running {
+                if reclaimable == 0 {
+                    break;
+                }
+                if r.flexible_workers > 0 {
+                    let shrink = r
+                        .flexible_workers
+                        .min(reclaimable.div_ceil(r.spec.gpus_per_worker));
+                    let removal = scale_in_removal(r, shrink);
+                    let freed: u32 = assignment_workers(&removal) * r.spec.gpus_per_worker;
+                    for &(sid, w) in &removal {
+                        if let Some(s) = servers.iter_mut().find(|s| s.id == sid) {
+                            s.free_gpus =
+                                (s.free_gpus + w * r.spec.gpus_per_worker).min(s.total_gpus);
+                        }
+                    }
+                    if !removal.is_empty() {
+                        actions.push(Action::ScaleIn {
+                            job: r.spec.id,
+                            removal,
+                        });
+                        reclaimable = reclaimable.saturating_sub(freed);
+                    }
+                }
+            }
+        }
+
+        // Launch pending jobs at base demand, arrival order, skipping.
+        let mut any_left_pending = false;
+        for p in &snapshot.pending {
+            let spec = &p.spec;
+            let mut placed = place_gang(
+                &mut servers,
+                PoolKind::Training,
+                spec.w_min(),
+                spec.gpus_per_worker,
+                ServerGroup::Base,
+                config(),
+            )
+            .map(|a| (spec.w_min(), a));
+            if placed.is_none() && spec.fungible {
+                let count = if spec.is_elastic() {
+                    spec.w_min()
+                } else {
+                    spec.w_min() * GpuType::T4.worker_multiplier(spec.reference_gpu)
+                };
+                placed = place_gang(
+                    &mut servers,
+                    PoolKind::OnLoan,
+                    count,
+                    spec.gpus_per_worker,
+                    ServerGroup::Base,
+                    config(),
+                )
+                .map(|a| (count, a));
+            }
+            match placed {
+                Some((workers, placement)) => actions.push(Action::Launch {
+                    job: spec.id,
+                    workers,
+                    placement,
+                }),
+                None => any_left_pending = true,
+            }
+        }
+
+        // Opportunistic growth only when nobody is waiting.
+        if !any_left_pending {
+            let mut targets: Vec<(usize, u32)> = snapshot
+                .running
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.spec.is_elastic() && r.workers < r.spec.w_max())
+                .map(|(i, r)| (i, r.workers))
+                .collect();
+            let mut grew: Vec<u32> = vec![0; snapshot.running.len()];
+            // Round-robin +1 worker until nothing fits.
+            loop {
+                let mut progressed = false;
+                for (idx, current) in &mut targets {
+                    let r = &snapshot.running[*idx];
+                    if *current >= r.spec.w_max() {
+                        continue;
+                    }
+                    let pools = if r.spec.fungible {
+                        vec![PoolKind::Training, PoolKind::OnLoan]
+                    } else {
+                        vec![PoolKind::Training]
+                    };
+                    let a = place_best_effort(
+                        &mut servers,
+                        &pools,
+                        1,
+                        r.spec.gpus_per_worker,
+                        ServerGroup::Flexible,
+                        config(),
+                        r.spec.hetero_capable,
+                    );
+                    if assignment_workers(&a) == 1 {
+                        *current += 1;
+                        grew[*idx] += 1;
+                        progressed = true;
+                        actions.push(Action::ScaleOut {
+                            job: r.spec.id,
+                            extra: 1,
+                            placement: a,
+                        });
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobId, JobSpec};
+    use crate::snapshot::{PendingJobView, RunningJobView, ServerId};
+
+    fn training(n: u32) -> Vec<ServerView> {
+        (0..n)
+            .map(|i| ServerView::idle(i, PoolKind::Training, GpuType::V100, 8))
+            .collect()
+    }
+
+    #[test]
+    fn grows_only_when_queue_is_empty() {
+        let running = RunningJobView {
+            spec: JobSpec::elastic(0, 0.0, 2, 6, 1, 100.0),
+            workers: 2,
+            work_left: 300.0,
+            placement: vec![(ServerId(0), 2)],
+            flexible_workers: 0,
+            flex_placement: vec![],
+        };
+        let mut srv = training(1);
+        srv[0].free_gpus = 6;
+        // Case 1: empty queue → grows to w_max.
+        let snap = Snapshot {
+            time_s: 0.0,
+            servers: srv.clone(),
+            pending: vec![],
+            running: vec![running.clone()],
+        };
+        let actions = GandivaScheduler::new().schedule(&snap);
+        let grown: u32 = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::ScaleOut { extra, .. } => Some(*extra),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(grown, 4);
+
+        // Case 2: a pending job that doesn't fit → no growth.
+        let snap = Snapshot {
+            time_s: 0.0,
+            servers: srv,
+            pending: vec![PendingJobView::fresh(JobSpec::inelastic(
+                1, 0.0, 16, 1, 5.0,
+            ))],
+            running: vec![running],
+        };
+        let actions = GandivaScheduler::new().schedule(&snap);
+        assert!(actions
+            .iter()
+            .all(|a| !matches!(a, Action::ScaleOut { .. })));
+    }
+
+    #[test]
+    fn shrinks_grown_jobs_under_pressure() {
+        let running = RunningJobView {
+            spec: JobSpec::elastic(0, 0.0, 2, 6, 1, 100.0),
+            workers: 6,
+            work_left: 300.0,
+            placement: vec![(ServerId(0), 6)],
+            flexible_workers: 4,
+            flex_placement: vec![(ServerId(0), 4)],
+        };
+        let mut srv = training(1);
+        srv[0].free_gpus = 2;
+        let snap = Snapshot {
+            time_s: 0.0,
+            servers: srv,
+            pending: vec![PendingJobView::fresh(JobSpec::inelastic(1, 0.0, 6, 1, 5.0))],
+            running: vec![running],
+        };
+        let actions = GandivaScheduler::new().schedule(&snap);
+        assert!(actions.iter().any(|a| matches!(a, Action::ScaleIn { .. })));
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, Action::Launch { job, .. } if *job == JobId(1))),
+            "freed capacity is used immediately: {actions:?}"
+        );
+    }
+
+    #[test]
+    fn launches_round_robin_growth_fairly() {
+        let mk = |id: u64| RunningJobView {
+            spec: JobSpec::elastic(id, 0.0, 1, 8, 1, 100.0),
+            workers: 1,
+            work_left: 100.0,
+            placement: vec![(ServerId(0), 1)],
+            flexible_workers: 0,
+            flex_placement: vec![],
+        };
+        let mut srv = training(1);
+        srv[0].free_gpus = 4;
+        let snap = Snapshot {
+            time_s: 0.0,
+            servers: srv,
+            pending: vec![],
+            running: vec![mk(0), mk(1)],
+        };
+        let actions = GandivaScheduler::new().schedule(&snap);
+        let per_job = |id: u64| -> u32 {
+            actions
+                .iter()
+                .filter_map(|a| match a {
+                    Action::ScaleOut { job, extra, .. } if job.0 == id => Some(*extra),
+                    _ => None,
+                })
+                .sum()
+        };
+        assert_eq!(per_job(0), 2);
+        assert_eq!(per_job(1), 2);
+    }
+}

@@ -1,0 +1,808 @@
+//! Server reclaiming for capacity loaning (§4).
+//!
+//! When the inference cluster asks for `N_R` servers back, every training
+//! job running on a returned server must be preempted — losing all progress
+//! unless it checkpoints. Picking the cheapest set of servers is a knapsack
+//! problem with *dependent item values*: preempting a job that spans several
+//! servers empties all of them at once, so server costs are coupled
+//! (Figure 5 / Table 1).
+//!
+//! Lyra defines a server's **preemption cost** as the sum, over the jobs it
+//! hosts, of the fraction of each job's servers that this server represents
+//! (`Σ_j 1/servers(j)`), then greedily returns the lowest-cost server,
+//! preempts its jobs everywhere, updates the remaining costs and repeats
+//! until the demand is met. Ties are broken by the collateral damage the
+//! choice would incur. The module also provides the paper's comparators:
+//! [`reclaim_random`], smallest-count-first ([`reclaim_scf`]), the
+//! GPU-fraction cost variant that Table 1 shows to be inferior, and an
+//! exhaustive optimal search used in §7.3's optimality study.
+
+use crate::job::JobId;
+use crate::snapshot::ServerId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// How a server's preemption cost is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CostModel {
+    /// Lyra's choice: each job contributes `1 / (number of servers hosting
+    /// it)` — the "sum of job's server fraction" column of Table 1.
+    ServerFraction,
+    /// Each job contributes the fraction of its GPUs on this server — the
+    /// "sum of job's GPU fraction" column of Table 1, shown to mis-rank
+    /// server 5 in the example.
+    GpuFraction,
+    /// Each job contributes 1 — the naive "# running jobs" column of
+    /// Table 1 (the plain 0-1 knapsack value).
+    JobCount,
+}
+
+/// A job's cluster-wide footprint, as needed for cost computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobFootprint {
+    /// Job identity.
+    pub id: JobId,
+    /// Number of distinct servers hosting at least one of its workers
+    /// (including servers outside the reclaim candidate set).
+    pub total_servers: u32,
+    /// Total GPUs the job occupies cluster-wide.
+    pub total_gpus: u32,
+}
+
+/// A reclaim-candidate (on-loan) server and the jobs it hosts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReclaimServerView {
+    /// Server identity.
+    pub id: ServerId,
+    /// Total GPUs installed.
+    pub total_gpus: u32,
+    /// `(job, GPUs that job occupies here)` for every job with ≥1 worker on
+    /// this server.
+    pub jobs: Vec<(JobId, u32)>,
+}
+
+impl ReclaimServerView {
+    fn is_empty(&self, alive: &HashSet<JobId>) -> bool {
+        self.jobs.iter().all(|(j, _)| !alive.contains(j))
+    }
+}
+
+/// One reclaiming request from the orchestrator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReclaimRequest {
+    /// Candidate on-loan servers (only these can be returned).
+    pub servers: Vec<ReclaimServerView>,
+    /// Footprints of every job appearing in `servers`.
+    pub jobs: Vec<JobFootprint>,
+    /// Number of servers the inference cluster wants back (`N_R`).
+    pub need: usize,
+}
+
+impl ReclaimRequest {
+    fn footprints(&self) -> HashMap<JobId, JobFootprint> {
+        self.jobs.iter().map(|f| (f.id, *f)).collect()
+    }
+
+    /// Validates internal consistency; useful when assembling requests from
+    /// external state.
+    ///
+    /// Returns an error string describing the first inconsistency found:
+    /// a job on a server without a footprint, or per-server GPU usage
+    /// exceeding the server size.
+    pub fn validate(&self) -> Result<(), String> {
+        let fp = self.footprints();
+        for s in &self.servers {
+            let mut used = 0;
+            for &(j, g) in &s.jobs {
+                if !fp.contains_key(&j) {
+                    return Err(format!("{j} on {} has no footprint", s.id));
+                }
+                used += g;
+            }
+            if used > s.total_gpus {
+                return Err(format!(
+                    "{} hosts {used} GPUs of jobs but has only {}",
+                    s.id, s.total_gpus
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of a reclaiming decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReclaimOutcome {
+    /// Servers to hand back, in selection order.
+    pub returned: Vec<ServerId>,
+    /// Jobs that must be preempted.
+    pub preempted: Vec<JobId>,
+    /// GPUs vacated beyond the reclaiming demand (`need` × server size):
+    /// idle GPUs on returned servers plus GPUs the preempted jobs held on
+    /// servers that were *not* returned. This is the paper's "collateral
+    /// damage" numerator (§7.3).
+    pub collateral_gpus: u32,
+    /// How many of the `need` servers could not be provided (candidates
+    /// exhausted).
+    pub shortfall: usize,
+}
+
+/// Per-server preemption cost under a [`CostModel`], considering only
+/// still-alive jobs.
+///
+/// For the server-fraction model the denominator is capped at the
+/// *remaining demand*: vacating more servers than the inference cluster
+/// asked for is pure collateral, so a job spanning five servers is no
+/// cheaper than a single-server job when only one server is needed. With
+/// `need_left ≥ span` this reduces to the paper's `1/servers(j)`.
+fn server_cost(
+    server: &ReclaimServerView,
+    alive: &HashSet<JobId>,
+    footprints: &HashMap<JobId, JobFootprint>,
+    model: CostModel,
+    need_left: usize,
+) -> f64 {
+    server
+        .jobs
+        .iter()
+        .filter(|(j, _)| alive.contains(j))
+        .map(|&(j, gpus_here)| {
+            let fp = &footprints[&j];
+            match model {
+                CostModel::ServerFraction => {
+                    let useful = fp.total_servers.min(need_left.max(1) as u32).max(1);
+                    1.0 / f64::from(useful)
+                }
+                CostModel::GpuFraction => f64::from(gpus_here) / f64::from(fp.total_gpus.max(1)),
+                CostModel::JobCount => 1.0,
+            }
+        })
+        .sum()
+}
+
+/// Computes Table 1's cost columns for a request — exposed for the `tab1`
+/// experiment and tests.
+pub fn cost_table(request: &ReclaimRequest) -> Vec<(ServerId, f64, f64, f64)> {
+    let fp = request.footprints();
+    let alive: HashSet<JobId> = fp.keys().copied().collect();
+    request
+        .servers
+        .iter()
+        .map(|s| {
+            (
+                s.id,
+                server_cost(s, &alive, &fp, CostModel::JobCount, request.need),
+                server_cost(s, &alive, &fp, CostModel::GpuFraction, request.need),
+                server_cost(s, &alive, &fp, CostModel::ServerFraction, request.need),
+            )
+        })
+        .collect()
+}
+
+/// Collateral damage of returning `server` now: GPUs its alive jobs hold on
+/// servers that will *not* be handed back as a result — i.e. non-candidate
+/// servers, and candidate servers that do not become empty when this
+/// server's jobs are preempted. Candidate servers that cascade-empty count
+/// toward the reclaiming demand, so freeing them is not damage.
+fn collateral_of(
+    server: &ReclaimServerView,
+    candidates: &[&ReclaimServerView],
+    alive: &HashSet<JobId>,
+    footprints: &HashMap<JobId, JobFootprint>,
+) -> u32 {
+    let preempt: HashSet<JobId> = server
+        .jobs
+        .iter()
+        .filter(|(j, _)| alive.contains(j))
+        .map(|(j, _)| *j)
+        .collect();
+    let mut on_candidates: HashMap<JobId, u32> = HashMap::new();
+    let mut damage = 0;
+    for t in candidates {
+        let freed: u32 = t
+            .jobs
+            .iter()
+            .filter(|(j, _)| preempt.contains(j))
+            .map(|(_, g)| g)
+            .sum();
+        for &(j, g) in &t.jobs {
+            if preempt.contains(&j) {
+                *on_candidates.entry(j).or_insert(0) += g;
+            }
+        }
+        if t.id == server.id || freed == 0 {
+            continue;
+        }
+        let becomes_empty = t
+            .jobs
+            .iter()
+            .all(|(j, _)| !alive.contains(j) || preempt.contains(j));
+        if !becomes_empty {
+            damage += freed;
+        }
+    }
+    // GPUs held on servers outside the candidate set are always damage.
+    for j in &preempt {
+        let total = footprints.get(j).map_or(0, |f| f.total_gpus);
+        damage += total.saturating_sub(on_candidates.get(j).copied().unwrap_or(0));
+    }
+    damage
+}
+
+/// Shared greedy loop: repeatedly take all empty candidates for free, then
+/// apply `pick` to choose the next non-empty server to clear.
+fn greedy_reclaim<F>(request: &ReclaimRequest, mut pick: F) -> ReclaimOutcome
+where
+    F: FnMut(&[&ReclaimServerView], &HashSet<JobId>, &HashMap<JobId, JobFootprint>, usize) -> usize,
+{
+    let footprints = request.footprints();
+    let mut alive: HashSet<JobId> = footprints.keys().copied().collect();
+    let mut returned: Vec<ServerId> = Vec::new();
+    let mut returned_set: HashSet<ServerId> = HashSet::new();
+    let mut preempted: Vec<JobId> = Vec::new();
+
+    while returned.len() < request.need {
+        // Empty candidates (originally idle or emptied by cascades) are
+        // free to return.
+        if let Some(s) = request
+            .servers
+            .iter()
+            .find(|s| !returned_set.contains(&s.id) && s.is_empty(&alive))
+        {
+            returned.push(s.id);
+            returned_set.insert(s.id);
+            continue;
+        }
+        let candidates: Vec<&ReclaimServerView> = request
+            .servers
+            .iter()
+            .filter(|s| !returned_set.contains(&s.id))
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let need_left = request.need - returned.len();
+        let idx = pick(&candidates, &alive, &footprints, need_left);
+        let victim = candidates[idx];
+        for &(j, _) in &victim.jobs {
+            if alive.remove(&j) {
+                preempted.push(j);
+            }
+        }
+        returned.push(victim.id);
+        returned_set.insert(victim.id);
+    }
+
+    let collateral = collateral_damage(request, &returned, &preempted);
+    let shortfall = request.need.saturating_sub(returned.len());
+    ReclaimOutcome {
+        returned,
+        preempted,
+        collateral_gpus: collateral,
+        shortfall,
+    }
+}
+
+/// Total GPUs vacated in excess of the demand actually served, for a given
+/// returned-server set and preempted-job set.
+fn collateral_damage(request: &ReclaimRequest, returned: &[ServerId], preempted: &[JobId]) -> u32 {
+    let returned_set: HashSet<ServerId> = returned.iter().copied().collect();
+    let preempted_set: HashSet<JobId> = preempted.iter().copied().collect();
+    let footprints = request.footprints();
+    // Idle GPUs on returned servers (capacity handed back unused by jobs,
+    // beyond what was actually occupied) do not count as damage — the
+    // demand is in servers. Damage is progress-bearing GPUs freed outside
+    // returned servers.
+    let mut on_returned: HashMap<JobId, u32> = HashMap::new();
+    for s in &request.servers {
+        if returned_set.contains(&s.id) {
+            for &(j, g) in &s.jobs {
+                *on_returned.entry(j).or_insert(0) += g;
+            }
+        }
+    }
+    preempted_set
+        .iter()
+        .map(|j| {
+            let total = footprints.get(j).map_or(0, |f| f.total_gpus);
+            total.saturating_sub(on_returned.get(j).copied().unwrap_or(0))
+        })
+        .sum()
+}
+
+/// Lyra's reclaiming heuristic (§4) under a configurable [`CostModel`].
+///
+/// Greedily returns the server with the lowest preemption cost, breaking
+/// ties by collateral damage, preempts its jobs everywhere, updates costs
+/// and repeats until `need` servers are vacated (cascade-emptied servers are
+/// returned for free).
+///
+/// # Examples
+///
+/// ```
+/// use lyra_core::reclaim::*;
+/// use lyra_core::{JobId, ServerId};
+/// // Figure 5: job a spans servers 1&2; reclaiming both costs 1 job.
+/// let req = ReclaimRequest {
+///     servers: vec![
+///         ReclaimServerView { id: ServerId(1), total_gpus: 8, jobs: vec![(JobId(0), 8)] },
+///         ReclaimServerView { id: ServerId(2), total_gpus: 8, jobs: vec![(JobId(0), 8)] },
+///         ReclaimServerView { id: ServerId(3), total_gpus: 8, jobs: vec![(JobId(1), 8)] },
+///     ],
+///     jobs: vec![
+///         JobFootprint { id: JobId(0), total_servers: 2, total_gpus: 16 },
+///         JobFootprint { id: JobId(1), total_servers: 1, total_gpus: 8 },
+///     ],
+///     need: 2,
+/// };
+/// let out = reclaim_servers(&req, CostModel::ServerFraction);
+/// assert_eq!(out.preempted.len(), 1); // only job a
+/// ```
+pub fn reclaim_servers(request: &ReclaimRequest, model: CostModel) -> ReclaimOutcome {
+    greedy_reclaim(request, |candidates, alive, footprints, need_left| {
+        let mut best = 0;
+        let mut best_cost = f64::INFINITY;
+        let mut best_coll = u32::MAX;
+        for (i, s) in candidates.iter().enumerate() {
+            let cost = server_cost(s, alive, footprints, model, need_left);
+            let coll = collateral_of(s, candidates, alive, footprints);
+            if cost < best_cost - 1e-12 || ((cost - best_cost).abs() <= 1e-12 && coll < best_coll) {
+                best = i;
+                best_cost = cost;
+                best_coll = coll;
+            }
+        }
+        best
+    })
+}
+
+/// Random reclaiming comparator (§7.1): clears uniformly random candidate
+/// servers until the demand is met.
+pub fn reclaim_random<R: Rng>(request: &ReclaimRequest, rng: &mut R) -> ReclaimOutcome {
+    greedy_reclaim(request, |candidates, _, _, _| {
+        rng.gen_range(0..candidates.len())
+    })
+}
+
+/// Smallest-(job)-count-first comparator (§7.1): clears the candidate
+/// hosting the fewest running jobs first.
+pub fn reclaim_scf(request: &ReclaimRequest) -> ReclaimOutcome {
+    greedy_reclaim(request, |candidates, alive, _footprints, _need_left| {
+        let mut best = 0;
+        let mut best_key = (usize::MAX, u32::MAX);
+        for (i, s) in candidates.iter().enumerate() {
+            let count = s.jobs.iter().filter(|(j, _)| alive.contains(j)).count();
+            // Plain job-count ranking with an id tie-break — SCF is blind
+            // to job spans, which is exactly what Lyra's cost fixes.
+            if (count, s.id.0) < best_key {
+                best = i;
+                best_key = (count, s.id.0);
+            }
+        }
+        best
+    })
+}
+
+/// Exhaustive optimal reclaiming: the minimum-preemption solution, found by
+/// searching job subsets in increasing size (§7.3's optimality study).
+///
+/// Exponential in the number of distinct jobs — use only on small instances
+/// (the paper reports the optimum's running time is ~420 000× Lyra's).
+/// Returns `None` when even preempting every job cannot vacate `need`
+/// servers.
+pub fn reclaim_exhaustive_optimal(request: &ReclaimRequest) -> Option<ReclaimOutcome> {
+    let footprints = request.footprints();
+    let job_ids: Vec<JobId> = {
+        let mut v: Vec<JobId> = footprints.keys().copied().collect();
+        v.sort_unstable();
+        v
+    };
+
+    let vacated_by = |preempt: &HashSet<JobId>| -> Vec<ServerId> {
+        request
+            .servers
+            .iter()
+            .filter(|s| s.jobs.iter().all(|(j, _)| preempt.contains(j)))
+            .map(|s| s.id)
+            .collect()
+    };
+
+    /// Enumerates all `k`-subsets of `job_ids[start..]` extending `combo`,
+    /// keeping the candidate with the least collateral damage.
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate(
+        request: &ReclaimRequest,
+        job_ids: &[JobId],
+        k: usize,
+        start: usize,
+        combo: &mut Vec<JobId>,
+        vacated_by: &dyn Fn(&HashSet<JobId>) -> Vec<ServerId>,
+        best: &mut Option<ReclaimOutcome>,
+    ) {
+        if combo.len() == k {
+            let preempt: HashSet<JobId> = combo.iter().copied().collect();
+            let vacated = vacated_by(&preempt);
+            if vacated.len() >= request.need {
+                let returned: Vec<ServerId> = vacated.into_iter().take(request.need).collect();
+                let mut preempted = combo.clone();
+                preempted.sort_unstable();
+                let collateral = collateral_damage(request, &returned, &preempted);
+                let cand = ReclaimOutcome {
+                    returned,
+                    preempted,
+                    collateral_gpus: collateral,
+                    shortfall: 0,
+                };
+                let better = match best {
+                    None => true,
+                    Some(b) => cand.collateral_gpus < b.collateral_gpus,
+                };
+                if better {
+                    *best = Some(cand);
+                }
+            }
+            return;
+        }
+        for i in start..job_ids.len() {
+            combo.push(job_ids[i]);
+            enumerate(request, job_ids, k, i + 1, combo, vacated_by, best);
+            combo.pop();
+        }
+    }
+
+    // Smallest preemption count first: the first k with any feasible
+    // solution is optimal in the primary objective.
+    for k in 0..=job_ids.len() {
+        let mut best: Option<ReclaimOutcome> = None;
+        let mut combo = Vec::with_capacity(k);
+        enumerate(request, &job_ids, k, 0, &mut combo, &vacated_by, &mut best);
+        if best.is_some() {
+            return best;
+        }
+    }
+    None
+}
+
+/// Shuffles candidate order — a helper for randomised experiments that want
+/// per-trial candidate permutations without touching the request itself.
+pub fn shuffled_candidates<R: Rng>(request: &ReclaimRequest, rng: &mut R) -> ReclaimRequest {
+    let mut r = request.clone();
+    r.servers.shuffle(rng);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds Figure 5 / Table 1's example: six 8-GPU candidate servers.
+    ///
+    /// * servers 1, 2: job `a` spans both (half on each) — cost columns
+    ///   (1, 0.5, 0.5);
+    /// * server 3: job `b` fills it alone — (1, 1, 1);
+    /// * server 4: 80 % of job `c`'s GPUs; `c`'s remainder sits on a
+    ///   server outside the candidate set — (1, 0.8, 0.5);
+    /// * server 5: jobs `d` and `e`, each holding 20 % of their GPUs here
+    ///   (both span a second, non-candidate server) — (2, 0.4, 1);
+    /// * server 6: 80 % of job `f`'s GPUs, remainder outside — (1, 0.8,
+    ///   0.5).
+    fn figure5() -> ReclaimRequest {
+        let a = JobId(0);
+        let b = JobId(1);
+        let c = JobId(2);
+        let d = JobId(3);
+        let e = JobId(4);
+        let f = JobId(5);
+        ReclaimRequest {
+            servers: vec![
+                ReclaimServerView {
+                    id: ServerId(1),
+                    total_gpus: 8,
+                    jobs: vec![(a, 4)],
+                },
+                ReclaimServerView {
+                    id: ServerId(2),
+                    total_gpus: 8,
+                    jobs: vec![(a, 4)],
+                },
+                ReclaimServerView {
+                    id: ServerId(3),
+                    total_gpus: 8,
+                    jobs: vec![(b, 8)],
+                },
+                ReclaimServerView {
+                    id: ServerId(4),
+                    total_gpus: 8,
+                    jobs: vec![(c, 8)],
+                },
+                ReclaimServerView {
+                    id: ServerId(5),
+                    total_gpus: 8,
+                    jobs: vec![(d, 2), (e, 2)],
+                },
+                ReclaimServerView {
+                    id: ServerId(6),
+                    total_gpus: 8,
+                    jobs: vec![(f, 8)],
+                },
+            ],
+            jobs: vec![
+                JobFootprint {
+                    id: a,
+                    total_servers: 2,
+                    total_gpus: 8,
+                },
+                JobFootprint {
+                    id: b,
+                    total_servers: 1,
+                    total_gpus: 8,
+                },
+                JobFootprint {
+                    id: c,
+                    total_servers: 2,
+                    total_gpus: 10,
+                },
+                JobFootprint {
+                    id: d,
+                    total_servers: 2,
+                    total_gpus: 10,
+                },
+                JobFootprint {
+                    id: e,
+                    total_servers: 2,
+                    total_gpus: 10,
+                },
+                JobFootprint {
+                    id: f,
+                    total_servers: 2,
+                    total_gpus: 10,
+                },
+            ],
+            need: 2,
+        }
+    }
+
+    #[test]
+    fn request_validation() {
+        assert!(figure5().validate().is_ok());
+        let mut bad = figure5();
+        bad.servers[0].jobs.push((JobId(99), 1));
+        assert!(bad.validate().is_err());
+        let mut over = figure5();
+        over.servers[0].jobs[0].1 = 100;
+        assert!(over.validate().is_err());
+    }
+
+    #[test]
+    fn table1_cost_columns_match_paper() {
+        let table = cost_table(&figure5());
+        // (id, job-count, gpu-fraction, server-fraction)
+        let by_id: HashMap<u32, (f64, f64, f64)> = table
+            .into_iter()
+            .map(|(id, a, b, c)| (id.0, (a, b, c)))
+            .collect();
+        // Server 1: 1 job, 0.5 GPU fraction, 0.5 server fraction.
+        assert_eq!(by_id[&1], (1.0, 0.5, 0.5));
+        assert_eq!(by_id[&2], (1.0, 0.5, 0.5));
+        assert_eq!(by_id[&3], (1.0, 1.0, 1.0));
+        // Server 4: 1 job, 0.8 GPU fraction, 0.5 server fraction.
+        assert_eq!(by_id[&4], (1.0, 0.8, 0.5));
+        // Server 5: 2 jobs, 0.2 + 0.2 GPU fraction, 0.5 + 0.5 server
+        // fraction.
+        let (n, g, s) = by_id[&5];
+        assert_eq!(n, 2.0);
+        assert!((g - 0.4).abs() < 1e-12);
+        assert_eq!(s, 1.0);
+        assert_eq!(by_id[&6], (1.0, 0.8, 0.5));
+    }
+
+    #[test]
+    fn lyra_reclaims_spanning_job_pair() {
+        // Figure 5's optimum for N_R = 2: servers 1 & 2, one preemption.
+        let out = reclaim_servers(&figure5(), CostModel::ServerFraction);
+        assert_eq!(out.preempted.len(), 1);
+        assert_eq!(out.preempted[0], JobId(0));
+        let mut returned: Vec<u32> = out.returned.iter().map(|s| s.0).collect();
+        returned.sort_unstable();
+        assert_eq!(returned, vec![1, 2]);
+        assert_eq!(out.collateral_gpus, 0);
+        assert_eq!(out.shortfall, 0);
+    }
+
+    #[test]
+    fn gpu_fraction_cost_makes_the_papers_mistake() {
+        // Table 1's point: GPU-fraction cost ranks server 5 cheapest, which
+        // preempts two jobs.
+        let out = reclaim_servers(&figure5(), CostModel::GpuFraction);
+        assert!(out.preempted.len() >= 2);
+    }
+
+    #[test]
+    fn optimal_matches_lyra_on_figure5() {
+        let opt = reclaim_exhaustive_optimal(&figure5()).expect("feasible");
+        assert_eq!(opt.preempted.len(), 1);
+        assert_eq!(opt.preempted[0], JobId(0));
+    }
+
+    #[test]
+    fn scf_counts_jobs_not_fractions() {
+        // SCF ranks every single-job server equally; with the secondary
+        // tie-break it still avoids server 5 (two jobs).
+        let out = reclaim_scf(&figure5());
+        assert!(!out.returned.contains(&ServerId(5)));
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let a = reclaim_random(&figure5(), &mut rng1);
+        let b = reclaim_random(&figure5(), &mut rng2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_servers_are_free() {
+        let mut req = figure5();
+        req.servers.push(ReclaimServerView {
+            id: ServerId(7),
+            total_gpus: 8,
+            jobs: vec![],
+        });
+        req.need = 1;
+        let out = reclaim_servers(&req, CostModel::ServerFraction);
+        assert_eq!(out.returned, vec![ServerId(7)]);
+        assert!(out.preempted.is_empty());
+    }
+
+    #[test]
+    fn shortfall_reported_when_candidates_exhausted() {
+        let mut req = figure5();
+        req.need = 10;
+        let out = reclaim_servers(&req, CostModel::ServerFraction);
+        assert_eq!(out.returned.len(), 6);
+        assert_eq!(out.shortfall, 4);
+        assert_eq!(out.preempted.len(), 6);
+    }
+
+    #[test]
+    fn cascade_emptied_servers_count_toward_demand() {
+        // Preempting job a (spanning servers 1 and 2) vacates both with a
+        // single preemption.
+        let mut req = figure5();
+        req.servers.retain(|s| s.id.0 == 1 || s.id.0 == 2);
+        req.jobs.retain(|f| f.id == JobId(0));
+        req.need = 2;
+        let out = reclaim_servers(&req, CostModel::ServerFraction);
+        assert_eq!(out.preempted, vec![JobId(0)]);
+        assert_eq!(out.returned.len(), 2);
+        assert_eq!(out.collateral_gpus, 0);
+    }
+
+    #[test]
+    fn collateral_counts_gpus_outside_returned_servers() {
+        // Only server 4 is a candidate; job c also holds 2 GPUs on server 6
+        // (not a candidate here) → collateral = 2.
+        let req = ReclaimRequest {
+            servers: vec![ReclaimServerView {
+                id: ServerId(4),
+                total_gpus: 8,
+                jobs: vec![(JobId(2), 8)],
+            }],
+            jobs: vec![JobFootprint {
+                id: JobId(2),
+                total_servers: 2,
+                total_gpus: 10,
+            }],
+            need: 1,
+        };
+        let out = reclaim_servers(&req, CostModel::ServerFraction);
+        assert_eq!(out.preempted, vec![JobId(2)]);
+        assert_eq!(out.collateral_gpus, 2);
+    }
+
+    #[test]
+    fn optimal_none_when_infeasible() {
+        let req = ReclaimRequest {
+            servers: vec![],
+            jobs: vec![],
+            need: 1,
+        };
+        assert!(reclaim_exhaustive_optimal(&req).is_none());
+    }
+
+    #[test]
+    fn optimal_zero_preemptions_when_idle_servers_suffice() {
+        let req = ReclaimRequest {
+            servers: vec![
+                ReclaimServerView {
+                    id: ServerId(0),
+                    total_gpus: 8,
+                    jobs: vec![],
+                },
+                ReclaimServerView {
+                    id: ServerId(1),
+                    total_gpus: 8,
+                    jobs: vec![(JobId(0), 8)],
+                },
+            ],
+            jobs: vec![JobFootprint {
+                id: JobId(0),
+                total_servers: 1,
+                total_gpus: 8,
+            }],
+            need: 1,
+        };
+        let opt = reclaim_exhaustive_optimal(&req).unwrap();
+        assert!(opt.preempted.is_empty());
+        assert_eq!(opt.returned, vec![ServerId(0)]);
+    }
+
+    #[test]
+    fn heuristic_never_beats_optimal_on_random_instances() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..50 {
+            // Random small instance: ≤6 servers, ≤6 jobs spanning 1-2.
+            let n_servers = rng.gen_range(2..=6usize);
+            let n_jobs = rng.gen_range(1..=6usize);
+            let mut servers: Vec<ReclaimServerView> = (0..n_servers)
+                .map(|i| ReclaimServerView {
+                    id: ServerId(i as u32),
+                    total_gpus: 8,
+                    jobs: vec![],
+                })
+                .collect();
+            let mut jobs = Vec::new();
+            for j in 0..n_jobs {
+                let span = rng.gen_range(1..=2usize).min(n_servers);
+                let mut placed = 0;
+                let mut hosts = HashSet::new();
+                while hosts.len() < span {
+                    hosts.insert(rng.gen_range(0..n_servers));
+                }
+                for &h in &hosts {
+                    let free: u32 = 8 - servers[h].jobs.iter().map(|(_, g)| g).sum::<u32>();
+                    if free == 0 {
+                        continue;
+                    }
+                    let g = rng.gen_range(1..=free.min(4));
+                    servers[h].jobs.push((JobId(j as u64), g));
+                    placed += g;
+                }
+                if placed > 0 {
+                    let hosts_used = servers
+                        .iter()
+                        .filter(|s| s.jobs.iter().any(|(id, _)| *id == JobId(j as u64)))
+                        .count() as u32;
+                    jobs.push(JobFootprint {
+                        id: JobId(j as u64),
+                        total_servers: hosts_used,
+                        total_gpus: placed,
+                    });
+                }
+            }
+            let need = rng.gen_range(1..=n_servers);
+            let req = ReclaimRequest {
+                servers,
+                jobs,
+                need,
+            };
+            req.validate().unwrap();
+            let lyra = reclaim_servers(&req, CostModel::ServerFraction);
+            if lyra.shortfall > 0 {
+                continue;
+            }
+            let opt = reclaim_exhaustive_optimal(&req)
+                .unwrap_or_else(|| panic!("trial {trial}: optimal infeasible"));
+            assert!(
+                lyra.preempted.len() >= opt.preempted.len(),
+                "trial {trial}: heuristic beat the optimum?"
+            );
+        }
+    }
+}

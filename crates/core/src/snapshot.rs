@@ -1,0 +1,303 @@
+//! Snapshot types: what a scheduling policy sees and what it decides.
+//!
+//! Lyra's job scheduler "periodically collects job status and resource usage
+//! of the training cluster" and then "computes the resource allocation and
+//! placement decisions for each job" (§3). This module defines that
+//! interface: a [`Snapshot`] of servers, pending jobs and running jobs, and
+//! the [`Action`]s a policy returns. The simulator (and, in a real
+//! deployment, the resource-manager shim) applies the actions.
+
+use crate::gpu::GpuType;
+use crate::job::{JobId, JobSpec};
+use serde::{Deserialize, Serialize};
+
+/// Unique identifier of a physical server.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ServerId(pub u32);
+
+impl std::fmt::Display for ServerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "server-{}", self.0)
+    }
+}
+
+/// Which management domain a server currently belongs to, from the training
+/// scheduler's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// A dedicated training server (V100 in the paper's environment).
+    Training,
+    /// An inference server currently loaned to the training cluster.
+    OnLoan,
+}
+
+/// Sub-group of an on-loan server used by §5.3's placement rule: elastic
+/// jobs' base and flexible demands go to *separate* groups of inference
+/// servers so reclaiming can release the flexible group first without any
+/// preemption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ServerGroup {
+    /// No group assigned yet (empty server) or a training server.
+    #[default]
+    Unassigned,
+    /// Hosts base-demand workers (preempting these kills jobs).
+    Base,
+    /// Hosts flexible workers only (vacating these merely scales jobs in).
+    Flexible,
+}
+
+/// A server as seen by the scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerView {
+    /// Server identity.
+    pub id: ServerId,
+    /// Current pool.
+    pub pool: PoolKind,
+    /// Installed GPU model.
+    pub gpu_type: GpuType,
+    /// Total GPUs on the server (8 in the paper's clusters).
+    pub total_gpus: u32,
+    /// GPUs not allocated to any worker.
+    pub free_gpus: u32,
+    /// Base/flexible grouping for on-loan servers.
+    pub group: ServerGroup,
+}
+
+impl ServerView {
+    /// Convenience constructor for a fully idle server.
+    pub fn idle(id: u32, pool: PoolKind, gpu_type: GpuType, total_gpus: u32) -> Self {
+        ServerView {
+            id: ServerId(id),
+            pool,
+            gpu_type,
+            total_gpus,
+            free_gpus: total_gpus,
+            group: ServerGroup::Unassigned,
+        }
+    }
+
+    /// GPUs currently in use.
+    pub fn used_gpus(&self) -> u32 {
+        self.total_gpus - self.free_gpus
+    }
+
+    /// Whether no worker occupies this server.
+    pub fn is_empty(&self) -> bool {
+        self.free_gpus == self.total_gpus
+    }
+}
+
+/// A queued job waiting for resources.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PendingJobView {
+    /// The job's submitted specification.
+    pub spec: JobSpec,
+    /// The profiler's running-time estimate in seconds at base demand
+    /// (§5.2 relies on predicted running times; §7.4 Table 9 injects error
+    /// here).
+    pub est_running_time_s: f64,
+    /// Remaining work in reference worker-seconds (less than
+    /// `spec.work()` after a checkpointed preemption).
+    pub work_left: f64,
+    /// How many times this job has been preempted so far.
+    pub preemptions: u32,
+}
+
+impl PendingJobView {
+    /// Builds a view for a freshly submitted job with a perfect estimate.
+    pub fn fresh(spec: JobSpec) -> Self {
+        let est = spec.base_running_time();
+        let work = spec.work();
+        PendingJobView {
+            spec,
+            est_running_time_s: est,
+            work_left: work,
+            preemptions: 0,
+        }
+    }
+}
+
+/// A running job, as relevant to elastic resizing decisions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunningJobView {
+    /// The job's specification.
+    pub spec: JobSpec,
+    /// Workers currently allocated.
+    pub workers: u32,
+    /// Remaining work in reference worker-seconds.
+    pub work_left: f64,
+    /// Workers per server, `(server, worker count)`, base and flexible
+    /// combined.
+    pub placement: Vec<(ServerId, u32)>,
+    /// How many of `workers` are flexible (beyond base demand).
+    pub flexible_workers: u32,
+    /// Where the flexible workers sit, `(server, worker count)`; a subset
+    /// of `placement`. Policies use this to build scale-in removals.
+    pub flex_placement: Vec<(ServerId, u32)>,
+}
+
+impl RunningJobView {
+    /// Workers that belong to the base demand.
+    pub fn base_workers(&self) -> u32 {
+        self.workers - self.flexible_workers
+    }
+}
+
+/// Everything a policy sees at one scheduling epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Snapshot {
+    /// Simulation/wall time in seconds.
+    pub time_s: f64,
+    /// All servers currently under the training scheduler's whitelist.
+    pub servers: Vec<ServerView>,
+    /// Jobs waiting in the queue, in submission order.
+    pub pending: Vec<PendingJobView>,
+    /// Jobs currently running.
+    pub running: Vec<RunningJobView>,
+}
+
+impl Snapshot {
+    /// Total free GPUs across all servers.
+    pub fn free_gpus(&self) -> u32 {
+        self.servers.iter().map(|s| s.free_gpus).sum()
+    }
+
+    /// Total free GPUs in V100-equivalents, normalising on-loan GPUs
+    /// (§5.2).
+    pub fn normalized_free_gpus(&self) -> f64 {
+        self.servers
+            .iter()
+            .map(|s| f64::from(s.free_gpus) * s.gpu_type.capability())
+            .sum()
+    }
+
+    /// Free GPUs restricted to one pool.
+    pub fn free_gpus_in(&self, pool: PoolKind) -> u32 {
+        self.servers
+            .iter()
+            .filter(|s| s.pool == pool)
+            .map(|s| s.free_gpus)
+            .sum()
+    }
+}
+
+/// A worker-to-server assignment: `(server, number of workers placed
+/// there)`.
+pub type Assignment = Vec<(ServerId, u32)>;
+
+/// A decision returned by a scheduling policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Start a pending job with `workers` workers placed as given.
+    Launch {
+        /// Which job to start.
+        job: JobId,
+        /// Initial worker count (base demand + any flexible share).
+        workers: u32,
+        /// Placement of those workers.
+        placement: Assignment,
+    },
+    /// Grow a running elastic job by `extra` workers.
+    ScaleOut {
+        /// Which job to grow.
+        job: JobId,
+        /// Additional workers.
+        extra: u32,
+        /// Placement of the additional workers.
+        placement: Assignment,
+    },
+    /// Shrink a running elastic job, removing the listed workers.
+    ScaleIn {
+        /// Which job to shrink.
+        job: JobId,
+        /// Workers to remove per server.
+        removal: Assignment,
+    },
+}
+
+impl Action {
+    /// The job this action applies to.
+    pub fn job(&self) -> JobId {
+        match self {
+            Action::Launch { job, .. }
+            | Action::ScaleOut { job, .. }
+            | Action::ScaleIn { job, .. } => *job,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> Snapshot {
+        Snapshot {
+            time_s: 0.0,
+            servers: vec![
+                ServerView {
+                    free_gpus: 3,
+                    ..ServerView::idle(0, PoolKind::Training, GpuType::V100, 8)
+                },
+                ServerView::idle(1, PoolKind::OnLoan, GpuType::T4, 8),
+            ],
+            pending: vec![],
+            running: vec![],
+        }
+    }
+
+    #[test]
+    fn free_gpu_accounting() {
+        let s = snap();
+        assert_eq!(s.free_gpus(), 11);
+        assert_eq!(s.free_gpus_in(PoolKind::Training), 3);
+        assert_eq!(s.free_gpus_in(PoolKind::OnLoan), 8);
+        // 3 + 8/3 V100-equivalents.
+        assert!((s.normalized_free_gpus() - (3.0 + 8.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn server_view_helpers() {
+        let s = &snap().servers[0];
+        assert_eq!(s.used_gpus(), 5);
+        assert!(!s.is_empty());
+        assert!(snap().servers[1].is_empty());
+    }
+
+    #[test]
+    fn pending_view_fresh_uses_base_running_time() {
+        let spec = JobSpec::elastic(1, 0.0, 2, 6, 1, 20.0);
+        let v = PendingJobView::fresh(spec.clone());
+        assert!((v.est_running_time_s - 60.0).abs() < 1e-9);
+        assert!((v.work_left - spec.work()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_view_base_workers() {
+        let v = RunningJobView {
+            spec: JobSpec::elastic(1, 0.0, 2, 6, 1, 20.0),
+            workers: 5,
+            work_left: 10.0,
+            placement: vec![(ServerId(0), 5)],
+            flexible_workers: 3,
+            flex_placement: vec![(ServerId(0), 3)],
+        };
+        assert_eq!(v.base_workers(), 2);
+    }
+
+    #[test]
+    fn action_job_accessor() {
+        let a = Action::Launch {
+            job: JobId(7),
+            workers: 2,
+            placement: vec![(ServerId(0), 2)],
+        };
+        assert_eq!(a.job(), JobId(7));
+        let b = Action::ScaleIn {
+            job: JobId(9),
+            removal: vec![],
+        };
+        assert_eq!(b.job(), JobId(9));
+    }
+}

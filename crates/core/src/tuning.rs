@@ -1,0 +1,218 @@
+//! Goodput modelling and the hyperparameter-tuning job agent (§7.4).
+//!
+//! Pollux schedules by *goodput* — system throughput times statistical
+//! efficiency — and co-tunes the batch size and learning rate as the
+//! allocation changes. The paper adapts that agent into **Lyra+TunedJobs**:
+//! Lyra's scheduler plus per-job batch-size/learning-rate tuning within the
+//! scaling range.
+//!
+//! The model here follows the structure of Pollux (OSDI '21) and the
+//! gradient-noise-scale analysis it builds on:
+//!
+//! * **System throughput** with `w` workers and local batch `b`:
+//!   `T(w, b) = s(w) · t(b)` where `s` is the job's scaling curve and
+//!   `t(b) = b / (b + c)` captures the per-step fixed overhead `c` that a
+//!   larger batch amortises.
+//! * **Statistical efficiency** of global batch `M = w·b`:
+//!   `E(M) = (M₀ + φ) / (M + φ)` — the classic noise-scale result that
+//!   training on batch `M` needs `(M + φ)/(M₀ + φ)` times the samples of
+//!   the reference batch `M₀`. The efficiency scale `φ` decays as the
+//!   loss plateaus, so large allocations lose efficiency late in training
+//!   — which is what makes Pollux shrink big jobs near the end (§7.4's
+//!   observation).
+//! * **Goodput** `G(w, b) = T(w, b) · E(w·b)`; the agent picks the local
+//!   batch `b* = argmax G` after every allocation change (Adascale keeps
+//!   the learning rate consistent, which the model treats as free).
+
+use serde::{Deserialize, Serialize};
+
+/// Goodput model parameters of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GoodputModel {
+    /// Local batch size the job was submitted with.
+    pub base_local_batch: u32,
+    /// Smallest local batch the model converges with.
+    pub min_local_batch: u32,
+    /// Largest local batch that fits in GPU memory.
+    pub max_local_batch: u32,
+    /// Per-step fixed overhead, in samples (larger ⇒ bigger batches pay
+    /// off more).
+    pub step_overhead: f64,
+    /// Efficiency scale at the start of training.
+    pub phi0: f64,
+    /// Decay of the efficiency scale over training:
+    /// `φ(p) = φ₀ / (1 + decay · p)` at progress `p ∈ [0, 1]`. A smaller
+    /// `φ` makes large batches *less* efficient, so a job's marginal
+    /// goodput falls toward the end of training — the mechanism behind
+    /// Pollux shrinking large-and-long jobs near completion (§7.4).
+    pub phi_decay: f64,
+    /// Reference worker count (the job's base demand), fixing `M₀`.
+    pub ref_workers: u32,
+}
+
+impl GoodputModel {
+    /// A reasonable default for the large elastic models of §2.2.
+    pub fn typical(ref_workers: u32) -> Self {
+        GoodputModel {
+            base_local_batch: 32,
+            min_local_batch: 8,
+            max_local_batch: 128,
+            step_overhead: 16.0,
+            phi0: 512.0,
+            phi_decay: 8.0,
+            ref_workers: ref_workers.max(1),
+        }
+    }
+
+    /// Efficiency scale at training progress `p ∈ [0, 1]`.
+    pub fn phi(&self, progress: f64) -> f64 {
+        self.phi0 / (1.0 + self.phi_decay * progress.clamp(0.0, 1.0))
+    }
+
+    /// Reference global batch size `M₀`.
+    pub fn m0(&self) -> f64 {
+        f64::from(self.ref_workers) * f64::from(self.base_local_batch)
+    }
+
+    /// Per-worker throughput factor of local batch `b`, normalised to the
+    /// base batch (`t(b)/t(b₀)`; 1.0 at `b = b₀`).
+    pub fn batch_throughput(&self, local_batch: u32) -> f64 {
+        let t = |b: f64| b / (b + self.step_overhead);
+        t(f64::from(local_batch)) / t(f64::from(self.base_local_batch))
+    }
+
+    /// Statistical efficiency of global batch `m` at progress `p`:
+    /// `(M₀ + φ)/(m + φ)`, clamped to 1 for sub-reference batches.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lyra_core::tuning::GoodputModel;
+    /// let g = GoodputModel::typical(2);
+    /// assert_eq!(g.efficiency(g.m0(), 0.0), 1.0);
+    /// assert!(g.efficiency(4.0 * g.m0(), 0.0) < 1.0);
+    /// ```
+    pub fn efficiency(&self, global_batch: f64, progress: f64) -> f64 {
+        let phi = self.phi(progress);
+        ((self.m0() + phi) / (global_batch + phi)).min(1.0)
+    }
+
+    /// Goodput with `w` workers at aggregate speedup `speedup` (from the
+    /// job's [`crate::ScalingCurve`]) and local batch `b`, at progress `p`.
+    ///
+    /// Units: reference-worker equivalents of *useful* work per second.
+    pub fn goodput(&self, speedup: f64, workers: u32, local_batch: u32, progress: f64) -> f64 {
+        let m = f64::from(workers) * f64::from(local_batch);
+        speedup * self.batch_throughput(local_batch) * self.efficiency(m, progress)
+    }
+
+    /// The batch size the tuning agent picks for `w` workers at progress
+    /// `p`, and the goodput it achieves.
+    pub fn best_batch(&self, speedup: f64, workers: u32, progress: f64) -> (u32, f64) {
+        let mut best = (self.base_local_batch, 0.0_f64);
+        let mut b = self.min_local_batch.max(1);
+        while b <= self.max_local_batch {
+            let g = self.goodput(speedup, workers, b, progress);
+            if g > best.1 {
+                best = (b, g);
+            }
+            b *= 2;
+        }
+        best
+    }
+
+    /// Multiplicative gain of tuning over the untuned fixed-batch run at
+    /// the same allocation (≥ 1 up to floating error).
+    ///
+    /// This is the factor Lyra+TunedJobs applies to a job's service rate.
+    pub fn tuned_gain(&self, speedup: f64, workers: u32, progress: f64) -> f64 {
+        let untuned = self.goodput(speedup, workers, self.base_local_batch, progress);
+        if untuned <= 0.0 {
+            return 1.0;
+        }
+        let (_, tuned) = self.best_batch(speedup, workers, progress);
+        (tuned / untuned).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_is_one_at_reference_batch() {
+        let g = GoodputModel::typical(4);
+        assert!((g.efficiency(g.m0(), 0.0) - 1.0).abs() < 1e-12);
+        assert!(g.efficiency(g.m0() / 2.0, 0.0) <= 1.0);
+    }
+
+    #[test]
+    fn efficiency_decreases_with_batch() {
+        let g = GoodputModel::typical(2);
+        let e1 = g.efficiency(g.m0(), 0.0);
+        let e2 = g.efficiency(2.0 * g.m0(), 0.0);
+        let e4 = g.efficiency(4.0 * g.m0(), 0.0);
+        assert!(e1 > e2 && e2 > e4);
+    }
+
+    #[test]
+    fn large_batch_efficiency_decays_with_progress() {
+        let g = GoodputModel::typical(2);
+        assert!(g.phi(1.0) < g.phi(0.0));
+        // Late in training, scaling out pays off less: the marginal
+        // goodput of a big allocation shrinks, so a goodput scheduler
+        // reallocates toward fresh jobs (§7.4's Pollux observation).
+        let early = g.goodput(8.0, 8, 32, 0.0);
+        let late = g.goodput(8.0, 8, 32, 1.0);
+        assert!(late < early);
+        // The base allocation suffers less than the large one.
+        let early_base = g.goodput(2.0, 2, 32, 0.0);
+        let late_base = g.goodput(2.0, 2, 32, 1.0);
+        assert!((late / early) < (late_base / early_base) + 1e-12);
+    }
+
+    #[test]
+    fn batch_throughput_normalised_at_base() {
+        let g = GoodputModel::typical(2);
+        assert!((g.batch_throughput(g.base_local_batch) - 1.0).abs() < 1e-12);
+        assert!(g.batch_throughput(2 * g.base_local_batch) > 1.0);
+        assert!(g.batch_throughput(g.base_local_batch / 2) < 1.0);
+    }
+
+    #[test]
+    fn tuned_gain_is_at_least_one() {
+        let g = GoodputModel::typical(2);
+        for w in [1u32, 2, 4, 8, 16] {
+            for p in [0.0, 0.3, 0.9] {
+                let gain = g.tuned_gain(f64::from(w), w, p);
+                assert!(gain >= 1.0, "gain {gain} < 1 at w={w} p={p}");
+                assert!(gain < 4.0, "gain {gain} implausibly large");
+            }
+        }
+    }
+
+    #[test]
+    fn best_batch_respects_memory_bound() {
+        let g = GoodputModel::typical(2);
+        for w in [1u32, 4, 32] {
+            let (b, _) = g.best_batch(f64::from(w), w, 0.0);
+            assert!(b >= g.min_local_batch && b <= g.max_local_batch);
+        }
+    }
+
+    #[test]
+    fn more_workers_more_goodput_but_sublinear() {
+        let g = GoodputModel::typical(2);
+        let g2 = g.goodput(2.0, 2, 32, 0.0);
+        let g4 = g.goodput(4.0, 4, 32, 0.0);
+        let g8 = g.goodput(8.0, 8, 32, 0.0);
+        assert!(g4 > g2 && g8 > g4, "goodput increases");
+        assert!(g8 / g2 < 4.0, "but sublinearly (efficiency loss)");
+    }
+
+    #[test]
+    fn goodput_zero_workers_is_zero() {
+        let g = GoodputModel::typical(2);
+        assert_eq!(g.goodput(0.0, 0, 32, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Property-based tests over the core scheduling algorithms: invariants
+//! that must hold for *any* workload, not just the paper's examples.
+
+use lyra_core::placement::{place_workers, PlacementConfig, PlacementRequest, WorkerRole};
+use lyra_core::reclaim::{
+    reclaim_exhaustive_optimal, reclaim_random, reclaim_scf, reclaim_servers, CostModel,
+    JobFootprint, ReclaimRequest, ReclaimServerView,
+};
+use lyra_core::snapshot::{PendingJobView, PoolKind, ServerGroup, ServerView, Snapshot};
+use lyra_core::{two_phase_allocate, AllocationConfig, GpuType, JobId, JobSpec, ServerId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+
+// ---------- generators ----------
+
+fn arb_servers() -> impl Strategy<Value = Vec<ServerView>> {
+    prop::collection::vec((0u32..=8, prop::bool::ANY), 1..12).prop_map(|cfg| {
+        cfg.into_iter()
+            .enumerate()
+            .map(|(i, (free, loaned))| {
+                let pool = if loaned {
+                    PoolKind::OnLoan
+                } else {
+                    PoolKind::Training
+                };
+                let gpu = if loaned { GpuType::T4 } else { GpuType::V100 };
+                let mut s = ServerView::idle(i as u32, pool, gpu, 8);
+                s.free_gpus = free;
+                s
+            })
+            .collect()
+    })
+}
+
+fn arb_requests() -> impl Strategy<Value = Vec<PlacementRequest>> {
+    prop::collection::vec((1u32..=6, 1u32..=4, 0u8..3, prop::bool::ANY), 0..8).prop_map(|reqs| {
+        reqs.into_iter()
+            .enumerate()
+            .map(|(i, (workers, gpw, role, fungible))| PlacementRequest {
+                job: JobId(i as u64),
+                workers,
+                gpus_per_worker: gpw,
+                role: match role {
+                    0 => WorkerRole::Inelastic,
+                    1 => WorkerRole::ElasticBase,
+                    _ => WorkerRole::ElasticFlexible,
+                },
+                fungible,
+                hetero: false,
+            })
+            .collect()
+    })
+}
+
+fn arb_jobs() -> impl Strategy<Value = Vec<JobSpec>> {
+    prop::collection::vec(
+        (1u32..=4, 1u32..=3, prop::bool::ANY, 10.0f64..5000.0),
+        0..10,
+    )
+    .prop_map(|jobs| {
+        jobs.into_iter()
+            .enumerate()
+            .map(|(i, (w, gpw, elastic, rt))| {
+                if elastic {
+                    JobSpec::elastic(i as u64, 0.0, w, w * 2, gpw, rt)
+                } else {
+                    JobSpec::inelastic(i as u64, 0.0, w, gpw, rt)
+                }
+            })
+            .collect()
+    })
+}
+
+// ---------- placement invariants ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn placement_never_oversubscribes(
+        servers in arb_servers(),
+        requests in arb_requests(),
+    ) {
+        let mut scratch = servers.clone();
+        let out = place_workers(&mut scratch, &requests, PlacementConfig::default());
+        // Free GPUs stay within bounds.
+        for s in &scratch {
+            prop_assert!(s.free_gpus <= s.total_gpus);
+        }
+        // Accounting closes: GPUs consumed == placed workers × demand.
+        let consumed: u32 = servers
+            .iter()
+            .zip(&scratch)
+            .map(|(before, after)| before.free_gpus - after.free_gpus)
+            .sum();
+        let placed: u32 = out
+            .placed
+            .iter()
+            .map(|(job, _, a)| {
+                let gpw = requests.iter().find(|r| r.job == *job).unwrap().gpus_per_worker;
+                a.iter().map(|(_, w)| w * gpw).sum::<u32>()
+            })
+            .sum();
+        prop_assert_eq!(consumed, placed);
+    }
+
+    #[test]
+    fn placement_gangs_are_atomic(
+        servers in arb_servers(),
+        requests in arb_requests(),
+    ) {
+        let mut scratch = servers.clone();
+        let out = place_workers(&mut scratch, &requests, PlacementConfig::default());
+        for req in &requests {
+            let gang = matches!(req.role, WorkerRole::Inelastic | WorkerRole::ElasticBase);
+            let placed = out.workers_placed(req.job);
+            if gang {
+                // The same (job, role) may appear once placed or failed,
+                // never partially.
+                let this_role: u32 = out
+                    .placed
+                    .iter()
+                    .filter(|(j, r, _)| *j == req.job && *r == req.role)
+                    .map(|(_, _, a)| a.iter().map(|(_, w)| w).sum::<u32>())
+                    .sum();
+                prop_assert!(this_role == 0 || this_role == req.workers);
+            } else {
+                prop_assert!(placed <= requests.iter().filter(|r| r.job == req.job).map(|r| r.workers).sum::<u32>());
+            }
+        }
+    }
+
+    #[test]
+    fn placement_respects_pools_and_groups(
+        servers in arb_servers(),
+        requests in arb_requests(),
+    ) {
+        let mut scratch = servers.clone();
+        let out = place_workers(&mut scratch, &requests, PlacementConfig::default());
+        let by_id: HashMap<ServerId, &ServerView> =
+            scratch.iter().map(|s| (s.id, s)).collect();
+        for (job, role, assignment) in &out.placed {
+            let req = requests.iter().find(|r| r.job == *job).unwrap();
+            for (sid, _) in assignment {
+                let server = by_id[sid];
+                // Non-fungible, non-hetero jobs never land on loaned GPUs.
+                if !req.fungible && !req.hetero {
+                    prop_assert_eq!(server.pool, PoolKind::Training);
+                }
+                // Group separation on on-loan servers.
+                if server.pool == PoolKind::OnLoan {
+                    match role {
+                        WorkerRole::ElasticFlexible => {
+                            prop_assert_eq!(server.group, ServerGroup::Flexible)
+                        }
+                        _ => prop_assert_eq!(server.group, ServerGroup::Base),
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------- allocation invariants ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn allocation_never_exceeds_capacity(
+        jobs in arb_jobs(),
+        free in 0u32..64,
+    ) {
+        let servers = vec![{
+            let mut s = ServerView::idle(0, PoolKind::Training, GpuType::V100, 64);
+            s.free_gpus = free;
+            s
+        }];
+        let snapshot = Snapshot {
+            time_s: 0.0,
+            servers,
+            pending: jobs.iter().cloned().map(PendingJobView::fresh).collect(),
+            running: vec![],
+        };
+        let out = two_phase_allocate(&snapshot, AllocationConfig::default());
+        let used: u32 = out
+            .launches
+            .iter()
+            .map(|(id, w)| {
+                let spec = jobs.iter().find(|j| j.id == *id).unwrap();
+                w * spec.gpus_per_worker
+            })
+            .sum();
+        prop_assert!(used <= free, "allocated {used} of {free} GPUs");
+        // Every launch within the job's range; skipped + launched = all.
+        for (id, w) in &out.launches {
+            let spec = jobs.iter().find(|j| j.id == *id).unwrap();
+            prop_assert!(*w >= spec.w_min() && *w <= spec.w_max());
+        }
+        prop_assert_eq!(out.launches.len() + out.skipped.len(), jobs.len());
+    }
+
+    #[test]
+    fn greedy_phase2_never_beats_mckp(
+        jobs in arb_jobs(),
+        free in 0u32..64,
+    ) {
+        use lyra_core::allocation::{Phase1Order, Phase2Solver};
+        let servers = vec![{
+            let mut s = ServerView::idle(0, PoolKind::Training, GpuType::V100, 64);
+            s.free_gpus = free;
+            s
+        }];
+        let snapshot = Snapshot {
+            time_s: 0.0,
+            servers,
+            pending: jobs.iter().cloned().map(PendingJobView::fresh).collect(),
+            running: vec![],
+        };
+        let total_value = |config: AllocationConfig| -> f64 {
+            let out = two_phase_allocate(&snapshot, config);
+            out.launches
+                .iter()
+                .map(|(id, w)| {
+                    let spec = jobs.iter().find(|j| j.id == *id).unwrap();
+                    spec.base_running_time() - spec.running_time(*w)
+                })
+                .sum()
+        };
+        let mckp = total_value(AllocationConfig::default());
+        let greedy = total_value(AllocationConfig {
+            elastic_phase: true,
+            normalize_capacity: false,
+            phase1: Phase1Order::Sjf,
+            phase2: Phase2Solver::Greedy,
+        });
+        prop_assert!(greedy <= mckp + 1e-6, "greedy {greedy} > mckp {mckp}");
+    }
+}
+
+// ---------- reclaiming invariants ----------
+
+fn arb_reclaim() -> impl Strategy<Value = ReclaimRequest> {
+    (2usize..8, 1usize..8, 1usize..5, any::<u64>()).prop_map(|(n_servers, n_jobs, need, seed)| {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut servers: Vec<ReclaimServerView> = (0..n_servers)
+            .map(|i| ReclaimServerView {
+                id: ServerId(i as u32),
+                total_gpus: 8,
+                jobs: vec![],
+            })
+            .collect();
+        let mut jobs = Vec::new();
+        for j in 0..n_jobs {
+            let span = rng.gen_range(1..=2usize).min(n_servers);
+            let mut placed = 0;
+            let mut hosts = HashSet::new();
+            while hosts.len() < span {
+                hosts.insert(rng.gen_range(0..n_servers));
+            }
+            for &h in &hosts {
+                let used: u32 = servers[h].jobs.iter().map(|(_, g)| g).sum();
+                if used >= 8 {
+                    continue;
+                }
+                let g = rng.gen_range(1..=(8 - used).min(4));
+                servers[h].jobs.push((JobId(j as u64), g));
+                placed += g;
+            }
+            if placed > 0 {
+                let hosts_used = servers
+                    .iter()
+                    .filter(|s| s.jobs.iter().any(|(id, _)| id.0 == j as u64))
+                    .count() as u32;
+                jobs.push(JobFootprint {
+                    id: JobId(j as u64),
+                    total_servers: hosts_used,
+                    total_gpus: placed,
+                });
+            }
+        }
+        ReclaimRequest {
+            servers,
+            jobs,
+            need: need.min(n_servers),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn reclaim_meets_demand_or_reports_shortfall(request in arb_reclaim()) {
+        request.validate().unwrap();
+        for outcome in [
+            reclaim_servers(&request, CostModel::ServerFraction),
+            reclaim_servers(&request, CostModel::GpuFraction),
+            reclaim_scf(&request),
+            reclaim_random(&request, &mut StdRng::seed_from_u64(1)),
+        ] {
+            prop_assert_eq!(
+                outcome.returned.len() + outcome.shortfall,
+                request.need,
+                "returned + shortfall == demand"
+            );
+            // Returned servers are distinct candidates.
+            let set: HashSet<ServerId> = outcome.returned.iter().copied().collect();
+            prop_assert_eq!(set.len(), outcome.returned.len());
+            for sid in &outcome.returned {
+                prop_assert!(request.servers.iter().any(|s| s.id == *sid));
+            }
+            // Every returned server's jobs are all preempted.
+            let dead: HashSet<JobId> = outcome.preempted.iter().copied().collect();
+            for sid in &outcome.returned {
+                let server = request.servers.iter().find(|s| s.id == *sid).unwrap();
+                for (job, _) in &server.jobs {
+                    prop_assert!(dead.contains(job), "{job} survives on returned {sid}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heuristics_never_beat_the_optimum(request in arb_reclaim()) {
+        let lyra = reclaim_servers(&request, CostModel::ServerFraction);
+        if lyra.shortfall > 0 {
+            return Ok(());
+        }
+        let Some(optimal) = reclaim_exhaustive_optimal(&request) else {
+            return Ok(());
+        };
+        prop_assert!(lyra.preempted.len() >= optimal.preempted.len());
+        let scf = reclaim_scf(&request);
+        prop_assert!(scf.preempted.len() >= optimal.preempted.len());
+    }
+}

@@ -1,0 +1,139 @@
+//! Local-batch-size adjustment for cross-GPU fungibility (§2.1).
+//!
+//! A fungible job sized for V100s (32 GB) cannot hold its local batch on a
+//! T4 (16 GB). The paper's recipe: shrink the local batch to fit, and add
+//! workers so the *global* batch size — and hence model quality — is
+//! unchanged. "This is straightforward since we know the GPU memory
+//! differences."
+
+use lyra_core::gpu::GpuType;
+use serde::{Deserialize, Serialize};
+
+/// The adjusted execution plan of a job moved to a different GPU type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchPlan {
+    /// GPU type the plan targets.
+    pub gpu: GpuType,
+    /// Workers after adjustment.
+    pub workers: u32,
+    /// Local batch size per worker after adjustment.
+    pub local_batch: u32,
+    /// Global batch size (invariant across plans of the same job).
+    pub global_batch: u32,
+}
+
+/// Errors from batch planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchError {
+    /// The local batch cannot shrink enough to preserve the global batch
+    /// with integral workers.
+    Indivisible {
+        /// The global batch that could not be factored.
+        global_batch: u32,
+    },
+    /// Zero workers or zero batch requested.
+    Degenerate,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::Indivisible { global_batch } => {
+                write!(
+                    f,
+                    "global batch {global_batch} not divisible for target GPU"
+                )
+            }
+            BatchError::Degenerate => write!(f, "workers and batch must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Adjusts a `(workers, local_batch)` plan sized for `reference` onto
+/// `target`, preserving the global batch size.
+///
+/// The local batch shrinks by the memory ratio (the worker multiplier) and
+/// the worker count grows by the same factor, so
+/// `workers · local_batch` is invariant.
+///
+/// # Examples
+///
+/// ```
+/// use lyra_core::gpu::GpuType;
+/// use lyra_elastic::adjust_batch;
+/// // 4 V100 workers at local batch 64 → 8 T4 workers at local batch 32.
+/// let plan = adjust_batch(4, 64, GpuType::V100, GpuType::T4).unwrap();
+/// assert_eq!(plan.workers, 8);
+/// assert_eq!(plan.local_batch, 32);
+/// assert_eq!(plan.global_batch, 256);
+/// ```
+pub fn adjust_batch(
+    workers: u32,
+    local_batch: u32,
+    reference: GpuType,
+    target: GpuType,
+) -> Result<BatchPlan, BatchError> {
+    if workers == 0 || local_batch == 0 {
+        return Err(BatchError::Degenerate);
+    }
+    let global_batch = workers * local_batch;
+    let mult = target.worker_multiplier(reference);
+    if !local_batch.is_multiple_of(mult) {
+        return Err(BatchError::Indivisible { global_batch });
+    }
+    Ok(BatchPlan {
+        gpu: target,
+        workers: workers * mult,
+        local_batch: local_batch / mult,
+        global_batch,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_gpu_is_identity() {
+        let plan = adjust_batch(4, 32, GpuType::V100, GpuType::V100).unwrap();
+        assert_eq!(plan.workers, 4);
+        assert_eq!(plan.local_batch, 32);
+    }
+
+    #[test]
+    fn global_batch_is_invariant() {
+        for (w, b) in [(1u32, 64u32), (2, 32), (8, 128)] {
+            let plan = adjust_batch(w, b, GpuType::V100, GpuType::T4).unwrap();
+            assert_eq!(plan.global_batch, w * b);
+            assert_eq!(plan.workers * plan.local_batch, w * b);
+        }
+    }
+
+    #[test]
+    fn upsizing_gpu_keeps_workers() {
+        // Moving to a *larger* GPU never multiplies workers.
+        let plan = adjust_batch(8, 16, GpuType::T4, GpuType::V100).unwrap();
+        assert_eq!(plan.workers, 8);
+        assert_eq!(plan.local_batch, 16);
+    }
+
+    #[test]
+    fn odd_batch_is_rejected() {
+        let err = adjust_batch(2, 33, GpuType::V100, GpuType::T4).unwrap_err();
+        assert_eq!(err, BatchError::Indivisible { global_batch: 66 });
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert_eq!(
+            adjust_batch(0, 32, GpuType::V100, GpuType::T4),
+            Err(BatchError::Degenerate)
+        );
+        assert_eq!(
+            adjust_batch(4, 0, GpuType::V100, GpuType::T4),
+            Err(BatchError::Degenerate)
+        );
+    }
+}

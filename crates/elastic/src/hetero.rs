@@ -1,0 +1,130 @@
+//! Heterogeneous-GPU training (§2.1, §7.2).
+//!
+//! A small fraction of jobs can run on V100 and T4 GPUs *simultaneously*.
+//! Workers on different devices progress at different paces, so delicate
+//! batch balancing is needed and, per the paper's measurements (and prior
+//! work it cites), "heterogeneous training jobs only achieve at most 70 %
+//! of the ideal results". The model: aggregate capability-weighted rate
+//! scaled by the penalty whenever the device set is actually mixed.
+
+use lyra_core::gpu::GpuType;
+use serde::{Deserialize, Serialize};
+
+/// The default fraction of ideal throughput a mixed-device run achieves.
+pub const DEFAULT_HETERO_EFFICIENCY: f64 = 0.70;
+
+/// One homogeneous slice of a heterogeneous worker set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeteroGroup {
+    /// Device type of this slice.
+    pub gpu: GpuType,
+    /// Workers running on it.
+    pub workers: u32,
+}
+
+/// Aggregate service rate (reference-worker equivalents per second) of a
+/// possibly-mixed worker set.
+///
+/// Homogeneous sets pay no penalty; mixed sets are scaled by
+/// `efficiency` (≤ 1, the paper's 0.70 by default).
+///
+/// # Examples
+///
+/// ```
+/// use lyra_core::gpu::GpuType;
+/// use lyra_elastic::{hetero_rate, HeteroGroup};
+/// let mixed = [
+///     HeteroGroup { gpu: GpuType::V100, workers: 2 },
+///     HeteroGroup { gpu: GpuType::T4, workers: 3 },
+/// ];
+/// let ideal = 2.0 + 3.0 / 3.0; // capability-weighted
+/// assert!((hetero_rate(&mixed, 0.7) - 0.7 * ideal).abs() < 1e-9);
+/// ```
+pub fn hetero_rate(groups: &[HeteroGroup], efficiency: f64) -> f64 {
+    let ideal: f64 = groups
+        .iter()
+        .map(|g| f64::from(g.workers) * g.gpu.capability())
+        .sum();
+    let kinds = groups
+        .iter()
+        .filter(|g| g.workers > 0)
+        .map(|g| g.gpu)
+        .collect::<std::collections::HashSet<_>>()
+        .len();
+    if kinds > 1 {
+        ideal * efficiency.clamp(0.0, 1.0)
+    } else {
+        ideal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_sets_pay_no_penalty() {
+        let v100 = [HeteroGroup {
+            gpu: GpuType::V100,
+            workers: 4,
+        }];
+        assert_eq!(hetero_rate(&v100, 0.7), 4.0);
+        let t4 = [HeteroGroup {
+            gpu: GpuType::T4,
+            workers: 3,
+        }];
+        assert!((hetero_rate(&t4, 0.7) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_sets_pay_the_penalty() {
+        let mixed = [
+            HeteroGroup {
+                gpu: GpuType::V100,
+                workers: 4,
+            },
+            HeteroGroup {
+                gpu: GpuType::T4,
+                workers: 6,
+            },
+        ];
+        let ideal = 4.0 + 2.0;
+        assert!((hetero_rate(&mixed, DEFAULT_HETERO_EFFICIENCY) - 0.7 * ideal).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_groups_do_not_trigger_penalty() {
+        let groups = [
+            HeteroGroup {
+                gpu: GpuType::V100,
+                workers: 4,
+            },
+            HeteroGroup {
+                gpu: GpuType::T4,
+                workers: 0,
+            },
+        ];
+        assert_eq!(hetero_rate(&groups, 0.7), 4.0);
+    }
+
+    #[test]
+    fn efficiency_is_clamped() {
+        let mixed = [
+            HeteroGroup {
+                gpu: GpuType::V100,
+                workers: 1,
+            },
+            HeteroGroup {
+                gpu: GpuType::T4,
+                workers: 3,
+            },
+        ];
+        assert_eq!(hetero_rate(&mixed, 2.0), 2.0); // clamped to 1.0
+        assert_eq!(hetero_rate(&mixed, -1.0), 0.0);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(hetero_rate(&[], 0.7), 0.0);
+    }
+}

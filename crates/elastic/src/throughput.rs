@@ -1,0 +1,234 @@
+//! Throughput scaling of the elastic model families (Figure 3).
+//!
+//! The paper profiles four models on 8-GPU V100 servers (NVLink within a
+//! server, 100G InfiniBand across), doubling the number of 2-GPU workers
+//! every five epochs from one worker, and finds all four scale well enough
+//! for elastic scheduling. This module provides per-family profiles:
+//! single-worker throughput in samples/second and an efficiency knee that
+//! captures the mild communication overhead as workers span servers.
+//!
+//! The exported [`family_curve`] lowers a profile onto a
+//! [`ScalingCurve::Table`] that the scheduler's allocation math consumes,
+//! and [`figure3_series`] regenerates the figure's time series.
+
+use lyra_core::job::{ModelFamily, ScalingCurve};
+use serde::{Deserialize, Serialize};
+
+/// Empirical scaling profile of a model family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Family this profile describes.
+    pub family: ModelFamily,
+    /// Throughput of one 2-GPU worker, samples per second.
+    pub base_throughput: f64,
+    /// Units label for the figure ("img/s" or "sequence/s").
+    pub unit: &'static str,
+    /// Per-doubling efficiency: speedup(2w) = speedup(w) · 2 · eff.
+    pub doubling_efficiency: f64,
+    /// Workers per server before cross-server communication kicks in.
+    pub workers_per_server: u32,
+    /// Extra efficiency factor applied beyond one server.
+    pub cross_server_efficiency: f64,
+}
+
+impl ModelProfile {
+    /// The profile of a family, calibrated to Figure 3's axes: ResNet/VGG
+    /// in 10³ images/s, BERT/GNMT in 10³ sequences/s, all near-linear up
+    /// to 16 workers.
+    pub fn of(family: ModelFamily) -> Self {
+        match family {
+            ModelFamily::ResNet50 => ModelProfile {
+                family,
+                base_throughput: 1500.0,
+                unit: "img/s",
+                doubling_efficiency: 0.98,
+                workers_per_server: 4,
+                cross_server_efficiency: 0.97,
+            },
+            ModelFamily::Vgg16 => ModelProfile {
+                family,
+                base_throughput: 520.0,
+                unit: "img/s",
+                doubling_efficiency: 0.96,
+                workers_per_server: 4,
+                cross_server_efficiency: 0.95,
+            },
+            ModelFamily::Bert => ModelProfile {
+                family,
+                base_throughput: 380.0,
+                unit: "sequence/s",
+                doubling_efficiency: 0.97,
+                workers_per_server: 4,
+                cross_server_efficiency: 0.96,
+            },
+            ModelFamily::Gnmt16 => ModelProfile {
+                family,
+                base_throughput: 900.0,
+                unit: "sequence/s",
+                doubling_efficiency: 0.96,
+                workers_per_server: 4,
+                cross_server_efficiency: 0.95,
+            },
+            ModelFamily::Generic => ModelProfile {
+                family,
+                base_throughput: 100.0,
+                unit: "samples/s",
+                doubling_efficiency: 0.90,
+                workers_per_server: 4,
+                cross_server_efficiency: 0.90,
+            },
+        }
+    }
+
+    /// Aggregate speedup over one worker with `workers` workers.
+    pub fn speedup(&self, workers: u32) -> f64 {
+        if workers == 0 {
+            return 0.0;
+        }
+        let doublings = (f64::from(workers)).log2();
+        let mut s = f64::from(workers) * self.doubling_efficiency.powf(doublings);
+        if workers > self.workers_per_server {
+            let cross = (f64::from(workers) / f64::from(self.workers_per_server))
+                .log2()
+                .max(0.0);
+            s *= self.cross_server_efficiency.powf(cross);
+        }
+        s
+    }
+
+    /// Absolute throughput (samples/s) with `workers` workers.
+    pub fn throughput(&self, workers: u32) -> f64 {
+        self.base_throughput * self.speedup(workers)
+    }
+}
+
+/// Lowers a family profile onto a [`ScalingCurve::Table`] covering
+/// `1..=max_workers` workers.
+///
+/// # Examples
+///
+/// ```
+/// use lyra_core::job::ModelFamily;
+/// use lyra_elastic::family_curve;
+/// let curve = family_curve(ModelFamily::ResNet50, 16);
+/// // Near-linear: 16 workers deliver well over 13× one worker.
+/// assert!(curve.speedup(16) > 13.0);
+/// assert!(curve.speedup(16) <= 16.0);
+/// ```
+pub fn family_curve(family: ModelFamily, max_workers: u32) -> ScalingCurve {
+    let profile = ModelProfile::of(family);
+    ScalingCurve::Table(
+        (1..=max_workers.max(1))
+            .map(|w| profile.speedup(w))
+            .collect(),
+    )
+}
+
+/// One point of Figure 3's time series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Figure3Point {
+    /// Epoch index (x-axis).
+    pub epoch: u32,
+    /// Workers active during this epoch (doubled every five epochs).
+    pub workers: u32,
+    /// Throughput in the family's unit (y-axis).
+    pub throughput: f64,
+}
+
+/// Regenerates one sub-plot of Figure 3: workers double every `stride`
+/// epochs starting from one worker, for `epochs` epochs.
+pub fn figure3_series(family: ModelFamily, epochs: u32, stride: u32) -> Vec<Figure3Point> {
+    let profile = ModelProfile::of(family);
+    (0..epochs)
+        .map(|epoch| {
+            let workers = 1u32 << (epoch / stride.max(1)).min(16);
+            Figure3Point {
+                epoch: epoch + 1,
+                workers,
+                throughput: profile.throughput(workers),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FAMILIES: [ModelFamily; 4] = [
+        ModelFamily::ResNet50,
+        ModelFamily::Vgg16,
+        ModelFamily::Bert,
+        ModelFamily::Gnmt16,
+    ];
+
+    #[test]
+    fn speedup_is_monotone_and_sublinear() {
+        for family in FAMILIES {
+            let p = ModelProfile::of(family);
+            let mut last = 0.0;
+            for w in 1..=32u32 {
+                let s = p.speedup(w);
+                assert!(s > last, "{family:?} speedup not monotone at {w}");
+                assert!(s <= f64::from(w) + 1e-9, "{family:?} superlinear at {w}");
+                last = s;
+            }
+        }
+    }
+
+    #[test]
+    fn figure3_families_scale_well() {
+        // §2.2: these models "enjoy good throughput scalability" — at
+        // 16 workers every family keeps ≥75 % efficiency.
+        for family in FAMILIES {
+            let p = ModelProfile::of(family);
+            let eff = p.speedup(16) / 16.0;
+            assert!(eff > 0.75, "{family:?} efficiency {eff}");
+        }
+    }
+
+    #[test]
+    fn vgg_scales_worst_resnet_best() {
+        // VGG's huge dense layers make it the most communication-bound of
+        // the four (visible in Figure 3's flattening at high worker
+        // counts).
+        let worst = ModelProfile::of(ModelFamily::Vgg16).speedup(16);
+        let best = ModelProfile::of(ModelFamily::ResNet50).speedup(16);
+        assert!(worst < best);
+    }
+
+    #[test]
+    fn figure3_series_doubles_workers_every_stride() {
+        let series = figure3_series(ModelFamily::ResNet50, 30, 5);
+        assert_eq!(series.len(), 30);
+        assert_eq!(series[0].workers, 1);
+        assert_eq!(series[4].workers, 1);
+        assert_eq!(series[5].workers, 2);
+        assert_eq!(series[25].workers, 32);
+        // Throughput jumps at each doubling.
+        assert!(series[5].throughput > series[4].throughput * 1.5);
+    }
+
+    #[test]
+    fn family_curve_matches_profile() {
+        let curve = family_curve(ModelFamily::Bert, 8);
+        let p = ModelProfile::of(ModelFamily::Bert);
+        for w in 1..=8u32 {
+            assert!((curve.speedup(w) - p.speedup(w)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_workers_zero_speedup() {
+        assert_eq!(ModelProfile::of(ModelFamily::Bert).speedup(0), 0.0);
+        assert_eq!(ModelProfile::of(ModelFamily::Bert).throughput(0), 0.0);
+    }
+
+    #[test]
+    fn units_match_figure3_axes() {
+        assert_eq!(ModelProfile::of(ModelFamily::ResNet50).unit, "img/s");
+        assert_eq!(ModelProfile::of(ModelFamily::Vgg16).unit, "img/s");
+        assert_eq!(ModelProfile::of(ModelFamily::Bert).unit, "sequence/s");
+        assert_eq!(ModelProfile::of(ModelFamily::Gnmt16).unit, "sequence/s");
+    }
+}

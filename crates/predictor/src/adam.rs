@@ -1,0 +1,109 @@
+//! The Adam optimiser (§6: "We apply Adam optimizer and use MSE to compute
+//! loss").
+//!
+//! Standard Adam with bias correction, operating on flat parameter slices
+//! so every tensor of the LSTM shares one implementation.
+
+use serde::{Deserialize, Serialize};
+
+/// Adam state for one parameter tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical-stability epsilon.
+    pub eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an optimiser for a tensor of `len` parameters with the
+    /// given learning rate and default betas (0.9 / 0.999).
+    pub fn new(len: usize, lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+            t: 0,
+        }
+    }
+
+    /// Applies one update: `params -= lr · m̂ / (√v̂ + ε)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` differ from the constructed length.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len(), "param length mismatch");
+        assert_eq!(grads.len(), self.m.len(), "grad length mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_a_quadratic() {
+        // f(x) = (x - 3)²; gradient 2(x - 3).
+        let mut x = vec![0.0];
+        let mut opt = Adam::new(1, 0.1);
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "x = {}", x[0]);
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn handles_multiple_params_independently() {
+        let mut x = vec![0.0, 10.0];
+        let mut opt = Adam::new(2, 0.05);
+        for _ in 0..2000 {
+            let g = vec![2.0 * (x[0] + 1.0), 2.0 * (x[1] - 5.0)];
+            opt.step(&mut x, &g);
+        }
+        assert!((x[0] + 1.0).abs() < 1e-2);
+        assert!((x[1] - 5.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn first_step_is_lr_sized() {
+        // With bias correction the first step magnitude is ≈ lr.
+        let mut x = vec![0.0];
+        let mut opt = Adam::new(1, 0.01);
+        opt.step(&mut x, &[42.0]);
+        assert!((x[0].abs() - 0.01).abs() < 1e-6, "step {}", x[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_grads() {
+        Adam::new(2, 0.1).step(&mut [0.0, 0.0], &[1.0]);
+    }
+}

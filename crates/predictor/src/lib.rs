@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # lyra-predictor
+//!
+//! The prediction substrates of §6 and §7.4:
+//!
+//! * [`lstm`] — the inference-resource-usage predictor: a from-scratch
+//!   two-layer LSTM with a window of 10 samples, trained with Adam on an
+//!   MSE loss, predicting the next five-minute utilisation. The paper
+//!   reports an average loss of 0.00048 over 1,440 points; the `lstm`
+//!   experiment in `lyra-bench` reproduces that measurement.
+//! * [`adam`] — the Adam optimiser.
+//! * [`linalg`] — the tiny dense-matrix kernel the LSTM needs.
+//! * [`runtime`] — the job running-time estimator Lyra's scheduler relies
+//!   on (§5.2), with the error-injection mode of Table 9 (a configurable
+//!   fraction of predictions carry a bounded random error).
+//!
+//! No external ML dependencies; everything is seeded and deterministic.
+
+pub mod adam;
+pub mod linalg;
+pub mod lstm;
+pub mod runtime;
+
+pub use adam::Adam;
+pub use linalg::Matrix;
+pub use lstm::{LstmConfig, UsagePredictor};
+pub use runtime::{RuntimeEstimator, RuntimeEstimatorConfig};

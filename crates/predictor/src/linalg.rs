@@ -1,0 +1,169 @@
+//! Minimal dense-matrix support for the LSTM.
+//!
+//! Row-major `f64` matrices with exactly the operations backpropagation
+//! through an LSTM needs: matrix–vector products, transposed products,
+//! outer-product accumulation and elementwise updates.
+
+use serde::{Deserialize, Serialize};
+
+/// A row-major dense matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major storage, `rows × cols` long.
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            *yr = acc;
+        }
+        y
+    }
+
+    /// `y = Aᵀ·x` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for (r, &xr) in x.iter().enumerate() {
+            if xr == 0.0 {
+                continue;
+            }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (yc, a) in y.iter_mut().zip(row) {
+                *yc += a * xr;
+            }
+        }
+        y
+    }
+
+    /// `self += scale · u·vᵀ` (outer-product accumulation, the gradient of
+    /// a linear layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn add_outer(&mut self, u: &[f64], v: &[f64], scale: f64) {
+        assert_eq!(u.len(), self.rows, "add_outer rows mismatch");
+        assert_eq!(v.len(), self.cols, "add_outer cols mismatch");
+        for (r, &ur) in u.iter().enumerate() {
+            let s = scale * ur;
+            if s == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (x, &vc) in row.iter_mut().zip(v) {
+                *x += s * vc;
+            }
+        }
+    }
+
+    /// Sets every element to zero (gradient reset).
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_basics() {
+        let a = Matrix {
+            rows: 2,
+            cols: 3,
+            data: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        };
+        assert_eq!(a.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        assert_eq!(a.matvec_t(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn transpose_consistency() {
+        // ⟨A·x, y⟩ == ⟨x, Aᵀ·y⟩ for random-ish values.
+        let a = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f64 * 0.37 - 1.0);
+        let x = [0.5, -0.25, 1.5, 2.0];
+        let y = [1.0, -2.0, 0.5];
+        let ax = a.matvec(&x);
+        let aty = a.matvec_t(&y);
+        let lhs: f64 = ax.iter().zip(&y).map(|(p, q)| p * q).sum();
+        let rhs: f64 = x.iter().zip(&aty).map(|(p, q)| p * q).sum();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outer_accumulation() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add_outer(&[1.0, 2.0], &[3.0, 4.0], 0.5);
+        assert_eq!(a.data, vec![1.5, 2.0, 3.0, 4.0]);
+        a.clear();
+        assert!(a.data.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn element_access() {
+        let mut a = Matrix::zeros(2, 3);
+        *a.get_mut(1, 2) = 7.0;
+        assert_eq!(a.get(1, 2), 7.0);
+        assert_eq!(a.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_rejects_bad_shape() {
+        Matrix::zeros(2, 3).matvec(&[1.0, 2.0]);
+    }
+}

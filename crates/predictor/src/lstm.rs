@@ -1,0 +1,482 @@
+//! The inference-resource-usage predictor (§6).
+//!
+//! "We develop a simple NN model to predict the inference resource usage.
+//! The predictor is an LSTM model with a window size of 10 and two hidden
+//! layers. We apply Adam optimizer and use MSE to compute loss. We predict
+//! the resource usage of the next five minutes."
+//!
+//! This module implements that model from scratch: a stack of two LSTM
+//! layers with a linear head, full backpropagation through time, and
+//! Adam updates. Gradients are verified against central differences in the
+//! test suite.
+
+use crate::adam::Adam;
+use crate::linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Model hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LstmConfig {
+    /// Input window length (the paper uses 10 five-minute samples).
+    pub window: usize,
+    /// Hidden units per LSTM layer.
+    pub hidden: usize,
+    /// Number of stacked LSTM layers (the paper uses two).
+    pub layers: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Weight-initialisation seed.
+    pub seed: u64,
+}
+
+impl Default for LstmConfig {
+    fn default() -> Self {
+        LstmConfig {
+            window: 10,
+            hidden: 12,
+            layers: 2,
+            learning_rate: 0.01,
+            seed: 0x157,
+        }
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// One LSTM layer's parameters and gradient buffers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct LstmLayer {
+    n_in: usize,
+    hidden: usize,
+    /// Input weights, gates stacked `[i; f; g; o]`: `4h × n_in`.
+    wx: Matrix,
+    /// Recurrent weights: `4h × h`.
+    wh: Matrix,
+    /// Bias: `4h` (forget-gate slice initialised to 1).
+    b: Vec<f64>,
+    // Gradients (same shapes).
+    gwx: Matrix,
+    gwh: Matrix,
+    gb: Vec<f64>,
+}
+
+/// Per-timestep forward cache of one layer.
+struct StepCache {
+    x: Vec<f64>,
+    h_prev: Vec<f64>,
+    c_prev: Vec<f64>,
+    i: Vec<f64>,
+    f: Vec<f64>,
+    g: Vec<f64>,
+    o: Vec<f64>,
+    tanh_c: Vec<f64>,
+    h: Vec<f64>,
+}
+
+impl LstmLayer {
+    fn new(n_in: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        let scale = 1.0 / (n_in.max(hidden) as f64).sqrt();
+        let mut init = |rows: usize, cols: usize| {
+            Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-scale..scale))
+        };
+        let wx = init(4 * hidden, n_in);
+        let wh = init(4 * hidden, hidden);
+        let mut b = vec![0.0; 4 * hidden];
+        // Forget-gate bias of 1 is the standard stabiliser.
+        for bf in b.iter_mut().take(2 * hidden).skip(hidden) {
+            *bf = 1.0;
+        }
+        LstmLayer {
+            n_in,
+            hidden,
+            gwx: Matrix::zeros(4 * hidden, n_in),
+            gwh: Matrix::zeros(4 * hidden, hidden),
+            gb: vec![0.0; 4 * hidden],
+            wx,
+            wh,
+            b,
+        }
+    }
+
+    /// Forward over a sequence from zero state; returns per-step caches.
+    fn forward(&self, xs: &[Vec<f64>]) -> Vec<StepCache> {
+        let h = self.hidden;
+        let mut caches = Vec::with_capacity(xs.len());
+        let mut h_prev = vec![0.0; h];
+        let mut c_prev = vec![0.0; h];
+        for x in xs {
+            let mut a = self.wx.matvec(x);
+            let ah = self.wh.matvec(&h_prev);
+            for (ai, (bi, ahi)) in a.iter_mut().zip(self.b.iter().zip(&ah)) {
+                *ai += bi + ahi;
+            }
+            let mut i = vec![0.0; h];
+            let mut f = vec![0.0; h];
+            let mut g = vec![0.0; h];
+            let mut o = vec![0.0; h];
+            for k in 0..h {
+                i[k] = sigmoid(a[k]);
+                f[k] = sigmoid(a[h + k]);
+                g[k] = a[2 * h + k].tanh();
+                o[k] = sigmoid(a[3 * h + k]);
+            }
+            let mut c = vec![0.0; h];
+            let mut tanh_c = vec![0.0; h];
+            let mut h_new = vec![0.0; h];
+            for k in 0..h {
+                c[k] = f[k] * c_prev[k] + i[k] * g[k];
+                tanh_c[k] = c[k].tanh();
+                h_new[k] = o[k] * tanh_c[k];
+            }
+            caches.push(StepCache {
+                x: x.clone(),
+                h_prev: h_prev.clone(),
+                c_prev: c_prev.clone(),
+                i,
+                f,
+                g,
+                o,
+                tanh_c: tanh_c.clone(),
+                h: h_new.clone(),
+            });
+            h_prev = h_new;
+            c_prev = c;
+        }
+        caches
+    }
+
+    /// BPTT given the gradient w.r.t. each step's hidden output;
+    /// accumulates parameter gradients and returns the gradient w.r.t.
+    /// each step's input.
+    fn backward(&mut self, caches: &[StepCache], dh_stream: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let h = self.hidden;
+        let t_len = caches.len();
+        let mut dxs = vec![vec![0.0; self.n_in]; t_len];
+        let mut dh_next = vec![0.0; h];
+        let mut dc_next = vec![0.0; h];
+        for t in (0..t_len).rev() {
+            let cache = &caches[t];
+            let mut dh = dh_stream[t].clone();
+            for k in 0..h {
+                dh[k] += dh_next[k];
+            }
+            // h = o ∘ tanh(c)
+            let mut dc = vec![0.0; h];
+            let mut da = vec![0.0; 4 * h];
+            for k in 0..h {
+                let do_ = dh[k] * cache.tanh_c[k];
+                dc[k] = dh[k] * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k]) + dc_next[k];
+                let di = dc[k] * cache.g[k];
+                let df = dc[k] * cache.c_prev[k];
+                let dg = dc[k] * cache.i[k];
+                da[k] = di * cache.i[k] * (1.0 - cache.i[k]);
+                da[h + k] = df * cache.f[k] * (1.0 - cache.f[k]);
+                da[2 * h + k] = dg * (1.0 - cache.g[k] * cache.g[k]);
+                da[3 * h + k] = do_ * cache.o[k] * (1.0 - cache.o[k]);
+            }
+            // Parameter gradients.
+            self.gwx.add_outer(&da, &cache.x, 1.0);
+            self.gwh.add_outer(&da, &cache.h_prev, 1.0);
+            for (gbk, dak) in self.gb.iter_mut().zip(&da) {
+                *gbk += dak;
+            }
+            // Input and recurrent gradients.
+            dxs[t] = self.wx.matvec_t(&da);
+            dh_next = self.wh.matvec_t(&da);
+            dc_next = (0..h).map(|k| dc[k] * cache.f[k]).collect();
+        }
+        dxs
+    }
+
+    fn clear_grads(&mut self) {
+        self.gwx.clear();
+        self.gwh.clear();
+        self.gb.fill(0.0);
+    }
+}
+
+/// The two-layer LSTM usage predictor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UsagePredictor {
+    /// Hyperparameters.
+    pub config: LstmConfig,
+    layers: Vec<LstmLayer>,
+    /// Linear head weights (`hidden`) and bias.
+    wy: Vec<f64>,
+    by: f64,
+    opts: Vec<(Adam, Adam, Adam)>,
+    head_opt: Adam,
+}
+
+impl UsagePredictor {
+    /// Creates a predictor with freshly initialised weights.
+    pub fn new(config: LstmConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut layers = Vec::with_capacity(config.layers);
+        let mut n_in = 1;
+        for _ in 0..config.layers.max(1) {
+            layers.push(LstmLayer::new(n_in, config.hidden, &mut rng));
+            n_in = config.hidden;
+        }
+        let scale = 1.0 / (config.hidden as f64).sqrt();
+        let wy: Vec<f64> = (0..config.hidden)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
+        let opts = layers
+            .iter()
+            .map(|l| {
+                (
+                    Adam::new(l.wx.data.len(), config.learning_rate),
+                    Adam::new(l.wh.data.len(), config.learning_rate),
+                    Adam::new(l.b.len(), config.learning_rate),
+                )
+            })
+            .collect();
+        UsagePredictor {
+            head_opt: Adam::new(config.hidden + 1, config.learning_rate),
+            config,
+            layers,
+            wy,
+            by: 0.0,
+            opts,
+        }
+    }
+
+    /// Predicts the next sample from a window of `config.window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window length does not match the configuration.
+    pub fn predict(&self, window: &[f64]) -> f64 {
+        assert_eq!(window.len(), self.config.window, "window length mismatch");
+        let mut xs: Vec<Vec<f64>> = window.iter().map(|&u| vec![u]).collect();
+        let mut last_h = Vec::new();
+        for layer in &self.layers {
+            let caches = layer.forward(&xs);
+            xs = caches.iter().map(|c| c.h.clone()).collect();
+            last_h = xs.last().cloned().unwrap_or_default();
+        }
+        let y: f64 = self.wy.iter().zip(&last_h).map(|(w, h)| w * h).sum::<f64>() + self.by;
+        y
+    }
+
+    /// One training step on `(window, target)`; returns the squared error
+    /// *before* the update.
+    pub fn train_step(&mut self, window: &[f64], target: f64) -> f64 {
+        assert_eq!(window.len(), self.config.window, "window length mismatch");
+        // Forward, keeping each layer's caches.
+        let mut xs: Vec<Vec<f64>> = window.iter().map(|&u| vec![u]).collect();
+        let mut all_caches = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let caches = layer.forward(&xs);
+            xs = caches.iter().map(|c| c.h.clone()).collect();
+            all_caches.push(caches);
+        }
+        let last_h = xs.last().cloned().unwrap_or_default();
+        let y: f64 = self.wy.iter().zip(&last_h).map(|(w, h)| w * h).sum::<f64>() + self.by;
+        let err = y - target;
+        let loss = err * err;
+
+        // Backward.
+        let dy = 2.0 * err;
+        let t_len = window.len();
+        let mut dh_stream = vec![vec![0.0; self.config.hidden]; t_len];
+        for (slot, w) in dh_stream[t_len - 1].iter_mut().zip(&self.wy) {
+            *slot = dy * w;
+        }
+        let mut head_grad: Vec<f64> = last_h.iter().map(|h| dy * h).collect();
+        head_grad.push(dy); // bias
+
+        for layer in self.layers.iter_mut() {
+            layer.clear_grads();
+        }
+        for (li, layer) in self.layers.iter_mut().enumerate().rev() {
+            let dxs = layer.backward(&all_caches[li], &dh_stream);
+            dh_stream = dxs;
+        }
+
+        // Adam updates.
+        for (layer, (owx, owh, ob)) in self.layers.iter_mut().zip(self.opts.iter_mut()) {
+            owx.step(&mut layer.wx.data, &layer.gwx.data);
+            owh.step(&mut layer.wh.data, &layer.gwh.data);
+            ob.step(&mut layer.b, &layer.gb);
+        }
+        let mut head_params: Vec<f64> = self.wy.clone();
+        head_params.push(self.by);
+        self.head_opt.step(&mut head_params, &head_grad);
+        self.by = head_params.pop().expect("bias present");
+        self.wy = head_params;
+        loss
+    }
+
+    /// Trains over a utilisation series for `epochs` passes and returns
+    /// the final-epoch mean squared error.
+    ///
+    /// Each training example is a sliding window of `config.window`
+    /// samples predicting the next one — the paper's "resource usage of
+    /// the next five minutes". Window order is shuffled per epoch
+    /// (seeded) to decorrelate the per-sample Adam updates.
+    pub fn train_series(&mut self, series: &[f64], epochs: usize) -> f64 {
+        let w = self.config.window;
+        if series.len() <= w {
+            return 0.0;
+        }
+        let mut order: Vec<usize> = (0..series.len() - w).collect();
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
+        let mut last_epoch_loss = 0.0;
+        for _ in 0..epochs.max(1) {
+            use rand::seq::SliceRandom;
+            order.shuffle(&mut rng);
+            let mut total = 0.0;
+            for &start in &order {
+                let window = &series[start..start + w];
+                let target = series[start + w];
+                total += self.train_step(window, target);
+            }
+            last_epoch_loss = total / order.len().max(1) as f64;
+        }
+        last_epoch_loss
+    }
+
+    /// Mean squared error over a series without updating weights.
+    pub fn evaluate(&self, series: &[f64]) -> f64 {
+        let w = self.config.window;
+        if series.len() <= w {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for start in 0..(series.len() - w) {
+            let y = self.predict(&series[start..start + w]);
+            let err = y - series[start + w];
+            total += err * err;
+            count += 1;
+        }
+        total / count.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> LstmConfig {
+        LstmConfig {
+            window: 4,
+            hidden: 3,
+            layers: 2,
+            learning_rate: 0.01,
+            seed: 5,
+        }
+    }
+
+    /// Loss as a pure function of the model, for finite differences.
+    fn loss_of(model: &UsagePredictor, window: &[f64], target: f64) -> f64 {
+        let y = model.predict(window);
+        (y - target) * (y - target)
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let window = [0.3, 0.7, 0.5, 0.9];
+        let target = 0.6;
+        let eps = 1e-6;
+
+        // Compute analytic gradients by running one train step on a clone
+        // with zero learning rate... instead, replicate the internals:
+        // run train_step on a throwaway copy and read the gradient
+        // buffers before the update by setting lr = 0.
+        let mut model = UsagePredictor::new(LstmConfig {
+            learning_rate: 0.0,
+            ..tiny_config()
+        });
+        let reference = model.clone();
+        model.train_step(&window, target);
+
+        // Check a sample of parameters in every tensor of both layers.
+        for li in 0..2 {
+            for &idx in &[0usize, 3, 7] {
+                let analytic = model.layers[li].gwx.data[idx];
+                let mut plus = reference.clone();
+                plus.layers[li].wx.data[idx] += eps;
+                let mut minus = reference.clone();
+                minus.layers[li].wx.data[idx] -= eps;
+                let numeric = (loss_of(&plus, &window, target) - loss_of(&minus, &window, target))
+                    / (2.0 * eps);
+                assert!(
+                    (analytic - numeric).abs() < 1e-5,
+                    "layer {li} wx[{idx}]: analytic {analytic} vs numeric {numeric}"
+                );
+            }
+            for &idx in &[0usize, 5] {
+                let analytic = model.layers[li].gwh.data[idx];
+                let mut plus = reference.clone();
+                plus.layers[li].wh.data[idx] += eps;
+                let mut minus = reference.clone();
+                minus.layers[li].wh.data[idx] -= eps;
+                let numeric = (loss_of(&plus, &window, target) - loss_of(&minus, &window, target))
+                    / (2.0 * eps);
+                assert!(
+                    (analytic - numeric).abs() < 1e-5,
+                    "layer {li} wh[{idx}]: analytic {analytic} vs numeric {numeric}"
+                );
+            }
+            for &idx in &[1usize, 4, 10] {
+                let analytic = model.layers[li].gb[idx];
+                let mut plus = reference.clone();
+                plus.layers[li].b[idx] += eps;
+                let mut minus = reference.clone();
+                minus.layers[li].b[idx] -= eps;
+                let numeric = (loss_of(&plus, &window, target) - loss_of(&minus, &window, target))
+                    / (2.0 * eps);
+                assert!(
+                    (analytic - numeric).abs() < 1e-5,
+                    "layer {li} b[{idx}]: analytic {analytic} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn learns_a_sine_wave() {
+        // A smooth periodic series like the diurnal utilisation.
+        let series: Vec<f64> = (0..600)
+            .map(|i| 0.65 + 0.3 * (i as f64 * 0.1).sin())
+            .collect();
+        let mut model = UsagePredictor::new(LstmConfig::default());
+        let untrained = model.evaluate(&series);
+        let trained_loss = model.train_series(&series, 3);
+        let trained = model.evaluate(&series);
+        assert!(
+            trained < untrained * 0.2,
+            "training reduces MSE: {untrained} → {trained}"
+        );
+        assert!(trained < 2e-3, "final MSE {trained}");
+        assert!(trained_loss.is_finite());
+    }
+
+    #[test]
+    fn predict_is_deterministic_and_bounded_behaviour() {
+        let model = UsagePredictor::new(LstmConfig::default());
+        let w = vec![0.5; 10];
+        assert_eq!(model.predict(&w), model.predict(&w));
+    }
+
+    #[test]
+    #[should_panic(expected = "window length mismatch")]
+    fn predict_rejects_wrong_window() {
+        let model = UsagePredictor::new(LstmConfig::default());
+        model.predict(&[0.5; 3]);
+    }
+
+    #[test]
+    fn short_series_is_a_noop() {
+        let mut model = UsagePredictor::new(LstmConfig::default());
+        assert_eq!(model.train_series(&[0.5; 5], 3), 0.0);
+        assert_eq!(model.evaluate(&[0.5; 5]), 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Job running-time estimation (§5.2, Table 9).
+//!
+//! Lyra "relies on job's running time information (minimum running time
+//! for elastic jobs), which can be predicted with profiling and ML
+//! methods". The simulator treats the true running time as known and this
+//! estimator injects the controlled error of Table 9's sensitivity
+//! analysis: a configurable fraction of jobs get a prediction that is off
+//! by a uniformly random margin of up to ±`max_error` (the paper uses a
+//! 25 % bound).
+
+use lyra_core::job::JobId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Estimator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeEstimatorConfig {
+    /// Fraction of jobs whose prediction is wrong (Table 9 sweeps 0.2,
+    /// 0.4, 0.6).
+    pub wrong_fraction: f64,
+    /// Maximum relative error of a wrong prediction (paper: 0.25).
+    pub max_error: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for RuntimeEstimatorConfig {
+    fn default() -> Self {
+        RuntimeEstimatorConfig {
+            wrong_fraction: 0.0,
+            max_error: 0.25,
+            seed: 0xE57,
+        }
+    }
+}
+
+/// A deterministic per-job running-time estimator.
+///
+/// A job's estimate is a pure function of `(config.seed, job id)`, so
+/// every scheduling epoch sees the *same* (possibly wrong) estimate for a
+/// given job — mispredictions are persistent, as they would be for a real
+/// profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeEstimator {
+    /// Configuration.
+    pub config: RuntimeEstimatorConfig,
+}
+
+impl RuntimeEstimator {
+    /// Creates an estimator.
+    pub fn new(config: RuntimeEstimatorConfig) -> Self {
+        RuntimeEstimator { config }
+    }
+
+    /// A perfect estimator (the default setup).
+    pub fn perfect() -> Self {
+        Self::new(RuntimeEstimatorConfig::default())
+    }
+
+    /// Estimates a job's running time given its true value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lyra_core::JobId;
+    /// use lyra_predictor::{RuntimeEstimator, RuntimeEstimatorConfig};
+    /// let est = RuntimeEstimator::new(RuntimeEstimatorConfig {
+    ///     wrong_fraction: 1.0,
+    ///     max_error: 0.25,
+    ///     seed: 1,
+    /// });
+    /// let e = est.estimate(JobId(7), 1000.0);
+    /// assert!(e >= 750.0 && e <= 1250.0 && e != 1000.0);
+    /// ```
+    pub fn estimate(&self, job: JobId, true_running_time_s: f64) -> f64 {
+        if self.config.wrong_fraction <= 0.0 {
+            return true_running_time_s;
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ job.0.wrapping_mul(0x9E37_79B9));
+        if !rng.gen_bool(self.config.wrong_fraction.clamp(0.0, 1.0)) {
+            return true_running_time_s;
+        }
+        // Wrong prediction: uniform error in [-max, +max], excluding ~0 so
+        // "wrong" means wrong.
+        let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        let magnitude = rng.gen_range(0.05..=self.config.max_error.max(0.05));
+        true_running_time_s * (1.0 + sign * magnitude)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_estimator_is_identity() {
+        let est = RuntimeEstimator::perfect();
+        assert_eq!(est.estimate(JobId(1), 123.0), 123.0);
+    }
+
+    #[test]
+    fn estimates_are_stable_per_job() {
+        let est = RuntimeEstimator::new(RuntimeEstimatorConfig {
+            wrong_fraction: 0.5,
+            max_error: 0.25,
+            seed: 3,
+        });
+        for id in 0..50u64 {
+            let a = est.estimate(JobId(id), 500.0);
+            let b = est.estimate(JobId(id), 500.0);
+            assert_eq!(a, b, "job {id} estimate is stable");
+        }
+    }
+
+    #[test]
+    fn wrong_fraction_is_respected() {
+        let est = RuntimeEstimator::new(RuntimeEstimatorConfig {
+            wrong_fraction: 0.4,
+            max_error: 0.25,
+            seed: 11,
+        });
+        let wrong = (0..2000u64)
+            .filter(|&id| est.estimate(JobId(id), 1000.0) != 1000.0)
+            .count();
+        let frac = wrong as f64 / 2000.0;
+        assert!((frac - 0.4).abs() < 0.05, "wrong fraction {frac}");
+    }
+
+    #[test]
+    fn errors_are_bounded() {
+        let est = RuntimeEstimator::new(RuntimeEstimatorConfig {
+            wrong_fraction: 1.0,
+            max_error: 0.25,
+            seed: 17,
+        });
+        for id in 0..500u64 {
+            let e = est.estimate(JobId(id), 1000.0);
+            assert!((750.0..=1250.0).contains(&e), "estimate {e}");
+        }
+    }
+
+    #[test]
+    fn both_signs_occur() {
+        let est = RuntimeEstimator::new(RuntimeEstimatorConfig {
+            wrong_fraction: 1.0,
+            max_error: 0.25,
+            seed: 23,
+        });
+        let over = (0..200u64)
+            .filter(|&id| est.estimate(JobId(id), 100.0) > 100.0)
+            .count();
+        assert!((40..160).contains(&over), "over-estimates {over}");
+    }
+}

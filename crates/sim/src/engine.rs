@@ -1,0 +1,1168 @@
+//! The discrete-event simulator (§7.1: "We built a discrete-event
+//! simulator for evaluating Lyra at scale using job traces from
+//! production. It simulates the cluster scale, hardware configuration, and
+//! all job events including arrival, completion, scaling, and
+//! preemption.").
+//!
+//! Mechanics:
+//!
+//! * **Events** — job arrivals, generation-tagged job finishes, periodic
+//!   scheduler epochs and orchestrator ticks, ordered by millisecond
+//!   timestamps with a sequence tiebreak.
+//! * **Progress** — a job's remaining work (reference worker-seconds)
+//!   drains at a rate derived from its placement: the scaling curve over
+//!   the total worker count, weighted by the GPU capabilities of the
+//!   servers hosting it, times the heterogeneous-training penalty when the
+//!   device set is mixed and the tuning gain when the scenario enables
+//!   Lyra+TunedJobs. Work is synced lazily; allocation changes bump a
+//!   generation counter so stale finish events are ignored.
+//! * **Overheads** — container launches, elastic rendezvous pauses and
+//!   the measured 63 s preemption overhead (§7.5) stall a job's progress
+//!   without releasing its GPUs, exactly like the prototype.
+//! * **Preemption** — reclaiming evicts jobs per the orchestrator's
+//!   decision; checkpointing jobs keep their progress and pay the
+//!   overhead, others restart from scratch (§4's conservative default).
+
+use crate::metrics::{percentiles, JobRecord, ReclaimRecord, SimReport, UsageIntegral};
+use lyra_cluster::inference::{InferenceScheduler, LoanInstruction};
+use lyra_cluster::manager::{ResourceManager, RmOp};
+use lyra_cluster::orchestrator::{Orchestrator, OrchestratorDecision};
+use lyra_cluster::state::ClusterState;
+use lyra_core::gpu::GpuType;
+use lyra_core::job::{JobId, JobSpec};
+use lyra_core::policies::JobScheduler;
+use lyra_core::snapshot::{
+    Action, PendingJobView, PoolKind, RunningJobView, ServerGroup, ServerId, Snapshot,
+};
+use lyra_core::tuning::GoodputModel;
+use lyra_elastic::controller::ElasticController;
+use lyra_elastic::hetero::{hetero_rate, HeteroGroup};
+use lyra_predictor::RuntimeEstimator;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Engine timing and overhead parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Scheduler epoch length (the job scheduler runs "in a much smaller
+    /// interval than the orchestrator", §3).
+    pub scheduler_interval_s: f64,
+    /// Orchestrator tick length (§7.1: five minutes).
+    pub orchestrator_interval_s: f64,
+    /// Preemption overhead charged when a preempted job resumes (§7.5's
+    /// measured 63 s).
+    pub preemption_overhead_s: f64,
+    /// Container-launch stall for a fresh (re)launch.
+    pub launch_delay_s: f64,
+    /// Elastic rendezvous pause per membership change (§6's controller).
+    pub rendezvous_pause_s: f64,
+    /// Throughput factor for mixed-GPU jobs (§7.1: at most 0.70 of
+    /// ideal; 1.0 in the Ideal scenario).
+    pub hetero_efficiency: f64,
+    /// Apply the tuning agent's goodput gain to elastic jobs
+    /// (Lyra+TunedJobs, §7.4).
+    pub tuned: bool,
+    /// Hard stop this long after the last arrival: jobs that cannot
+    /// complete (e.g. opportunistic stragglers at toy scale) are reported
+    /// incomplete instead of cycling forever.
+    pub drain_horizon_s: f64,
+    /// Report cluster usage over `[0, usage_horizon_s]` only (the trace
+    /// span), so the post-trace drain does not dilute the utilisation
+    /// columns. `0` means the whole run.
+    pub usage_horizon_s: f64,
+    /// Take every server the inference cluster offers instead of gating
+    /// loans on current fungible demand.
+    pub loan_all_offered: bool,
+    /// Whether the scheduling policy applies §5.3's special elastic
+    /// placement. When false (Table 6's ablation) flexible workers are
+    /// not segregated, so no server may be labelled `Flexible` — the
+    /// orchestrator must reclaim everything via preemption.
+    pub special_placement: bool,
+    /// Checkpoint interval for jobs with checkpointing, in work units
+    /// (reference worker-seconds). Preempted checkpointing jobs resume
+    /// from the last completed checkpoint, not the exact preemption
+    /// point.
+    pub checkpoint_interval_work: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            scheduler_interval_s: 60.0,
+            orchestrator_interval_s: 300.0,
+            preemption_overhead_s: 63.0,
+            launch_delay_s: 10.0,
+            rendezvous_pause_s: 15.0,
+            hetero_efficiency: 0.70,
+            tuned: false,
+            drain_horizon_s: 30.0 * 86_400.0,
+            usage_horizon_s: 0.0,
+            loan_all_offered: false,
+            special_placement: true,
+            checkpoint_interval_work: 600.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    Arrival(usize),
+    Finish(usize, u64),
+    SchedulerTick,
+    OrchestratorTick,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time_ms: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time_ms, self.seq).cmp(&(other.time_ms, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Pending,
+    Running,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct SimJob {
+    spec: JobSpec,
+    state: JobState,
+    /// Remaining work in reference worker-seconds.
+    work_left: f64,
+    /// Current workers (0 when pending).
+    workers: u32,
+    flexible_workers: u32,
+    placement: Vec<(ServerId, u32)>,
+    flex_placement: Vec<(ServerId, u32)>,
+    /// Current service rate, work units per second.
+    rate: f64,
+    /// Time `work_left` was last synced.
+    synced_at_s: f64,
+    /// Progress stalls until this absolute time (launch/rendezvous/
+    /// preemption overheads).
+    stall_until_s: f64,
+    /// Pending-side bookkeeping.
+    enqueued_at_s: f64,
+    resume_overhead_s: f64,
+    /// Stale-finish guard.
+    generation: u64,
+    /// §6's per-job controller: coordinates worker join/departure and
+    /// accounts the rendezvous pauses.
+    controller: Option<ElasticController>,
+    record: JobRecord,
+}
+
+impl SimJob {
+    fn new(spec: JobSpec) -> Self {
+        let record = JobRecord::new(spec.id, spec.submit_time_s);
+        let work = spec.work();
+        let enqueued = spec.submit_time_s;
+        SimJob {
+            record,
+            work_left: work,
+            state: JobState::Pending,
+            workers: 0,
+            flexible_workers: 0,
+            placement: Vec::new(),
+            flex_placement: Vec::new(),
+            rate: 0.0,
+            synced_at_s: enqueued,
+            stall_until_s: 0.0,
+            enqueued_at_s: enqueued,
+            resume_overhead_s: 0.0,
+            generation: 0,
+            controller: None,
+            spec,
+        }
+    }
+
+    /// Remaining work at `now`, without mutating.
+    fn work_left_at(&self, now: f64) -> f64 {
+        if self.state != JobState::Running || self.rate <= 0.0 {
+            return self.work_left;
+        }
+        let active_from = self.synced_at_s.max(self.stall_until_s);
+        let dt = (now - active_from).max(0.0);
+        (self.work_left - self.rate * dt).max(0.0)
+    }
+
+    /// Syncs `work_left` to `now`.
+    fn sync(&mut self, now: f64) {
+        self.work_left = self.work_left_at(now);
+        self.synced_at_s = now;
+    }
+
+    /// Adds a progress stall of `pause_s` starting at `now`.
+    fn stall(&mut self, now: f64, pause_s: f64) {
+        self.stall_until_s = self.stall_until_s.max(now) + pause_s;
+    }
+
+    /// Absolute finish time from `now` under the current rate.
+    fn finish_time(&self, now: f64) -> Option<f64> {
+        if self.state != JobState::Running || self.rate <= 0.0 {
+            return None;
+        }
+        let start = now.max(self.stall_until_s).max(self.synced_at_s);
+        Some(start + self.work_left_at(now) / self.rate)
+    }
+}
+
+/// Error from the simulation (policy/cluster inconsistencies).
+#[derive(Debug)]
+pub struct SimError(pub String);
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "simulation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The discrete-event simulation.
+pub struct Simulation {
+    /// Engine parameters.
+    pub config: SimConfig,
+    cluster: ClusterState,
+    policy: Box<dyn JobScheduler>,
+    orchestrator: Option<Orchestrator>,
+    inference: Option<InferenceScheduler>,
+    estimator: RuntimeEstimator,
+    jobs: Vec<SimJob>,
+    /// Pending job indices, (submit, id)-ordered.
+    queue: Vec<usize>,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    now_s: f64,
+    completed: usize,
+    arrived: usize,
+    stuck_since_s: Option<f64>,
+    // Usage integrals.
+    training_usage: UsageIntegral,
+    on_loan_usage: UsageIntegral,
+    on_loan_servers: UsageIntegral,
+    overall_usage: UsageIntegral,
+    reclaims: Vec<ReclaimRecord>,
+    loan_ops: usize,
+    scaling_ops: usize,
+    /// The YARN-like control plane: every container/whitelist operation
+    /// the run issued, with its modelled latency (§6).
+    rm: ResourceManager,
+    /// Inference-cluster total GPUs (for overall usage).
+    inference_total_gpus: f64,
+}
+
+impl Simulation {
+    /// Builds a simulation over a job list (must be id-renumbered
+    /// `0..n` in submission order, as `lyra-trace` produces).
+    ///
+    /// `inference` enables capacity loaning; `None` simulates a fixed
+    /// training cluster.
+    pub fn new(
+        config: SimConfig,
+        cluster: ClusterState,
+        policy: Box<dyn JobScheduler>,
+        orchestrator: Option<Orchestrator>,
+        inference: Option<InferenceScheduler>,
+        estimator: RuntimeEstimator,
+        specs: Vec<JobSpec>,
+    ) -> Self {
+        let inference_total_gpus = inference
+            .as_ref()
+            .map(|i| f64::from(i.total_servers * i.gpus_per_server))
+            .unwrap_or(0.0);
+        let mut sim = Simulation {
+            config,
+            cluster,
+            policy,
+            orchestrator,
+            inference,
+            estimator,
+            jobs: Vec::with_capacity(specs.len()),
+            queue: Vec::new(),
+            events: BinaryHeap::new(),
+            seq: 0,
+            now_s: 0.0,
+            completed: 0,
+            arrived: 0,
+            stuck_since_s: None,
+            training_usage: UsageIntegral::new(),
+            on_loan_usage: UsageIntegral::new(),
+            on_loan_servers: UsageIntegral::new(),
+            overall_usage: UsageIntegral::new(),
+            reclaims: Vec::new(),
+            loan_ops: 0,
+            scaling_ops: 0,
+            rm: ResourceManager::new(),
+            inference_total_gpus,
+        };
+        for (i, spec) in specs.into_iter().enumerate() {
+            debug_assert_eq!(spec.id.0 as usize, i, "trace ids must be dense");
+            let t = spec.submit_time_s;
+            sim.jobs.push(SimJob::new(spec));
+            sim.push_event(t, EventKind::Arrival(i));
+        }
+        sim.push_event(0.0, EventKind::SchedulerTick);
+        if sim.orchestrator.is_some() {
+            sim.push_event(0.0, EventKind::OrchestratorTick);
+        }
+        sim
+    }
+
+    fn push_event(&mut self, time_s: f64, kind: EventKind) {
+        // Ceil: a finish event scheduled a fraction of a millisecond early
+        // would observe residual work.
+        let time_ms = (time_s.max(0.0) * 1000.0).ceil() as u64;
+        self.seq += 1;
+        self.events.push(Reverse(Event {
+            time_ms,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    /// Current service rate of a job from its placement.
+    fn compute_rate(&self, job: &SimJob) -> f64 {
+        let mut v100 = 0u32;
+        let mut t4 = 0u32;
+        for (sid, w) in &job.placement {
+            match self.cluster.server(*sid).map(|s| s.gpu_type) {
+                Some(GpuType::V100) => v100 += w,
+                Some(GpuType::T4) => t4 += w,
+                None => {}
+            }
+        }
+        let total = v100 + t4;
+        if total == 0 {
+            return 0.0;
+        }
+        // Capability-weighted ideal rate with the heterogeneous penalty
+        // for mixed device sets (lyra-elastic's model), rescaled onto the
+        // job's scaling curve over the total worker count.
+        let groups = [
+            HeteroGroup {
+                gpu: GpuType::V100,
+                workers: v100,
+            },
+            HeteroGroup {
+                gpu: GpuType::T4,
+                workers: t4,
+            },
+        ];
+        let ideal_per_worker =
+            hetero_rate(&groups, self.config.hetero_efficiency) / f64::from(total);
+        let speedup = job.spec.curve.speedup(total);
+        let mut rate = speedup * ideal_per_worker;
+        if self.config.tuned && job.spec.is_elastic() {
+            let work = job.spec.work();
+            let progress = if work > 0.0 {
+                (1.0 - job.work_left / work).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            rate *= GoodputModel::typical(job.spec.w_min()).tuned_gain(speedup, total, progress);
+        }
+        rate
+    }
+
+    fn reschedule_finish(&mut self, idx: usize) {
+        self.jobs[idx].generation += 1;
+        if let Some(t) = self.jobs[idx].finish_time(self.now_s) {
+            let generation = self.jobs[idx].generation;
+            self.push_event(t, EventKind::Finish(idx, generation));
+        }
+    }
+
+    /// Advances the usage integrals to `now` with the pre-event occupancy.
+    fn advance_usage(&mut self, now: f64) {
+        let (t_used, t_total) = self.cluster.gpu_usage(PoolKind::Training);
+        let (l_used, l_total) = self.cluster.gpu_usage(PoolKind::OnLoan);
+        self.training_usage
+            .advance(now, f64::from(t_used), f64::from(t_total));
+        self.on_loan_usage
+            .advance(now, f64::from(l_used), f64::from(l_total));
+        let loaned_ids = self.cluster.loaned_ids();
+        let busy_servers = loaned_ids
+            .iter()
+            .filter(|sid| self.cluster.server(**sid).is_some_and(|s| !s.is_empty()))
+            .count();
+        self.on_loan_servers
+            .advance(now, busy_servers as f64, loaned_ids.len() as f64);
+        let inf_busy = self
+            .inference
+            .as_ref()
+            .map(|i| f64::from(i.trace.gpus_busy_at(self.now_s)))
+            .unwrap_or(0.0);
+        let overall_busy = f64::from(t_used) + f64::from(l_used) + inf_busy;
+        let overall_total = f64::from(t_total) + self.inference_total_gpus;
+        self.overall_usage.advance(now, overall_busy, overall_total);
+    }
+
+    fn enqueue(&mut self, idx: usize) {
+        let pos = self
+            .queue
+            .binary_search_by(|&j| {
+                (self.jobs[j].spec.submit_time_s, self.jobs[j].spec.id)
+                    .partial_cmp(&(self.jobs[idx].spec.submit_time_s, self.jobs[idx].spec.id))
+                    .expect("no NaN submit times")
+            })
+            .unwrap_or_else(|p| p);
+        self.queue.insert(pos, idx);
+        self.jobs[idx].enqueued_at_s = self.now_s.max(self.jobs[idx].spec.submit_time_s);
+    }
+
+    fn build_snapshot(&self) -> Snapshot {
+        let pending = self
+            .queue
+            .iter()
+            .map(|&i| {
+                let j = &self.jobs[i];
+                let est_full = self
+                    .estimator
+                    .estimate(j.spec.id, j.spec.base_running_time());
+                let work = j.spec.work().max(f64::MIN_POSITIVE);
+                PendingJobView {
+                    spec: j.spec.clone(),
+                    est_running_time_s: est_full * (j.work_left / work),
+                    work_left: j.work_left,
+                    preemptions: j.record.preemptions,
+                }
+            })
+            .collect();
+        let running = self
+            .jobs
+            .iter()
+            .filter(|j| j.state == JobState::Running && j.spec.is_elastic())
+            .map(|j| RunningJobView {
+                spec: j.spec.clone(),
+                workers: j.workers,
+                work_left: j.work_left_at(self.now_s),
+                placement: j.placement.clone(),
+                flexible_workers: j.flexible_workers,
+                flex_placement: j.flex_placement.clone(),
+            })
+            .collect();
+        Snapshot {
+            time_s: self.now_s,
+            servers: self.cluster.server_views(),
+            pending,
+            running,
+        }
+    }
+
+    fn merge_assignment(into: &mut Vec<(ServerId, u32)>, add: &[(ServerId, u32)]) {
+        for (sid, w) in add {
+            match into.iter_mut().find(|(s, _)| s == sid) {
+                Some(slot) => slot.1 += w,
+                None => into.push((*sid, *w)),
+            }
+        }
+    }
+
+    fn remove_assignment(
+        from: &mut Vec<(ServerId, u32)>,
+        remove: &[(ServerId, u32)],
+    ) -> Result<(), SimError> {
+        for (sid, w) in remove {
+            match from.iter_mut().find(|(s, _)| s == sid) {
+                Some(slot) if slot.1 >= *w => slot.1 -= w,
+                _ => {
+                    return Err(SimError(format!(
+                        "removing {w} workers from {sid} not present"
+                    )))
+                }
+            }
+        }
+        from.retain(|(_, w)| *w > 0);
+        Ok(())
+    }
+
+    fn apply_action(&mut self, action: &Action) -> Result<(), SimError> {
+        match action {
+            Action::Launch {
+                job,
+                workers,
+                placement,
+            } => {
+                let idx = job.0 as usize;
+                if self.jobs[idx].state != JobState::Pending {
+                    return Err(SimError(format!("{job} launched but not pending")));
+                }
+                let gpw = self.jobs[idx].spec.gpus_per_worker;
+                self.cluster
+                    .allocate(*job, placement, gpw, ServerGroup::Base)
+                    .map_err(|e| SimError(e.to_string()))?;
+                self.queue.retain(|&i| i != idx);
+                for (sid, w) in placement {
+                    self.rm.submit(RmOp::LaunchContainers {
+                        job: *job,
+                        server: *sid,
+                        workers: *w,
+                    });
+                }
+                let now = self.now_s;
+                let j = &mut self.jobs[idx];
+                j.state = JobState::Running;
+                j.workers = *workers;
+                j.flexible_workers = 0;
+                j.placement = placement.clone();
+                j.flex_placement.clear();
+                j.record.queue_s += now - j.enqueued_at_s;
+                if j.record.first_start_s.is_none() {
+                    j.record.first_start_s = Some(now);
+                }
+                if placement
+                    .iter()
+                    .any(|(sid, _)| self.cluster.is_loaned(*sid))
+                {
+                    j.record.ran_on_loan = true;
+                }
+                j.synced_at_s = now;
+                j.stall_until_s = now;
+                let pause = self.config.launch_delay_s + j.resume_overhead_s;
+                j.resume_overhead_s = 0.0;
+                j.stall(now, pause);
+                if j.spec.is_elastic() {
+                    j.controller = Some(ElasticController::new(
+                        *workers,
+                        self.config.rendezvous_pause_s,
+                    ));
+                }
+                self.jobs[idx].rate = self.compute_rate(&self.jobs[idx]);
+                self.reschedule_finish(idx);
+            }
+            Action::ScaleOut {
+                job,
+                extra,
+                placement,
+            } => {
+                let idx = job.0 as usize;
+                if self.jobs[idx].state != JobState::Running {
+                    return Err(SimError(format!("{job} scaled out but not running")));
+                }
+                let gpw = self.jobs[idx].spec.gpus_per_worker;
+                let group = if self.config.special_placement {
+                    ServerGroup::Flexible
+                } else {
+                    ServerGroup::Base
+                };
+                self.cluster
+                    .allocate(*job, placement, gpw, group)
+                    .map_err(|e| SimError(e.to_string()))?;
+                for (sid, w) in placement {
+                    self.rm.submit(RmOp::LaunchContainers {
+                        job: *job,
+                        server: *sid,
+                        workers: *w,
+                    });
+                }
+                let now = self.now_s;
+                let default_pause = self.config.rendezvous_pause_s;
+                let j = &mut self.jobs[idx];
+                j.sync(now);
+                j.workers += extra;
+                j.flexible_workers += extra;
+                Self::merge_assignment(&mut j.placement, placement);
+                Self::merge_assignment(&mut j.flex_placement, placement);
+                j.record.scaling_ops += 1;
+                let pause = match j.controller.as_mut() {
+                    Some(c) => c
+                        .resize(j.workers)
+                        .map(|ev| match ev {
+                            lyra_elastic::ControllerEvent::Rescaled { pause_s, .. } => pause_s,
+                        })
+                        .unwrap_or(0.0),
+                    None => default_pause,
+                };
+                j.stall(now, pause);
+                if placement
+                    .iter()
+                    .any(|(sid, _)| self.cluster.is_loaned(*sid))
+                {
+                    j.record.ran_on_loan = true;
+                }
+                self.scaling_ops += 1;
+                self.jobs[idx].rate = self.compute_rate(&self.jobs[idx]);
+                self.reschedule_finish(idx);
+            }
+            Action::ScaleIn { job, removal } => {
+                let idx = job.0 as usize;
+                if self.jobs[idx].state != JobState::Running {
+                    return Err(SimError(format!("{job} scaled in but not running")));
+                }
+                let gpw = self.jobs[idx].spec.gpus_per_worker;
+                self.cluster
+                    .release(*job, removal, gpw)
+                    .map_err(|e| SimError(e.to_string()))?;
+                for (sid, w) in removal {
+                    self.rm.submit(RmOp::KillContainers {
+                        job: *job,
+                        server: *sid,
+                        workers: *w,
+                    });
+                }
+                let now = self.now_s;
+                let pause = self.config.rendezvous_pause_s;
+                let j = &mut self.jobs[idx];
+                j.sync(now);
+                let removed: u32 = removal.iter().map(|(_, w)| w).sum();
+                if removed > j.flexible_workers {
+                    return Err(SimError(format!(
+                        "{job} scale-in removes {removed} > {} flexible",
+                        j.flexible_workers
+                    )));
+                }
+                Self::remove_assignment(&mut j.placement, removal)?;
+                Self::remove_assignment(&mut j.flex_placement, removal)?;
+                j.workers -= removed;
+                j.flexible_workers -= removed;
+                j.record.scaling_ops += 1;
+                let pause = match j.controller.as_mut() {
+                    Some(c) => c
+                        .resize(j.workers)
+                        .map(|ev| match ev {
+                            lyra_elastic::ControllerEvent::Rescaled { pause_s, .. } => pause_s,
+                        })
+                        .unwrap_or(0.0),
+                    None => pause,
+                };
+                j.stall(now, pause);
+                self.scaling_ops += 1;
+                self.jobs[idx].rate = self.compute_rate(&self.jobs[idx]);
+                self.reschedule_finish(idx);
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a forced scale-in from the orchestrator's flexible-group
+    /// release: workers of `job` on `server` are gone (cluster side
+    /// already updated).
+    fn apply_flex_release(&mut self, job: JobId, server: ServerId, gpus: u32) {
+        let idx = job.0 as usize;
+        let now = self.now_s;
+        let pause = self.config.rendezvous_pause_s;
+        let j = &mut self.jobs[idx];
+        if j.state != JobState::Running {
+            return;
+        }
+        j.sync(now);
+        let mut workers = gpus / j.spec.gpus_per_worker.max(1);
+        // A flexible-group server hosts only flexible workers of this job;
+        // clamp defensively so inconsistent labels can never underflow the
+        // bookkeeping.
+        let have = j
+            .flex_placement
+            .iter()
+            .find(|(s, _)| *s == server)
+            .map_or(0, |(_, w)| *w);
+        debug_assert!(workers <= have, "{job} flex release exceeds flex workers");
+        workers = workers.min(have);
+        if workers == 0 {
+            return;
+        }
+        let _ = Self::remove_assignment(&mut j.placement, &[(server, workers)]);
+        let _ = Self::remove_assignment(&mut j.flex_placement, &[(server, workers)]);
+        j.workers = j.workers.saturating_sub(workers);
+        j.flexible_workers = j.flexible_workers.saturating_sub(workers);
+        j.record.scaling_ops += 1;
+        let pause = match j.controller.as_mut() {
+            Some(c) => c
+                .resize(j.workers)
+                .map(|ev| match ev {
+                    lyra_elastic::ControllerEvent::Rescaled { pause_s, .. } => pause_s,
+                })
+                .unwrap_or(0.0),
+            None => pause,
+        };
+        j.stall(now, pause);
+        self.scaling_ops += 1;
+        self.jobs[idx].rate = self.compute_rate(&self.jobs[idx]);
+        self.reschedule_finish(idx);
+    }
+
+    /// Preempts a running job (cluster side already evicted).
+    fn apply_preemption(&mut self, job: JobId) {
+        let idx = job.0 as usize;
+        let now = self.now_s;
+        let overhead = self.config.preemption_overhead_s;
+        {
+            let j = &mut self.jobs[idx];
+            if j.state != JobState::Running {
+                return;
+            }
+            j.sync(now);
+            j.state = JobState::Pending;
+            j.workers = 0;
+            j.flexible_workers = 0;
+            j.placement.clear();
+            j.flex_placement.clear();
+            j.rate = 0.0;
+            j.generation += 1; // cancel in-flight finish
+            j.record.preemptions += 1;
+            if j.spec.checkpointing {
+                // Resume from the last completed checkpoint
+                // (CheckFreq-style periodic checkpoints) and pay the
+                // save/restore overhead.
+                let policy = lyra_elastic::CheckpointPolicy {
+                    interval_work: self.config.checkpoint_interval_work.max(1.0),
+                    overhead_s: overhead,
+                };
+                let done = j.spec.work() - j.work_left;
+                j.work_left = j.spec.work() - policy.preserved_work(done);
+                j.resume_overhead_s = policy.overhead_s;
+            } else {
+                // All progress lost (§4's common no-checkpoint case).
+                j.work_left = j.spec.work();
+                j.resume_overhead_s = overhead;
+            }
+        }
+        self.enqueue(idx);
+    }
+
+    /// Runs one scheduling epoch; returns the number of launches.
+    fn handle_scheduler_tick(&mut self) -> Result<usize, SimError> {
+        let snapshot = self.build_snapshot();
+        let actions = self.policy.schedule(&snapshot);
+        let launches = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Launch { .. }))
+            .count();
+        for action in &actions {
+            self.apply_action(action)?;
+        }
+        // Idle loaned servers beyond demand go back promptly (the
+        // whitelist move is cheap; the five-minute orchestrator cadence
+        // is only needed for decisions involving the inference side).
+        self.return_surplus_idle_loans()?;
+        Ok(launches)
+    }
+
+    /// Servers worth borrowing right now: whole servers of *unmet*
+    /// loan-eligible demand — queued fungible work beyond what the free
+    /// training capacity will absorb anyway, plus elastic scale-out room.
+    fn loan_demand_servers(&self) -> u32 {
+        let gpus_per_server = self.cluster.config.gpus_per_server.max(1);
+        let free_training = u64::from(self.cluster.gpu_usage(PoolKind::Training).1)
+            - u64::from(self.cluster.gpu_usage(PoolKind::Training).0);
+        let mut pending_all: u64 = 0;
+        let mut pending_fungible: u64 = 0;
+        for &i in &self.queue {
+            let j = &self.jobs[i];
+            pending_all += u64::from(j.spec.base_gpus());
+            if j.spec.fungible {
+                let mult = if j.spec.is_elastic() {
+                    1
+                } else {
+                    GpuType::T4.worker_multiplier(j.spec.reference_gpu)
+                };
+                pending_fungible += u64::from(j.spec.base_gpus() * mult);
+            }
+        }
+        // Training absorbs what it can; only the remainder justifies a
+        // loan, capped by what is actually fungible.
+        let unmet = pending_all.saturating_sub(free_training);
+        let mut demand_gpus = unmet.min(pending_fungible);
+        for j in &self.jobs {
+            if j.state == JobState::Running && j.spec.is_elastic() && j.spec.fungible {
+                let room = j.spec.w_max().saturating_sub(j.workers);
+                demand_gpus += u64::from(room * j.spec.gpus_per_worker);
+            }
+        }
+        let servers = demand_gpus.div_ceil(u64::from(gpus_per_server)) as u32;
+        if servers > 0 {
+            servers + 1
+        } else {
+            0
+        }
+    }
+
+    fn handle_orchestrator_tick(&mut self) -> Result<(), SimError> {
+        let Some(inference) = &self.inference else {
+            return Ok(());
+        };
+        let instruction = inference.instruction_at(self.now_s, self.cluster.loaned_count());
+        if self.orchestrator.is_none() {
+            return Ok(());
+        }
+        match instruction {
+            LoanInstruction::Loan(offered) => {
+                let take = if self.config.loan_all_offered {
+                    offered
+                } else {
+                    let wanted = self.loan_demand_servers();
+                    offered.min(wanted.saturating_sub(self.cluster.loaned_count()))
+                };
+                if take > 0 {
+                    let orchestrator = self.orchestrator.as_mut().expect("checked above");
+                    let d = orchestrator
+                        .execute_loan(&mut self.cluster, take)
+                        .map_err(|e| SimError(e.to_string()))?;
+                    if let OrchestratorDecision::Loaned(ids) = d {
+                        for sid in &ids {
+                            self.rm.submit(RmOp::AddToWhitelist(*sid));
+                        }
+                        if !ids.is_empty() {
+                            self.loan_ops += 1;
+                        }
+                    }
+                }
+            }
+            LoanInstruction::Reclaim(n) => {
+                let orchestrator = self.orchestrator.as_mut().expect("checked above");
+                let d = orchestrator
+                    .execute_reclaim(&mut self.cluster, n)
+                    .map_err(|e| SimError(e.to_string()))?;
+                if let OrchestratorDecision::Reclaimed {
+                    flex_releases,
+                    returned_flex,
+                    returned_idle,
+                    outcome,
+                } = d
+                {
+                    for (job, server, gpus) in &flex_releases {
+                        let workers = gpus / self.jobs[job.0 as usize].spec.gpus_per_worker.max(1);
+                        self.rm.submit(RmOp::KillContainers {
+                            job: *job,
+                            server: *server,
+                            workers,
+                        });
+                        self.apply_flex_release(*job, *server, *gpus);
+                    }
+                    for job in &outcome.preempted {
+                        self.apply_preemption(*job);
+                    }
+                    for sid in returned_flex
+                        .iter()
+                        .chain(returned_idle.iter())
+                        .chain(outcome.returned.iter())
+                    {
+                        self.rm.submit(RmOp::RemoveFromWhitelist(*sid));
+                    }
+                    self.reclaims.push(ReclaimRecord {
+                        time_s: self.now_s,
+                        demanded: n,
+                        returned_flex: returned_flex.len() as u32,
+                        returned_idle: returned_idle.len() as u32,
+                        returned_preempt: outcome.returned.len() as u32,
+                        preempted: outcome.preempted.len() as u32,
+                        collateral_gpus: outcome.collateral_gpus,
+                    });
+                }
+            }
+            LoanInstruction::Hold => {}
+        }
+        self.return_surplus_idle_loans()?;
+        Ok(())
+    }
+
+    /// Voluntarily returns surplus *idle* loaned servers: keeping them
+    /// would depress the on-loan usage the paper keeps above 92 %
+    /// (Figure 9) and would inflate reclaim waves for no benefit.
+    fn return_surplus_idle_loans(&mut self) -> Result<(), SimError> {
+        if self.config.loan_all_offered || self.orchestrator.is_none() {
+            return Ok(());
+        }
+        let wanted = self.loan_demand_servers();
+        let loaned = self.cluster.loaned_count();
+        if loaned > wanted {
+            let mut surplus = loaned - wanted;
+            let mut to_return = Vec::new();
+            for sid in self.cluster.loaned_ids() {
+                if surplus == 0 {
+                    break;
+                }
+                if self.cluster.server(sid).is_some_and(|s| s.is_empty()) {
+                    to_return.push(sid);
+                    surplus -= 1;
+                }
+            }
+            if !to_return.is_empty() {
+                self.cluster
+                    .return_servers(&to_return)
+                    .map_err(|e| SimError(e.to_string()))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_finish(&mut self, idx: usize, generation: u64) {
+        if self.jobs[idx].generation != generation || self.jobs[idx].state != JobState::Running {
+            return;
+        }
+        self.jobs[idx].sync(self.now_s);
+        debug_assert!(
+            self.jobs[idx].work_left < 1e-6 * self.jobs[idx].spec.work().max(1.0) + 1e-6,
+            "finish event with {} work left",
+            self.jobs[idx].work_left
+        );
+        self.cluster.evict_job(self.jobs[idx].spec.id);
+        let j = &mut self.jobs[idx];
+        j.state = JobState::Done;
+        j.work_left = 0.0;
+        j.rate = 0.0;
+        j.placement.clear();
+        j.flex_placement.clear();
+        j.record.complete_s = Some(self.now_s);
+        self.completed += 1;
+    }
+
+    /// Runs the simulation to completion and produces the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on internal inconsistencies (a policy emitting
+    /// infeasible actions), which indicate bugs rather than workload
+    /// conditions.
+    pub fn run(mut self, name: &str) -> Result<SimReport, SimError> {
+        let n_jobs = self.jobs.len();
+        let last_submit = self
+            .jobs
+            .iter()
+            .map(|j| j.spec.submit_time_s)
+            .fold(0.0, f64::max);
+        let horizon = last_submit + self.config.drain_horizon_s;
+        while let Some(Reverse(event)) = self.events.pop() {
+            let t = event.time_ms as f64 / 1000.0;
+            if t > horizon {
+                break;
+            }
+            self.advance_usage(t);
+            self.now_s = t;
+            match event.kind {
+                EventKind::Arrival(idx) => {
+                    self.arrived += 1;
+                    self.enqueue(idx);
+                }
+                EventKind::Finish(idx, generation) => {
+                    self.handle_finish(idx, generation);
+                }
+                EventKind::SchedulerTick => {
+                    let launched = self.handle_scheduler_tick()?;
+                    // Stuck detection: every job has arrived, nothing is
+                    // running and the scheduler keeps starting nothing.
+                    // Legitimate waits exist (e.g. opportunistic jobs
+                    // waiting out an inference-traffic peak), so only a
+                    // *prolonged* total stall — two simulated days —
+                    // declares the remaining jobs unschedulable.
+                    let running_any = self.jobs.iter().any(|j| j.state == JobState::Running);
+                    let stalled = launched == 0
+                        && !running_any
+                        && self.arrived == n_jobs
+                        && !self.queue.is_empty();
+                    if stalled {
+                        let since = *self.stuck_since_s.get_or_insert(self.now_s);
+                        if self.now_s - since > 2.0 * 86_400.0 {
+                            break;
+                        }
+                    } else {
+                        self.stuck_since_s = None;
+                    }
+                    if self.completed < n_jobs {
+                        self.push_event(
+                            self.now_s + self.config.scheduler_interval_s,
+                            EventKind::SchedulerTick,
+                        );
+                    }
+                }
+                EventKind::OrchestratorTick => {
+                    self.handle_orchestrator_tick()?;
+                    if self.completed < n_jobs {
+                        self.push_event(
+                            self.now_s + self.config.orchestrator_interval_s,
+                            EventKind::OrchestratorTick,
+                        );
+                    }
+                }
+            }
+            if self.completed >= n_jobs {
+                // Drain: no more work will be created.
+                break;
+            }
+        }
+        Ok(self.report(name))
+    }
+
+    /// Utilisation of an integral truncated to the usage horizon.
+    fn horizon_utilization(&self, integral: &UsageIntegral) -> f64 {
+        if self.config.usage_horizon_s <= 0.0 {
+            return integral.utilization();
+        }
+        let hours = (self.config.usage_horizon_s / 3600.0).ceil() as usize;
+        let (busy, cap) = integral
+            .hourly
+            .iter()
+            .take(hours)
+            .fold((0.0, 0.0), |(b, c), (hb, hc)| (b + hb, c + hc));
+        if cap > 0.0 {
+            busy / cap
+        } else {
+            0.0
+        }
+    }
+
+    fn report(&self, name: &str) -> SimReport {
+        let mut records: Vec<JobRecord> = self.jobs.iter().map(|j| j.record).collect();
+        // Jobs still queued at the end accrued queue time that was never
+        // folded in (it is normally added at launch).
+        for (r, j) in records.iter_mut().zip(&self.jobs) {
+            if j.state == JobState::Pending {
+                r.queue_s += (self.now_s - j.enqueued_at_s).max(0.0);
+            }
+        }
+        let queuing: Vec<f64> = records.iter().map(|r| r.queue_s).collect();
+        let jct: Vec<f64> = records.iter().filter_map(|r| r.jct_s()).collect();
+        let on_loan: Vec<&JobRecord> = records.iter().filter(|r| r.ran_on_loan).collect();
+        let on_loan_queuing: Vec<f64> = on_loan.iter().map(|r| r.queue_s).collect();
+        let on_loan_jct: Vec<f64> = on_loan.iter().filter_map(|r| r.jct_s()).collect();
+        let preemptions: u32 = records.iter().map(|r| r.preemptions).sum();
+        let gpus_per_server = f64::from(self.cluster.config.gpus_per_server);
+        let collateral: Vec<f64> = self
+            .reclaims
+            .iter()
+            .filter(|r| r.demanded > 0)
+            .map(|r| f64::from(r.collateral_gpus) / (f64::from(r.demanded) * gpus_per_server))
+            .collect();
+        let flex_frac: Vec<f64> = self
+            .reclaims
+            .iter()
+            .filter(|r| r.demanded > 0)
+            .map(|r| f64::from(r.returned_flex) / f64::from(r.demanded))
+            .collect();
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        SimReport {
+            name: name.to_string(),
+            queuing: percentiles(&queuing),
+            jct: percentiles(&jct),
+            training_usage: self.horizon_utilization(&self.training_usage),
+            overall_usage: self.horizon_utilization(&self.overall_usage),
+            on_loan_usage: self.horizon_utilization(&self.on_loan_usage),
+            on_loan_server_usage: self.horizon_utilization(&self.on_loan_servers),
+            hourly_on_loan_server_usage: self.on_loan_servers.hourly_utilization(),
+            preemption_ratio: f64::from(preemptions) / records.len().max(1) as f64,
+            collateral_damage: mean(&collateral),
+            flex_satisfied: mean(&flex_frac),
+            completed: self.completed,
+            submitted: records.len(),
+            loan_ops: self.loan_ops,
+            reclaim_ops: self.reclaims.len(),
+            scaling_ops: self.scaling_ops,
+            rm_ops: self.rm.log().len(),
+            control_plane_latency_s: self.rm.total_latency_s(),
+            hourly_overall_usage: self.overall_usage.hourly_utilization(),
+            hourly_on_loan_usage: self.on_loan_usage.hourly_utilization(),
+            on_loan_queuing: percentiles(&on_loan_queuing),
+            on_loan_jct: percentiles(&on_loan_jct),
+            records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lyra_core::job::JobSpec;
+
+    fn running_job(work: f64, rate: f64, now: f64) -> SimJob {
+        let mut j = SimJob::new(JobSpec::inelastic(0, 0.0, 2, 1, work / 2.0));
+        j.state = JobState::Running;
+        j.work_left = work;
+        j.rate = rate;
+        j.synced_at_s = now;
+        j.stall_until_s = now;
+        j
+    }
+
+    #[test]
+    fn progress_drains_at_rate() {
+        let j = running_job(100.0, 2.0, 10.0);
+        assert_eq!(j.work_left_at(10.0), 100.0);
+        assert_eq!(j.work_left_at(35.0), 50.0);
+        assert_eq!(j.work_left_at(60.0), 0.0);
+        assert_eq!(j.work_left_at(1000.0), 0.0, "clamped at zero");
+    }
+
+    #[test]
+    fn stall_delays_progress_and_finish() {
+        let mut j = running_job(100.0, 2.0, 10.0);
+        j.stall(10.0, 20.0); // paused until t=30
+        assert_eq!(j.work_left_at(30.0), 100.0);
+        assert_eq!(j.work_left_at(40.0), 80.0);
+        assert_eq!(j.finish_time(10.0), Some(30.0 + 50.0));
+        // Stalls accumulate.
+        j.stall(10.0, 5.0);
+        assert_eq!(j.stall_until_s, 35.0);
+    }
+
+    #[test]
+    fn sync_is_idempotent() {
+        let mut j = running_job(100.0, 4.0, 0.0);
+        j.sync(5.0);
+        assert_eq!(j.work_left, 80.0);
+        j.sync(5.0);
+        assert_eq!(j.work_left, 80.0);
+        j.sync(10.0);
+        assert_eq!(j.work_left, 60.0);
+    }
+
+    #[test]
+    fn pending_jobs_make_no_progress() {
+        let mut j = running_job(100.0, 2.0, 0.0);
+        j.state = JobState::Pending;
+        assert_eq!(j.work_left_at(1e9), 100.0);
+        assert_eq!(j.finish_time(0.0), None);
+    }
+
+    #[test]
+    fn assignment_merge_and_remove() {
+        let mut a = vec![(ServerId(1), 2u32)];
+        Simulation::merge_assignment(&mut a, &[(ServerId(1), 1), (ServerId(2), 3)]);
+        assert_eq!(a, vec![(ServerId(1), 3), (ServerId(2), 3)]);
+        Simulation::remove_assignment(&mut a, &[(ServerId(2), 3)]).unwrap();
+        assert_eq!(a, vec![(ServerId(1), 3)]);
+        assert!(Simulation::remove_assignment(&mut a, &[(ServerId(1), 5)]).is_err());
+        assert!(Simulation::remove_assignment(&mut a, &[(ServerId(9), 1)]).is_err());
+    }
+
+    #[test]
+    fn event_ordering_is_time_then_seq() {
+        let a = Event {
+            time_ms: 10,
+            seq: 5,
+            kind: EventKind::SchedulerTick,
+        };
+        let b = Event {
+            time_ms: 10,
+            seq: 6,
+            kind: EventKind::OrchestratorTick,
+        };
+        let c = Event {
+            time_ms: 9,
+            seq: 99,
+            kind: EventKind::Arrival(0),
+        };
+        assert!(c < a && a < b);
+    }
+}

@@ -1,0 +1,352 @@
+//! Metrics collection: the quantities §7 reports.
+//!
+//! Per-job records feed the queuing-time and JCT distributions; a
+//! piecewise-constant usage integral (split across hourly buckets) feeds
+//! the cluster-usage columns of Table 5 and the time series of Figures 7
+//! and 9; per-reclaim records feed the preemption-ratio and
+//! collateral-damage comparisons of Figure 10.
+
+use lyra_core::job::JobId;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample (all in the sample's unit).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Percentiles {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// Computes [`Percentiles`] of a sample (empty sample → zeros).
+pub fn percentiles(values: &[f64]) -> Percentiles {
+    if values.is_empty() {
+        return Percentiles::default();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric values are not NaN"));
+    let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
+    Percentiles {
+        mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        p50: q(0.50),
+        p75: q(0.75),
+        p95: q(0.95),
+        p99: q(0.99),
+    }
+}
+
+/// Per-job outcome record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job identity.
+    pub id: JobId,
+    /// Submission time.
+    pub submit_s: f64,
+    /// First time the job started running.
+    pub first_start_s: Option<f64>,
+    /// Completion time.
+    pub complete_s: Option<f64>,
+    /// Total time spent waiting in the queue (including re-queues).
+    pub queue_s: f64,
+    /// Times the job was preempted.
+    pub preemptions: u32,
+    /// Whether any of its workers ever ran on an on-loan server.
+    pub ran_on_loan: bool,
+    /// Scaling operations applied to it.
+    pub scaling_ops: u32,
+}
+
+impl JobRecord {
+    /// Creates the record at submission.
+    pub fn new(id: JobId, submit_s: f64) -> Self {
+        JobRecord {
+            id,
+            submit_s,
+            first_start_s: None,
+            complete_s: None,
+            queue_s: 0.0,
+            preemptions: 0,
+            ran_on_loan: false,
+            scaling_ops: 0,
+        }
+    }
+
+    /// Job completion time (completion − submission), if completed.
+    pub fn jct_s(&self) -> Option<f64> {
+        self.complete_s.map(|c| c - self.submit_s)
+    }
+}
+
+/// One reclaiming operation's outcome, for Figure 10's metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReclaimRecord {
+    /// When it happened.
+    pub time_s: f64,
+    /// Servers the inference cluster asked for.
+    pub demanded: u32,
+    /// Servers returned via the flexible group (elastic scale-in, no
+    /// preemption).
+    pub returned_flex: u32,
+    /// Servers that were already idle.
+    pub returned_idle: u32,
+    /// Servers returned via preemption.
+    pub returned_preempt: u32,
+    /// Jobs preempted.
+    pub preempted: u32,
+    /// GPUs vacated beyond the demand.
+    pub collateral_gpus: u32,
+}
+
+/// Piecewise-constant usage integral with hourly buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UsageIntegral {
+    last_time_s: f64,
+    /// Total busy GPU-seconds.
+    pub busy_gpu_s: f64,
+    /// Total capacity GPU-seconds.
+    pub capacity_gpu_s: f64,
+    /// Per-hour `(busy, capacity)` GPU-seconds.
+    pub hourly: Vec<(f64, f64)>,
+}
+
+impl UsageIntegral {
+    /// Creates an empty integral starting at time zero.
+    pub fn new() -> Self {
+        UsageIntegral {
+            last_time_s: 0.0,
+            busy_gpu_s: 0.0,
+            capacity_gpu_s: 0.0,
+            hourly: Vec::new(),
+        }
+    }
+
+    /// Accrues `busy`/`capacity` GPUs as constant over
+    /// `[last_time, now]`, splitting across hour boundaries.
+    pub fn advance(&mut self, now_s: f64, busy: f64, capacity: f64) {
+        if now_s <= self.last_time_s {
+            self.last_time_s = self.last_time_s.max(now_s);
+            return;
+        }
+        let mut t = self.last_time_s;
+        while t < now_s {
+            let hour = (t / 3600.0).floor() as usize;
+            let hour_end = (hour as f64 + 1.0) * 3600.0;
+            let seg_end = now_s.min(hour_end);
+            let dt = seg_end - t;
+            while self.hourly.len() <= hour {
+                self.hourly.push((0.0, 0.0));
+            }
+            self.hourly[hour].0 += busy * dt;
+            self.hourly[hour].1 += capacity * dt;
+            self.busy_gpu_s += busy * dt;
+            self.capacity_gpu_s += capacity * dt;
+            t = seg_end;
+        }
+        self.last_time_s = now_s;
+    }
+
+    /// Overall utilisation (busy over capacity), 0 when empty.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_gpu_s > 0.0 {
+            self.busy_gpu_s / self.capacity_gpu_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Hourly utilisation series (hours with zero capacity yield 0).
+    pub fn hourly_utilization(&self) -> Vec<f64> {
+        self.hourly
+            .iter()
+            .map(|(b, c)| if *c > 0.0 { b / c } else { 0.0 })
+            .collect()
+    }
+}
+
+impl Default for UsageIntegral {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Everything a simulation run reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Scheme/scenario label.
+    pub name: String,
+    /// Queuing-time distribution, seconds.
+    pub queuing: Percentiles,
+    /// JCT distribution, seconds.
+    pub jct: Percentiles,
+    /// Training-cluster GPU utilisation (dedicated servers).
+    pub training_usage: f64,
+    /// Combined training + inference utilisation (Table 5's "Overall").
+    pub overall_usage: f64,
+    /// GPU-level utilisation of on-loan servers while loaned.
+    pub on_loan_usage: f64,
+    /// Fraction of on-loan servers hosting at least one worker (Figure
+    /// 9's metric, matching Figure 1's "serving at least one request"
+    /// convention).
+    pub on_loan_server_usage: f64,
+    /// Hourly series of the same (Figure 9).
+    pub hourly_on_loan_server_usage: Vec<f64>,
+    /// Preemptions over job submissions (Table 5's "Preemption Ratio").
+    pub preemption_ratio: f64,
+    /// Mean collateral damage per reclaim, as a fraction of the demand in
+    /// GPUs (Figure 10).
+    pub collateral_damage: f64,
+    /// Mean fraction of each reclaim demand satisfied by the flexible
+    /// group alone (§7.2's 53.5 % statistic).
+    pub flex_satisfied: f64,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Total jobs submitted.
+    pub submitted: usize,
+    /// Loan operations performed.
+    pub loan_ops: usize,
+    /// Reclaim operations performed.
+    pub reclaim_ops: usize,
+    /// Elastic scaling operations performed.
+    pub scaling_ops: usize,
+    /// Resource-manager operations issued (container launches/kills and
+    /// whitelist moves, §6).
+    pub rm_ops: usize,
+    /// Modelled control-plane latency those operations cost, seconds.
+    pub control_plane_latency_s: f64,
+    /// Hourly combined-usage series (Figure 7).
+    pub hourly_overall_usage: Vec<f64>,
+    /// Hourly on-loan usage series (Figure 9).
+    pub hourly_on_loan_usage: Vec<f64>,
+    /// Queuing-time distribution of jobs that ran on on-loan servers
+    /// (Table 7), seconds.
+    pub on_loan_queuing: Percentiles,
+    /// JCT distribution of jobs that ran on on-loan servers (Table 7).
+    pub on_loan_jct: Percentiles,
+    /// Per-job records for downstream analysis (Figure 2 etc.).
+    pub records: Vec<JobRecord>,
+}
+
+impl SimReport {
+    /// Fraction of jobs submitted in each hour that had to queue — the
+    /// Figure 2 series. A job "queues" when its first start is more than
+    /// `tolerance_s` after submission.
+    pub fn hourly_queuing_ratio(&self, tolerance_s: f64) -> Vec<f64> {
+        let mut per_hour: Vec<(usize, usize)> = Vec::new();
+        for r in &self.records {
+            let hour = (r.submit_s / 3600.0).floor() as usize;
+            while per_hour.len() <= hour {
+                per_hour.push((0, 0));
+            }
+            per_hour[hour].1 += 1;
+            let queued = match r.first_start_s {
+                Some(t) => t - r.submit_s > tolerance_s,
+                None => true,
+            };
+            if queued {
+                per_hour[hour].0 += 1;
+            }
+        }
+        per_hour
+            .iter()
+            .map(|(q, n)| if *n > 0 { *q as f64 / *n as f64 } else { 0.0 })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_sample() {
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        let p = percentiles(&values);
+        assert!((p.mean - 50.5).abs() < 1e-9);
+        assert_eq!(p.p50, 50.0);
+        assert_eq!(p.p95, 95.0);
+        assert_eq!(p.p99, 99.0);
+    }
+
+    #[test]
+    fn percentiles_empty_and_singleton() {
+        assert_eq!(percentiles(&[]), Percentiles::default());
+        let p = percentiles(&[7.0]);
+        assert_eq!(p.mean, 7.0);
+        assert_eq!(p.p99, 7.0);
+    }
+
+    #[test]
+    fn usage_integral_splits_hours() {
+        let mut u = UsageIntegral::new();
+        // 4 GPUs busy of 8, from t=1800 to t=5400 (spans the 3600 mark).
+        u.advance(1800.0, 0.0, 8.0);
+        u.advance(5400.0, 4.0, 8.0);
+        assert_eq!(u.hourly.len(), 2);
+        assert!((u.hourly[0].0 - 4.0 * 1800.0).abs() < 1e-6);
+        assert!((u.hourly[1].0 - 4.0 * 1800.0).abs() < 1e-6);
+        assert!((u.utilization() - (4.0 * 3600.0) / (8.0 * 5400.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn usage_integral_ignores_time_travel() {
+        let mut u = UsageIntegral::new();
+        u.advance(100.0, 1.0, 2.0);
+        u.advance(50.0, 5.0, 5.0); // no-op
+        assert!((u.busy_gpu_s - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn job_record_jct() {
+        let mut r = JobRecord::new(JobId(1), 100.0);
+        assert_eq!(r.jct_s(), None);
+        r.complete_s = Some(350.0);
+        assert_eq!(r.jct_s(), Some(250.0));
+    }
+
+    #[test]
+    fn hourly_queuing_ratio_counts_waits() {
+        let mut records = vec![JobRecord::new(JobId(0), 100.0)];
+        records[0].first_start_s = Some(110.0); // fast start
+        let mut late = JobRecord::new(JobId(1), 200.0);
+        late.first_start_s = Some(800.0); // queued
+        records.push(late);
+        let mut never = JobRecord::new(JobId(2), 4000.0); // hour 1, never ran
+        never.first_start_s = None;
+        records.push(never);
+        let report = SimReport {
+            name: "t".into(),
+            queuing: Percentiles::default(),
+            jct: Percentiles::default(),
+            training_usage: 0.0,
+            overall_usage: 0.0,
+            on_loan_usage: 0.0,
+            on_loan_server_usage: 0.0,
+            hourly_on_loan_server_usage: vec![],
+            preemption_ratio: 0.0,
+            collateral_damage: 0.0,
+            flex_satisfied: 0.0,
+            completed: 0,
+            submitted: 3,
+            loan_ops: 0,
+            reclaim_ops: 0,
+            scaling_ops: 0,
+            rm_ops: 0,
+            control_plane_latency_s: 0.0,
+            hourly_overall_usage: vec![],
+            hourly_on_loan_usage: vec![],
+            on_loan_queuing: Percentiles::default(),
+            on_loan_jct: Percentiles::default(),
+            records,
+        };
+        let ratio = report.hourly_queuing_ratio(60.0);
+        assert_eq!(ratio.len(), 2);
+        assert!((ratio[0] - 0.5).abs() < 1e-9);
+        assert_eq!(ratio[1], 1.0);
+    }
+}

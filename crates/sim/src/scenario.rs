@@ -1,0 +1,537 @@
+//! Scenario definitions and the runner — the configurations of Table 5
+//! and the deep-dive experiments (§7.1).
+//!
+//! A [`Scenario`] names a (cluster, policy, loaning, engine) combination;
+//! [`run_scenario`] wires the traces, cluster state, policy, orchestrator
+//! and inference scheduler into a [`Simulation`] and returns its
+//! [`SimReport`]. Trace *transforms* implement the scenario definitions:
+//! `Ideal` makes every job elastic/fungible/hetero with perfect
+//! performance, `Heterogeneous` disables the fungible load, imperfect
+//! scaling swaps elastic jobs' curves for the 20 %-loss model, and the
+//! checkpoint/elastic-fraction sweeps of Figures 13–16 rewrite job flags.
+
+use crate::engine::{SimConfig, SimError, Simulation};
+use crate::metrics::SimReport;
+use lyra_cluster::inference::InferenceScheduler;
+use lyra_cluster::orchestrator::{Orchestrator, ReclaimPolicy};
+use lyra_cluster::state::{ClusterConfig, ClusterState};
+use lyra_core::job::{Elasticity, JobSpec, ModelFamily, ScalingCurve};
+use lyra_core::policies::{
+    AfsScheduler, FifoScheduler, GandivaScheduler, JobScheduler, LyraConfig, LyraScheduler,
+    PolluxConfig, PolluxScheduler,
+};
+use lyra_core::AllocationConfig;
+use lyra_core::PlacementConfig;
+use lyra_predictor::{LstmConfig, RuntimeEstimator, RuntimeEstimatorConfig, UsagePredictor};
+use lyra_trace::{InferenceTrace, JobTrace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which job scheduler a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Strict FIFO (the Baseline).
+    Fifo,
+    /// FIFO with backfill.
+    FifoBackfill,
+    /// FIFO with fungible jobs queued to the inference cluster only
+    /// (Opportunistic Scheduling).
+    Opportunistic,
+    /// Lyra's full two-phase scheduler.
+    Lyra,
+    /// Lyra with the elastic phase disabled (capacity-loaning-only rows).
+    LyraNoElastic,
+    /// Lyra without §5.3's special elastic placement (Table 6).
+    LyraNaivePlacement,
+    /// Gandiva comparator.
+    Gandiva,
+    /// AFS comparator.
+    Afs,
+    /// Pollux comparator (goodput GA + tuning).
+    Pollux,
+    /// Lyra with least-attained-service phase-1 ordering — the
+    /// information-agnostic variant the paper names as future work.
+    LyraLas,
+    /// Lyra with the greedy phase-2 solver instead of the knapsack
+    /// (ablation of §5.2's design choice).
+    LyraGreedyPhase2,
+}
+
+/// A full experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Label used in reports.
+    pub name: String,
+    /// Cluster shape.
+    pub cluster: ClusterConfig,
+    /// Job-scheduling policy.
+    pub policy: PolicyKind,
+    /// Capacity loaning with this reclaim policy; `None` disables
+    /// loaning entirely.
+    pub loaning: Option<ReclaimPolicy>,
+    /// Engine parameters.
+    pub sim: SimConfig,
+    /// Running-time estimator (Table 9 injects error here).
+    pub estimator: RuntimeEstimatorConfig,
+    /// Train the LSTM predictor on the utilisation trace and reclaim in
+    /// advance (§6).
+    pub use_predictor: bool,
+    /// Drive the inference side's capacity target through the Erlang-C
+    /// latency model instead of proportional busy GPUs.
+    pub use_capacity_model: bool,
+    /// Seed for the orchestrator's randomised comparators.
+    pub seed: u64,
+}
+
+impl Scenario {
+    fn base(name: &str) -> Self {
+        Scenario {
+            name: name.to_string(),
+            cluster: ClusterConfig::default(),
+            policy: PolicyKind::Lyra,
+            loaning: Some(ReclaimPolicy::Lyra),
+            sim: SimConfig::default(),
+            estimator: RuntimeEstimatorConfig::default(),
+            use_predictor: false,
+            use_capacity_model: false,
+            seed: 0xCAFE,
+        }
+    }
+
+    /// Table 5 row 1: FIFO, no loaning, no scaling.
+    ///
+    /// Skips blocked jobs (YARN-style FIFO apps run whenever they fit):
+    /// the paper's Baseline has a 55 s *median* queuing time at 82 %
+    /// utilisation, which is incompatible with head-of-line blocking.
+    pub fn baseline() -> Self {
+        Scenario {
+            policy: PolicyKind::FifoBackfill,
+            loaning: None,
+            ..Self::base("baseline")
+        }
+    }
+
+    /// Table 5 row 2: the default Lyra configuration (fungible loaning +
+    /// elastic scaling, no heterogeneous training).
+    pub fn basic() -> Self {
+        Self::base("basic")
+    }
+
+    /// Table 5 row 5: everything elastic/fungible/hetero at ideal
+    /// performance (run on an idealised trace, see
+    /// [`transform::idealize`]).
+    pub fn ideal() -> Self {
+        let mut s = Self::base("ideal");
+        s.sim.hetero_efficiency = 1.0;
+        s
+    }
+
+    /// Capacity-loaning-only rows (7–9): FIFO job scheduling plus loaning
+    /// under the given reclaim policy.
+    pub fn loaning_only(reclaim: ReclaimPolicy, name: &str) -> Self {
+        Scenario {
+            policy: PolicyKind::FifoBackfill,
+            loaning: Some(reclaim),
+            ..Self::base(name)
+        }
+    }
+
+    /// Row 6: opportunistic scheduling of fungible jobs on idle inference
+    /// servers (no managed loaning; evictions are random).
+    pub fn opportunistic() -> Self {
+        Scenario {
+            policy: PolicyKind::Opportunistic,
+            loaning: Some(ReclaimPolicy::Random),
+            ..Self::base("opportunistic")
+        }
+    }
+
+    /// Elastic-scaling-only rows (10–14): the given policy on the fixed
+    /// training cluster.
+    pub fn elastic_only(policy: PolicyKind, name: &str) -> Self {
+        Scenario {
+            policy,
+            loaning: None,
+            ..Self::base(name)
+        }
+    }
+
+    /// Lyra+TunedJobs (row 14): Lyra scheduling with the tuning agent's
+    /// goodput gain applied to elastic jobs.
+    pub fn lyra_tuned() -> Self {
+        let mut s = Self::elastic_only(PolicyKind::Lyra, "lyra+tuned");
+        s.sim.tuned = true;
+        s
+    }
+
+    /// The testbed shape of §7.5 (4 + 4 × 8-GPU servers).
+    pub fn with_testbed_cluster(mut self) -> Self {
+        self.cluster = ClusterConfig::testbed();
+        self
+    }
+}
+
+/// Trace transforms implementing scenario definitions.
+pub mod transform {
+    use super::*;
+
+    /// Makes every job elastic (`[demand, 2·demand]`), fungible and
+    /// hetero-capable — the Ideal scenario's "for jobs without a
+    /// pre-defined scaling range, we consider its requested demand to be
+    /// the base demand, and its scaling range is twice that".
+    pub fn idealize(trace: &mut JobTrace) {
+        for job in &mut trace.jobs {
+            if job.elasticity.is_none() {
+                // Keep the same total work: the old running time was at
+                // `demand` workers; at the new `w_max = 2·demand` the
+                // minimum running time halves (linear scaling).
+                let old_rt = job.running_time(job.demand);
+                job.elasticity = Some(Elasticity::new(job.demand.max(1), job.demand.max(1) * 2));
+                let s_min = job.curve.speedup(job.w_min());
+                let s_max = job.curve.speedup(job.w_max());
+                job.min_running_time_s = old_rt * s_min / s_max;
+                if job.model == ModelFamily::Generic {
+                    job.model = ModelFamily::ResNet50;
+                }
+            }
+            job.fungible = true;
+            job.hetero_capable = true;
+        }
+    }
+
+    /// Converts a target fraction of jobs to elastic (Figures 14–16's
+    /// sweep), deterministically by seed.
+    pub fn set_elastic_fraction(trace: &mut JobTrace, fraction: f64, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for job in &mut trace.jobs {
+            let make = rng.gen_bool(fraction.clamp(0.0, 1.0));
+            if make && job.elasticity.is_none() {
+                let old_rt = job.running_time(job.demand);
+                job.elasticity = Some(Elasticity::new(job.demand.max(1), job.demand.max(1) * 2));
+                let s_min = job.curve.speedup(job.w_min());
+                let s_max = job.curve.speedup(job.w_max());
+                job.min_running_time_s = old_rt * s_min / s_max;
+                job.fungible = true;
+                if job.model == ModelFamily::Generic {
+                    job.model = ModelFamily::ResNet50;
+                }
+            } else if !make && job.elasticity.is_some() {
+                // Demote: run at base demand.
+                let rt = job.running_time(job.w_min());
+                job.elasticity = None;
+                job.min_running_time_s = rt;
+            }
+        }
+    }
+
+    /// Applies §7.2's imperfect-scaling model to all elastic jobs: each
+    /// added worker loses 20 % of its throughput.
+    pub fn imperfect_scaling(trace: &mut JobTrace, loss: f64) {
+        for job in &mut trace.jobs {
+            if job.elasticity.is_some() {
+                job.curve = ScalingCurve::PerWorkerLoss { loss };
+            }
+        }
+    }
+
+    /// The Heterogeneous scenario: the fungible load is disabled and the
+    /// given fraction of jobs becomes heterogeneous-capable.
+    pub fn heterogeneous_only(trace: &mut JobTrace, hetero_fraction: f64, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for job in &mut trace.jobs {
+            job.fungible = false;
+            job.hetero_capable = rng.gen_bool(hetero_fraction.clamp(0.0, 1.0));
+        }
+    }
+
+    /// Marks a fraction of jobs as hetero-capable *in addition* to the
+    /// existing flags (the Advanced scenario's extra 10 %).
+    pub fn add_hetero_fraction(trace: &mut JobTrace, fraction: f64, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for job in &mut trace.jobs {
+            if rng.gen_bool(fraction.clamp(0.0, 1.0)) {
+                job.hetero_capable = true;
+            }
+        }
+    }
+
+    /// Sets the checkpointing flag on a fraction of jobs (Figure 13).
+    pub fn set_checkpoint_fraction(trace: &mut JobTrace, fraction: f64, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for job in &mut trace.jobs {
+            job.checkpointing = rng.gen_bool(fraction.clamp(0.0, 1.0));
+        }
+    }
+}
+
+fn build_policy(scenario: &Scenario, inference: &InferenceTrace) -> Box<dyn JobScheduler> {
+    match scenario.policy {
+        PolicyKind::Fifo => Box::new(FifoScheduler::new()),
+        PolicyKind::FifoBackfill => Box::new(FifoScheduler::with_backfill()),
+        PolicyKind::Opportunistic => {
+            // The most the inference cluster can ever lend: its servers
+            // minus the demand at the traffic trough minus headroom.
+            // Fungible jobs larger than that fall back to training.
+            let servers = scenario.cluster.inference_servers;
+            let gpus = scenario.cluster.gpus_per_server;
+            let min_util = inference.samples.iter().copied().fold(1.0_f64, f64::min);
+            let needed_at_trough =
+                ((min_util * f64::from(servers * gpus)) / f64::from(gpus)).ceil() as u32;
+            let headroom = (0.02 * f64::from(servers)).ceil() as u32;
+            let loanable = servers.saturating_sub(needed_at_trough + headroom);
+            Box::new(FifoScheduler::opportunistic(loanable * gpus))
+        }
+        PolicyKind::Lyra => Box::new(LyraScheduler::default()),
+        PolicyKind::LyraNoElastic => Box::new(LyraScheduler::new(LyraConfig::loaning_only())),
+        PolicyKind::LyraNaivePlacement => Box::new(LyraScheduler::new(LyraConfig {
+            allocation: AllocationConfig::default(),
+            placement: PlacementConfig {
+                special_elastic_treatment: false,
+            },
+        })),
+        PolicyKind::Gandiva => Box::new(GandivaScheduler::new()),
+        PolicyKind::Afs => Box::new(AfsScheduler::new()),
+        PolicyKind::Pollux => Box::new(PolluxScheduler::new(PolluxConfig {
+            seed: scenario.seed,
+            ..PolluxConfig::default()
+        })),
+        PolicyKind::LyraLas => Box::new(LyraScheduler::new(LyraConfig {
+            allocation: AllocationConfig {
+                phase1: lyra_core::allocation::Phase1Order::Las,
+                ..AllocationConfig::default()
+            },
+            placement: PlacementConfig::default(),
+        })),
+        PolicyKind::LyraGreedyPhase2 => Box::new(LyraScheduler::new(LyraConfig {
+            allocation: AllocationConfig {
+                phase2: lyra_core::allocation::Phase2Solver::Greedy,
+                ..AllocationConfig::default()
+            },
+            placement: PlacementConfig::default(),
+        })),
+    }
+}
+
+/// Runs one scenario over the given traces.
+///
+/// The job trace must have dense, submission-ordered ids (as produced by
+/// `lyra-trace`). The inference trace is only consulted when the scenario
+/// enables loaning.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] on internal inconsistencies.
+pub fn run_scenario(
+    scenario: &Scenario,
+    jobs: &JobTrace,
+    inference: &InferenceTrace,
+) -> Result<SimReport, SimError> {
+    let cluster = ClusterState::new(scenario.cluster);
+    let policy = build_policy(scenario, inference);
+    // The inference scheduler is always present — its cluster exists and
+    // counts toward overall usage even when loaning is disabled; the
+    // orchestrator (which moves servers) only exists with loaning.
+    let mut inf = InferenceScheduler::new(
+        inference.clone(),
+        scenario.cluster.inference_servers,
+        scenario.cluster.gpus_per_server,
+    );
+    if scenario.use_capacity_model {
+        inf.capacity_model = Some(lyra_cluster::capacity::CapacityEstimator::typical());
+    }
+    if scenario.use_predictor {
+        let mut p = UsagePredictor::new(LstmConfig::default());
+        // Train on the first day of samples (288 points).
+        let train_len = inference.samples.len().min(288);
+        p.train_series(&inference.samples[..train_len], 3);
+        inf.predictor = Some(p);
+    }
+    let orchestrator = scenario
+        .loaning
+        .map(|reclaim| Orchestrator::new(reclaim, scenario.seed));
+    let inference_sched = Some(inf);
+    let estimator = RuntimeEstimator::new(scenario.estimator);
+    let specs: Vec<JobSpec> = jobs.jobs.clone();
+    let mut sim_config = scenario.sim;
+    if sim_config.usage_horizon_s <= 0.0 {
+        sim_config.usage_horizon_s = f64::from(jobs.config.days) * 86_400.0;
+    }
+    if scenario.policy == PolicyKind::LyraNaivePlacement {
+        sim_config.special_placement = false;
+    }
+    let sim = Simulation::new(
+        sim_config,
+        cluster,
+        policy,
+        orchestrator,
+        inference_sched,
+        estimator,
+        specs,
+    );
+    sim.run(&scenario.name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lyra_trace::{InferenceTraceConfig, TraceConfig};
+
+    fn tiny_traces(seed: u64) -> (JobTrace, InferenceTrace) {
+        let jobs = JobTrace::generate(TraceConfig {
+            days: 1,
+            training_gpus: 64,
+            target_load: 0.6,
+            max_demand_gpus: 32,
+            seed,
+            ..TraceConfig::default()
+        });
+        let inf = InferenceTrace::generate(InferenceTraceConfig {
+            days: 2,
+            total_gpus: 64,
+            seed,
+            ..InferenceTraceConfig::default()
+        });
+        (jobs, inf)
+    }
+
+    fn tiny_cluster() -> ClusterConfig {
+        ClusterConfig {
+            training_servers: 8,
+            inference_servers: 8,
+            gpus_per_server: 8,
+        }
+    }
+
+    #[test]
+    fn baseline_runs_to_completion() {
+        let (jobs, inf) = tiny_traces(1);
+        let mut s = Scenario::baseline();
+        s.cluster = tiny_cluster();
+        let report = run_scenario(&s, &jobs, &inf).expect("runs");
+        assert_eq!(report.completed, jobs.jobs.len());
+        assert_eq!(report.preemption_ratio, 0.0, "no loaning → no preemption");
+        assert!(report.jct.mean > 0.0);
+        assert!(report.training_usage > 0.0);
+    }
+
+    #[test]
+    fn basic_beats_baseline_on_queuing() {
+        let (jobs, inf) = tiny_traces(2);
+        let mut base = Scenario::baseline();
+        base.cluster = tiny_cluster();
+        let mut basic = Scenario::basic();
+        basic.cluster = tiny_cluster();
+        let rb = run_scenario(&base, &jobs, &inf).expect("baseline runs");
+        let rl = run_scenario(&basic, &jobs, &inf).expect("lyra runs");
+        assert_eq!(rl.completed, jobs.jobs.len());
+        assert!(
+            rl.queuing.mean <= rb.queuing.mean * 1.05,
+            "lyra {:.0}s vs baseline {:.0}s",
+            rl.queuing.mean,
+            rb.queuing.mean
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (jobs, inf) = tiny_traces(3);
+        let mut s = Scenario::basic();
+        s.cluster = tiny_cluster();
+        let a = run_scenario(&s, &jobs, &inf).expect("runs");
+        let b = run_scenario(&s, &jobs, &inf).expect("runs");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_policies_complete_all_jobs() {
+        let (jobs, inf) = tiny_traces(4);
+        for (kind, loaning) in [
+            (PolicyKind::Fifo, None),
+            (PolicyKind::FifoBackfill, None),
+            (PolicyKind::Gandiva, None),
+            (PolicyKind::Afs, None),
+            (PolicyKind::Pollux, None),
+            (PolicyKind::Lyra, Some(ReclaimPolicy::Lyra)),
+            (PolicyKind::LyraNoElastic, Some(ReclaimPolicy::Scf)),
+            (PolicyKind::Opportunistic, Some(ReclaimPolicy::Random)),
+        ] {
+            let mut s = Scenario::base("policy-test");
+            s.cluster = tiny_cluster();
+            s.policy = kind;
+            s.loaning = loaning;
+            let r = run_scenario(&s, &jobs, &inf).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            if kind == PolicyKind::Opportunistic {
+                // At toy scale some fungible jobs legitimately never fit
+                // the inference cluster's loanable trough.
+                assert!(
+                    r.completed >= jobs.jobs.len() * 85 / 100,
+                    "{kind:?} finished only {}/{}",
+                    r.completed,
+                    jobs.jobs.len()
+                );
+            } else {
+                assert_eq!(
+                    r.completed,
+                    jobs.jobs.len(),
+                    "{kind:?} left jobs unfinished"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idealize_transform_makes_everything_flexible() {
+        let (mut jobs, _) = tiny_traces(5);
+        transform::idealize(&mut jobs);
+        for j in &jobs.jobs {
+            assert!(j.is_elastic());
+            assert!(j.fungible && j.hetero_capable);
+            assert_eq!(j.w_max(), 2 * j.w_min());
+        }
+    }
+
+    #[test]
+    fn idealize_preserves_total_work() {
+        let (mut jobs, _) = tiny_traces(6);
+        let before: Vec<f64> = jobs.jobs.iter().map(|j| j.running_time(j.demand)).collect();
+        transform::idealize(&mut jobs);
+        for (j, rt) in jobs.jobs.iter().zip(before) {
+            assert!(
+                (j.running_time(j.demand) - rt).abs() < 1e-6,
+                "running time at the requested demand is invariant"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_transform_reduces_lost_work() {
+        let (mut jobs, inf) = tiny_traces(7);
+        transform::set_checkpoint_fraction(&mut jobs, 1.0, 9);
+        assert!(jobs.jobs.iter().all(|j| j.checkpointing));
+        let mut s = Scenario::basic();
+        s.cluster = tiny_cluster();
+        let r = run_scenario(&s, &jobs, &inf).expect("runs");
+        assert_eq!(r.completed, jobs.jobs.len());
+    }
+
+    #[test]
+    fn elastic_fraction_transform_hits_target() {
+        let (mut jobs, _) = tiny_traces(8);
+        transform::set_elastic_fraction(&mut jobs, 0.8, 3);
+        let frac =
+            jobs.jobs.iter().filter(|j| j.is_elastic()).count() as f64 / jobs.jobs.len() as f64;
+        assert!((frac - 0.8).abs() < 0.15, "elastic fraction {frac}");
+    }
+
+    #[test]
+    fn imperfect_scaling_swaps_curves() {
+        let (mut jobs, _) = tiny_traces(9);
+        transform::idealize(&mut jobs);
+        transform::imperfect_scaling(&mut jobs, 0.2);
+        assert!(jobs
+            .jobs
+            .iter()
+            .all(|j| j.curve == ScalingCurve::PerWorkerLoss { loss: 0.2 }));
+    }
+}

@@ -1,0 +1,144 @@
+//! Seeded samplers for the distributions the trace generators need.
+//!
+//! Implemented from scratch (Box–Muller for normals, inverse CDF for the
+//! exponential, cumulative search for weighted choice) so the crate only
+//! depends on `rand`'s uniform source.
+
+use rand::Rng;
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a normal with the given mean and standard deviation.
+pub fn normal<R: Rng>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Samples a log-normal given the *median* and the log-space sigma.
+///
+/// `ln X ~ N(ln median, sigma²)`, so the median of `X` is exactly
+/// `median` and the mean is `median · exp(sigma²/2)`.
+///
+/// # Examples
+///
+/// ```
+/// use lyra_trace::distributions::log_normal;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let xs: Vec<f64> = (0..10_000).map(|_| log_normal(&mut rng, 100.0, 1.0)).collect();
+/// let mut sorted = xs.clone();
+/// sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+/// let median = sorted[5_000];
+/// assert!((median / 100.0 - 1.0).abs() < 0.1);
+/// ```
+pub fn log_normal<R: Rng>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    (median.ln() + sigma * standard_normal(rng)).exp()
+}
+
+/// Samples an exponential with the given rate (mean `1/rate`).
+pub fn exponential<R: Rng>(rng: &mut R, rate: f64) -> f64 {
+    let u: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    -u.ln() / rate
+}
+
+/// Picks an index from `weights` proportionally (weights need not sum to
+/// one).
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn weighted_choice<R: Rng>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must have positive mass");
+    let mut x = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn standard_normal_has_zero_mean_unit_variance() {
+        let mut r = rng();
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut r, 10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = rng();
+        let n = 50_000;
+        let mean = (0..n).map(|_| exponential(&mut r, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn log_normal_is_positive_and_heavy_tailed() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| log_normal(&mut r, 60.0, 1.5)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        // Mean = median · exp(sigma²/2) ≈ 60 · 3.08.
+        assert!(mean > 120.0, "heavy tail pulls the mean up: {mean}");
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut r = rng();
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[weighted_choice(&mut r, &[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        let frac2 = counts[2] as f64 / 30_000.0;
+        assert!((frac2 - 0.7).abs() < 0.02, "frac {frac2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive mass")]
+    fn weighted_choice_rejects_zero_mass() {
+        let mut r = rng();
+        weighted_choice(&mut r, &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # lyra-trace
+//!
+//! Synthetic substitutes for the paper's production traces (§7.1).
+//!
+//! The paper drives its evaluation with two proprietary traces we cannot
+//! ship: a 15-day job trace from a 3,544-GPU training cluster (50,390
+//! jobs) and a GPU-utilisation trace from a ~4,160-GPU inference cluster.
+//! This crate generates statistical twins of both:
+//!
+//! * [`jobgen`] — a job-trace generator calibrated to the scheduler-visible
+//!   statistics the paper reports: heavy-tailed running times (minutes to
+//!   days), a demand mix dominated by small jobs with a fat multi-server
+//!   tail, 21 % fungible jobs, ~5 % elastic jobs holding ≈36 % of cluster
+//!   resources with ~14.2 h average runtime, diurnal and weekday-weighted
+//!   arrivals, and a target average utilisation of ~82 %.
+//! * [`inference`] — a diurnal utilisation model matching Figure 1: 42 %
+//!   trough before dawn, ~95 % peak for about four hours at night, ~65 %
+//!   mean, peak-to-trough ≈ 2.2, with autocorrelated noise and short
+//!   traffic bursts whose 5-minute median is ≈2 % of capacity (the origin
+//!   of the paper's 2 % headroom rule).
+//! * [`bootstrap`] — the ten 10-day resampled traces of Figure 12.
+//! * [`io`] — CSV import/export so traces can be inspected and replayed.
+//!
+//! Everything is seeded and deterministic.
+
+pub mod bootstrap;
+pub mod distributions;
+pub mod inference;
+pub mod io;
+pub mod jobgen;
+
+pub use bootstrap::bootstrap_trace;
+pub use inference::{InferenceTrace, InferenceTraceConfig};
+pub use jobgen::{JobTrace, TraceConfig, TraceStats};

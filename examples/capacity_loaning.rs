@@ -1,0 +1,102 @@
+//! Capacity loaning walkthrough: drive the orchestrator by hand through a
+//! loan / fill / reclaim cycle and watch §4's heuristic pick servers.
+//!
+//! ```text
+//! cargo run --release --example capacity_loaning
+//! ```
+
+use lyra::cluster::orchestrator::{Orchestrator, OrchestratorDecision, ReclaimPolicy};
+use lyra::cluster::state::{ClusterConfig, ClusterState};
+use lyra::core::reclaim::{reclaim_random, reclaim_scf, reclaim_servers, CostModel};
+use lyra::core::snapshot::ServerGroup;
+use lyra::core::JobId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A toy cluster: 4 training + 6 inference servers of 8 GPUs.
+    let mut state = ClusterState::new(ClusterConfig {
+        training_servers: 4,
+        inference_servers: 6,
+        gpus_per_server: 8,
+    });
+    let mut orchestrator = Orchestrator::new(ReclaimPolicy::Lyra, 7);
+
+    // Inference traffic is low: 5 servers become available; take them.
+    let decision = orchestrator.execute_loan(&mut state, 5).expect("loan");
+    let loaned = match decision {
+        OrchestratorDecision::Loaned(ids) => ids,
+        other => panic!("unexpected decision {other:?}"),
+    };
+    println!("loaned servers: {loaned:?}");
+
+    // Place training jobs on the loaned servers the way Lyra's placement
+    // would: inelastic bases on one group, elastic flexible workers on a
+    // separate group (§5.3).
+    // - job 0 spans loaned servers 0 and 1 (base demand, 4 GPUs each);
+    // - job 1 fills loaned server 2 alone;
+    // - job 2's *flexible* workers sit on loaned server 3.
+    state
+        .allocate(
+            JobId(0),
+            &[(loaned[0], 1), (loaned[1], 1)],
+            4,
+            ServerGroup::Base,
+        )
+        .expect("job 0 placed");
+    state
+        .allocate(JobId(1), &[(loaned[2], 2)], 4, ServerGroup::Base)
+        .expect("job 1 placed");
+    state
+        .allocate(JobId(2), &[(loaned[3], 2)], 4, ServerGroup::Flexible)
+        .expect("job 2 flexible workers placed");
+    // Loaned server 4 stays idle.
+
+    // Peek at the §4 cost table for the occupied servers.
+    let request = state.reclaim_request(3);
+    println!("\npreemption-cost view of the on-loan servers:");
+    for s in &request.servers {
+        let jobs: Vec<String> = s.jobs.iter().map(|(j, g)| format!("{j}×{g}gpu")).collect();
+        println!("  {}: [{}]", s.id, jobs.join(", "));
+    }
+
+    // Inference traffic rises: 3 servers must come back. Watch the
+    // two-phase reclaim: idle first, flexible group next (scale-in, no
+    // preemption), then the cheapest preemption.
+    let decision = orchestrator
+        .execute_reclaim(&mut state, 3)
+        .expect("reclaim");
+    match &decision {
+        OrchestratorDecision::Reclaimed {
+            flex_releases,
+            returned_flex,
+            returned_idle,
+            outcome,
+        } => {
+            println!("\nreclaiming 3 servers:");
+            println!("  idle returned:       {returned_idle:?}");
+            println!("  flex-group returned: {returned_flex:?} (scale-ins: {flex_releases:?})");
+            println!("  preempted jobs:      {:?}", outcome.preempted);
+            println!("  preemption returns:  {:?}", outcome.returned);
+        }
+        other => panic!("unexpected decision {other:?}"),
+    }
+    println!("servers still on loan: {:?}", state.loaned_ids());
+
+    // Compare the three reclaiming policies on the same standalone
+    // request (fresh copies, 2 servers of demand against jobs 0 and 1).
+    println!("\npolicy comparison on the remaining instance:");
+    let request = state.reclaim_request(2);
+    let lyra = reclaim_servers(&request, CostModel::ServerFraction);
+    let scf = reclaim_scf(&request);
+    let mut rng = StdRng::seed_from_u64(1);
+    let random = reclaim_random(&request, &mut rng);
+    for (name, out) in [("lyra", &lyra), ("scf", &scf), ("random", &random)] {
+        println!(
+            "  {name:<7} preempts {} job(s), returns {:?}, collateral {} GPUs",
+            out.preempted.len(),
+            out.returned,
+            out.collateral_gpus
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: generate a small workload, run Lyra against the FIFO
+//! baseline, and print the headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lyra::sim::{run_scenario, Scenario};
+use lyra::trace::{InferenceTrace, InferenceTraceConfig, JobTrace, TraceConfig};
+use lyra_cluster::state::ClusterConfig;
+
+fn main() {
+    // A two-day workload for a 32-server training cluster, calibrated to
+    // the paper's trace statistics (§7.1): heavy-tailed runtimes, 21 %
+    // fungible jobs, ~5 % large elastic jobs.
+    let jobs = JobTrace::generate(TraceConfig {
+        days: 2,
+        training_gpus: 32 * 8,
+        seed: 42,
+        ..TraceConfig::default()
+    });
+    let stats = jobs.stats();
+    println!(
+        "workload: {} jobs, {:.0}% fungible, {:.0}% elastic (holding {:.0}% of load)",
+        stats.num_jobs,
+        stats.frac_fungible * 100.0,
+        stats.frac_elastic * 100.0,
+        stats.elastic_resource_share * 100.0,
+    );
+
+    // The neighbouring inference cluster's diurnal utilisation (Figure 1).
+    let inference = InferenceTrace::generate(InferenceTraceConfig {
+        days: 4,
+        total_gpus: 36 * 8,
+        seed: 43,
+        ..InferenceTraceConfig::default()
+    });
+    println!(
+        "inference cluster: mean utilisation {:.0}%, trough/peak {:.0}%/{:.0}%",
+        inference.mean() * 100.0,
+        inference.trough_peak().0 * 100.0,
+        inference.trough_peak().1 * 100.0,
+    );
+
+    let cluster = ClusterConfig {
+        training_servers: 32,
+        inference_servers: 36,
+        gpus_per_server: 8,
+    };
+
+    // Baseline: FIFO, no loaning, no scaling. Lyra: capacity loaning +
+    // elastic scaling with the two-phase scheduler.
+    let mut baseline = Scenario::baseline();
+    baseline.cluster = cluster;
+    let mut lyra = Scenario::basic();
+    lyra.cluster = cluster;
+
+    let rb = run_scenario(&baseline, &jobs, &inference).expect("baseline runs");
+    let rl = run_scenario(&lyra, &jobs, &inference).expect("lyra runs");
+
+    println!(
+        "\n{:<12} {:>12} {:>12} {:>10} {:>10}",
+        "scheme", "queuing(s)", "JCT(s)", "usage", "preempt"
+    );
+    for r in [&rb, &rl] {
+        println!(
+            "{:<12} {:>12.0} {:>12.0} {:>9.0}% {:>9.2}%",
+            r.name,
+            r.queuing.mean,
+            r.jct.mean,
+            r.overall_usage * 100.0,
+            r.preemption_ratio * 100.0,
+        );
+    }
+    println!(
+        "\nLyra reduces mean queuing {:.2}x and mean JCT {:.2}x \
+         (the paper reports 1.53x and 1.48x at full scale).",
+        rb.queuing.mean / rl.queuing.mean.max(1e-9),
+        rb.jct.mean / rl.jct.mean.max(1e-9),
+    );
+}

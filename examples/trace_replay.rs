@@ -1,0 +1,83 @@
+//! Trace replay: export a generated trace to CSV, read it back, and
+//! replay it through the simulator — the workflow the paper uses with its
+//! production traces.
+//!
+//! ```text
+//! cargo run --release --example trace_replay [path/to/trace.csv]
+//! ```
+//!
+//! With a path argument the example replays that CSV instead of
+//! generating one (useful for replaying your own traces through Lyra).
+
+use lyra::sim::{run_scenario, Scenario};
+use lyra::trace::io::{jobs_from_csv, jobs_to_csv};
+use lyra::trace::{InferenceTrace, InferenceTraceConfig, JobTrace, TraceConfig};
+use lyra_cluster::state::ClusterConfig;
+
+fn main() {
+    let config = TraceConfig {
+        days: 1,
+        training_gpus: 16 * 8,
+        seed: 7,
+        ..TraceConfig::default()
+    };
+
+    let trace = match std::env::args().nth(1) {
+        Some(path) => {
+            let csv = std::fs::read_to_string(&path).expect("read trace CSV");
+            let trace = jobs_from_csv(&csv, config).expect("parse trace CSV");
+            println!("replaying {} jobs from {path}", trace.jobs.len());
+            trace
+        }
+        None => {
+            let trace = JobTrace::generate(config);
+            let csv = jobs_to_csv(&trace);
+            let path = std::env::temp_dir().join("lyra-quickstart-trace.csv");
+            std::fs::write(&path, &csv).expect("write trace CSV");
+            println!(
+                "generated {} jobs, exported to {} ({} bytes)",
+                trace.jobs.len(),
+                path.display(),
+                csv.len()
+            );
+            // Round-trip through the codec to prove the export is
+            // faithful.
+            let parsed = jobs_from_csv(&csv, config).expect("parse own export");
+            assert_eq!(parsed.jobs, trace.jobs, "CSV round-trip is lossless");
+            parsed
+        }
+    };
+
+    let stats = trace.stats();
+    println!(
+        "trace stats: offered load {:.2}, median runtime {:.0}s, elastic share {:.0}%",
+        stats.offered_load,
+        stats.median_running_time_s,
+        stats.elastic_resource_share * 100.0
+    );
+
+    let inference = InferenceTrace::generate(InferenceTraceConfig {
+        days: trace.config.days + 2,
+        total_gpus: 18 * 8,
+        seed: 8,
+        ..InferenceTraceConfig::default()
+    });
+    let mut scenario = Scenario::basic();
+    scenario.cluster = ClusterConfig {
+        training_servers: 16,
+        inference_servers: 18,
+        gpus_per_server: 8,
+    };
+    let report = run_scenario(&scenario, &trace, &inference).expect("replay runs");
+    println!(
+        "replay complete: {}/{} jobs finished, mean JCT {:.0}s, mean queuing {:.0}s, \
+         {} loans / {} reclaims / {} scaling ops",
+        report.completed,
+        report.submitted,
+        report.jct.mean,
+        report.queuing.mean,
+        report.loan_ops,
+        report.reclaim_ops,
+        report.scaling_ops,
+    );
+}

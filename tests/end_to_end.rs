@@ -1,0 +1,211 @@
+//! Cross-crate integration tests: full simulations driven end-to-end
+//! through trace generation, cluster management, scheduling policies and
+//! metric collection.
+
+use lyra::cluster::orchestrator::ReclaimPolicy;
+use lyra::cluster::state::ClusterConfig;
+use lyra::sim::{run_scenario, transform, PolicyKind, Scenario};
+use lyra::trace::{InferenceTrace, InferenceTraceConfig, JobTrace, TraceConfig};
+
+fn traces(seed: u64, days: u32, servers: u32) -> (JobTrace, InferenceTrace) {
+    let jobs = JobTrace::generate(TraceConfig {
+        days,
+        training_gpus: servers * 8,
+        max_demand_gpus: (servers * 4).min(64),
+        seed,
+        ..TraceConfig::default()
+    });
+    let inference = InferenceTrace::generate(InferenceTraceConfig {
+        days: days + 3,
+        total_gpus: servers * 8,
+        seed: seed ^ 0xF00,
+        ..InferenceTraceConfig::default()
+    });
+    (jobs, inference)
+}
+
+fn cluster(servers: u32) -> ClusterConfig {
+    ClusterConfig {
+        training_servers: servers,
+        inference_servers: servers,
+        gpus_per_server: 8,
+    }
+}
+
+#[test]
+fn lyra_beats_baseline_on_queuing_and_jct() {
+    let (jobs, inference) = traces(1, 2, 12);
+    let mut baseline = Scenario::baseline();
+    baseline.cluster = cluster(12);
+    let mut lyra = Scenario::basic();
+    lyra.cluster = cluster(12);
+    let rb = run_scenario(&baseline, &jobs, &inference).unwrap();
+    let rl = run_scenario(&lyra, &jobs, &inference).unwrap();
+    assert_eq!(rb.completed, jobs.jobs.len());
+    assert_eq!(rl.completed, jobs.jobs.len());
+    assert!(
+        rl.queuing.mean < rb.queuing.mean,
+        "lyra queuing {:.0}s vs baseline {:.0}s",
+        rl.queuing.mean,
+        rb.queuing.mean
+    );
+    assert!(
+        rl.jct.mean <= rb.jct.mean * 1.02,
+        "lyra JCT {:.0}s vs baseline {:.0}s",
+        rl.jct.mean,
+        rb.jct.mean
+    );
+    assert!(
+        rl.overall_usage > rb.overall_usage,
+        "loaning lifts combined usage: {:.2} vs {:.2}",
+        rl.overall_usage,
+        rb.overall_usage
+    );
+}
+
+#[test]
+fn loaning_alone_reduces_queuing() {
+    let (jobs, inference) = traces(2, 2, 12);
+    let mut baseline = Scenario::baseline();
+    baseline.cluster = cluster(12);
+    let mut loan = Scenario::loaning_only(ReclaimPolicy::Lyra, "loan");
+    loan.cluster = cluster(12);
+    let rb = run_scenario(&baseline, &jobs, &inference).unwrap();
+    let rl = run_scenario(&loan, &jobs, &inference).unwrap();
+    assert!(
+        rl.queuing.mean <= rb.queuing.mean,
+        "loaning {:.0}s vs baseline {:.0}s",
+        rl.queuing.mean,
+        rb.queuing.mean
+    );
+    assert!(rl.loan_ops > 0, "servers were actually loaned");
+    // Some jobs ran on loaned servers.
+    assert!(rl.records.iter().any(|r| r.ran_on_loan));
+}
+
+#[test]
+fn elastic_scaling_alone_reduces_jct() {
+    let (jobs, inference) = traces(3, 2, 12);
+    let mut baseline = Scenario::baseline();
+    baseline.cluster = cluster(12);
+    let mut scaling = Scenario::elastic_only(PolicyKind::Lyra, "scaling");
+    scaling.cluster = cluster(12);
+    let rb = run_scenario(&baseline, &jobs, &inference).unwrap();
+    let rs = run_scenario(&scaling, &jobs, &inference).unwrap();
+    assert!(rs.scaling_ops > 0, "elastic jobs actually scaled");
+    assert!(
+        rs.jct.mean < rb.jct.mean,
+        "scaling JCT {:.0}s vs baseline {:.0}s",
+        rs.jct.mean,
+        rb.jct.mean
+    );
+}
+
+#[test]
+fn ideal_dominates_basic() {
+    let (jobs, inference) = traces(4, 2, 12);
+    let mut basic = Scenario::basic();
+    basic.cluster = cluster(12);
+    let rb = run_scenario(&basic, &jobs, &inference).unwrap();
+    let mut ideal_jobs = jobs.clone();
+    transform::idealize(&mut ideal_jobs);
+    let mut ideal = Scenario::ideal();
+    ideal.cluster = cluster(12);
+    let ri = run_scenario(&ideal, &ideal_jobs, &inference).unwrap();
+    assert!(
+        ri.jct.mean <= rb.jct.mean * 1.05,
+        "ideal JCT {:.0}s vs basic {:.0}s",
+        ri.jct.mean,
+        rb.jct.mean
+    );
+}
+
+#[test]
+fn checkpointing_reduces_preemption_pain() {
+    let (jobs, inference) = traces(5, 2, 10);
+    let mut with_ckpt_jobs = jobs.clone();
+    transform::set_checkpoint_fraction(&mut with_ckpt_jobs, 1.0, 55);
+    let mut scenario = Scenario::basic();
+    scenario.cluster = cluster(10);
+    let plain = run_scenario(&scenario, &jobs, &inference).unwrap();
+    let ckpt = run_scenario(&scenario, &with_ckpt_jobs, &inference).unwrap();
+    // With identical reclaim pressure, checkpointed jobs lose less work,
+    // so tail JCT cannot get meaningfully worse.
+    assert!(
+        ckpt.jct.p95 <= plain.jct.p95 * 1.10,
+        "checkpointing p95 JCT {:.0}s vs {:.0}s",
+        ckpt.jct.p95,
+        plain.jct.p95
+    );
+}
+
+#[test]
+fn reports_are_internally_consistent() {
+    let (jobs, inference) = traces(6, 1, 10);
+    let mut scenario = Scenario::basic();
+    scenario.cluster = cluster(10);
+    let r = run_scenario(&scenario, &jobs, &inference).unwrap();
+    assert_eq!(r.submitted, jobs.jobs.len());
+    assert_eq!(r.records.len(), r.submitted);
+    assert!(r.completed <= r.submitted);
+    for rec in &r.records {
+        if let (Some(start), Some(done)) = (rec.first_start_s, rec.complete_s) {
+            assert!(start >= rec.submit_s, "{:?}", rec.id);
+            assert!(done >= start, "{:?}", rec.id);
+            assert!(rec.queue_s >= 0.0);
+            // Queue time is bounded by total sojourn time.
+            assert!(
+                rec.queue_s <= done - rec.submit_s + 1e-6,
+                "{:?}: queue {} > sojourn {}",
+                rec.id,
+                rec.queue_s,
+                done - rec.submit_s
+            );
+        }
+    }
+    assert!((0.0..=1.0).contains(&r.training_usage));
+    assert!((0.0..=1.0).contains(&r.overall_usage));
+    assert!((0.0..=1.0).contains(&r.on_loan_server_usage));
+}
+
+#[test]
+fn hetero_scenario_uses_both_gpu_types_for_one_job() {
+    // One hetero-capable elastic job bigger than the training pool must
+    // span V100 and T4 servers.
+    let (mut jobs, inference) = traces(7, 1, 6);
+    transform::idealize(&mut jobs);
+    let mut scenario = Scenario::ideal();
+    scenario.cluster = cluster(6);
+    let r = run_scenario(&scenario, &jobs, &inference).unwrap();
+    assert_eq!(r.completed, jobs.jobs.len());
+}
+
+#[test]
+fn estimation_error_degrades_gracefully() {
+    let (jobs, inference) = traces(8, 2, 12);
+    let mut perfect = Scenario::basic();
+    perfect.cluster = cluster(12);
+    let mut wrong = Scenario::basic();
+    wrong.cluster = cluster(12);
+    wrong.estimator.wrong_fraction = 0.6;
+    let rp = run_scenario(&perfect, &jobs, &inference).unwrap();
+    let rw = run_scenario(&wrong, &jobs, &inference).unwrap();
+    assert_eq!(rw.completed, jobs.jobs.len());
+    // Table 9: gains shrink but do not collapse.
+    assert!(
+        rw.jct.mean <= rp.jct.mean * 1.5,
+        "60% wrong estimates: JCT {:.0}s vs {:.0}s",
+        rw.jct.mean,
+        rp.jct.mean
+    );
+}
+
+#[test]
+fn sim_is_deterministic_across_runs() {
+    let (jobs, inference) = traces(9, 1, 8);
+    let mut scenario = Scenario::basic();
+    scenario.cluster = cluster(8);
+    let a = run_scenario(&scenario, &jobs, &inference).unwrap();
+    let b = run_scenario(&scenario, &jobs, &inference).unwrap();
+    assert_eq!(a, b);
+}

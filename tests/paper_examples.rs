@@ -1,0 +1,159 @@
+//! The paper's worked examples, verified end-to-end across crates: the
+//! reclaiming example of Figure 5 / Table 1 driven through the real
+//! cluster state and orchestrator, and the allocation examples of
+//! Tables 2–4 / Figure 6 through the real policy.
+
+use lyra::cluster::orchestrator::{Orchestrator, OrchestratorDecision, ReclaimPolicy};
+use lyra::cluster::state::{ClusterConfig, ClusterState};
+use lyra::core::policies::{JobScheduler, LyraScheduler};
+use lyra::core::snapshot::{Action, PendingJobView, PoolKind, ServerGroup, ServerView, Snapshot};
+use lyra::core::{GpuType, JobId, JobSpec};
+
+/// Builds Figure 5's cluster inside a real `ClusterState`: six loaned
+/// servers; jobs a and b on loan, plus two-server jobs whose remainders
+/// sit on training servers.
+fn figure5_state() -> (ClusterState, Vec<lyra::core::ServerId>) {
+    let mut state = ClusterState::new(ClusterConfig {
+        training_servers: 4,
+        inference_servers: 8,
+        gpus_per_server: 8,
+    });
+    let loaned = state.loan(6).expect("six idle inference servers");
+    let g = ServerGroup::Base;
+    // Job a spans loaned servers 0 and 1 (half each).
+    state
+        .allocate(JobId(0), &[(loaned[0], 1), (loaned[1], 1)], 4, g)
+        .unwrap();
+    // Job b fills loaned server 2.
+    state.allocate(JobId(1), &[(loaned[2], 2)], 4, g).unwrap();
+    // Job c: 80 % on loaned server 3, remainder on a training server.
+    state
+        .allocate(
+            JobId(2),
+            &[(loaned[3], 4), (lyra::core::ServerId(0), 1)],
+            2,
+            g,
+        )
+        .unwrap();
+    // Jobs d and e: 20 % each on loaned server 4, remainders on training.
+    state
+        .allocate(
+            JobId(3),
+            &[(loaned[4], 1), (lyra::core::ServerId(1), 4)],
+            2,
+            g,
+        )
+        .unwrap();
+    state
+        .allocate(
+            JobId(4),
+            &[(loaned[4], 1), (lyra::core::ServerId(2), 4)],
+            2,
+            g,
+        )
+        .unwrap();
+    // Job f: 80 % on loaned server 5, remainder on training.
+    state
+        .allocate(
+            JobId(5),
+            &[(loaned[5], 4), (lyra::core::ServerId(3), 1)],
+            2,
+            g,
+        )
+        .unwrap();
+    (state, loaned)
+}
+
+#[test]
+fn figure5_reclaim_through_the_orchestrator() {
+    let (mut state, loaned) = figure5_state();
+    let mut orchestrator = Orchestrator::new(ReclaimPolicy::Lyra, 1);
+    let decision = orchestrator
+        .execute_reclaim(&mut state, 2)
+        .expect("reclaim");
+    match decision {
+        OrchestratorDecision::Reclaimed { outcome, .. } => {
+            // The optimum: preempt job a alone, returning its server pair.
+            assert_eq!(outcome.preempted, vec![JobId(0)]);
+            let mut returned = outcome.returned.clone();
+            returned.sort();
+            assert_eq!(returned, vec![loaned[0], loaned[1]]);
+        }
+        other => panic!("unexpected decision {other:?}"),
+    }
+    assert_eq!(state.loaned_count(), 4);
+}
+
+#[test]
+fn figure5_scf_preempts_more_jobs_sometimes() {
+    // SCF cannot see job spans; on the Figure 5 instance it still finds a
+    // 1-preemption answer only if its blind job-count ordering happens to
+    // hit the spanning pair. Verify both policies meet the demand and
+    // Lyra never does worse.
+    let (mut s1, _) = figure5_state();
+    let (mut s2, _) = figure5_state();
+    let d1 = Orchestrator::new(ReclaimPolicy::Lyra, 1)
+        .execute_reclaim(&mut s1, 2)
+        .unwrap();
+    let d2 = Orchestrator::new(ReclaimPolicy::Scf, 1)
+        .execute_reclaim(&mut s2, 2)
+        .unwrap();
+    let preempted = |d: &OrchestratorDecision| match d {
+        OrchestratorDecision::Reclaimed { outcome, .. } => outcome.preempted.len(),
+        _ => usize::MAX,
+    };
+    assert!(preempted(&d1) <= preempted(&d2));
+    assert_eq!(d1.servers_returned(), 2);
+    assert_eq!(d2.servers_returned(), 2);
+}
+
+#[test]
+fn table4_resolved_by_the_real_scheduler() {
+    // Table 4: favouring the longer job A is JCT-optimal. The full Lyra
+    // policy (allocation + placement) must give A its third worker.
+    let a = JobSpec::elastic(0, 0.0, 2, 3, 2, 100.0);
+    let b = JobSpec::elastic(1, 0.0, 2, 6, 1, 20.0);
+    let snapshot = Snapshot {
+        time_s: 0.0,
+        servers: vec![ServerView::idle(0, PoolKind::Training, GpuType::V100, 8)],
+        pending: vec![PendingJobView::fresh(a), PendingJobView::fresh(b)],
+        running: vec![],
+    };
+    let actions = LyraScheduler::default().schedule(&snapshot);
+    let workers_of = |job: u64| -> u32 {
+        actions
+            .iter()
+            .map(|action| match action {
+                Action::Launch {
+                    job: j, workers, ..
+                } if j.0 == job => *workers,
+                Action::ScaleOut { job: j, extra, .. } if j.0 == job => *extra,
+                _ => 0,
+            })
+            .sum()
+    };
+    assert_eq!(workers_of(0), 3, "A runs at its maximum");
+    assert_eq!(workers_of(1), 2, "B stays at base");
+}
+
+#[test]
+fn table2_total_allocation_fills_the_cluster() {
+    let a = JobSpec::elastic(0, 0.0, 2, 6, 1, 50.0);
+    let b = JobSpec::elastic(1, 0.0, 2, 6, 1, 20.0);
+    let snapshot = Snapshot {
+        time_s: 0.0,
+        servers: vec![ServerView::idle(0, PoolKind::Training, GpuType::V100, 8)],
+        pending: vec![PendingJobView::fresh(a), PendingJobView::fresh(b)],
+        running: vec![],
+    };
+    let actions = LyraScheduler::default().schedule(&snapshot);
+    let total: u32 = actions
+        .iter()
+        .map(|action| match action {
+            Action::Launch { workers, .. } => *workers,
+            Action::ScaleOut { extra, .. } => *extra,
+            Action::ScaleIn { .. } => 0,
+        })
+        .sum();
+    assert_eq!(total, 8, "all eight workers are allocated");
+}
