@@ -1,0 +1,103 @@
+//! Robustness under failures: Lyra vs FIFO/AFS/Pollux as the injected
+//! server-crash rate rises.
+//!
+//! The paper's production setting loses machines; this experiment checks
+//! that Lyra's elasticity is also a *fault-tolerance* mechanism. When a
+//! server dies, an elastic job whose workers there were all flexible
+//! scales in around the dead host and keeps training, while rigid jobs
+//! restart from a checkpoint (or scratch). Rising failure rates should
+//! therefore hurt Lyra measurably less than the inelastic comparators.
+
+use crate::tables::render;
+use crate::{ExperimentResult, Scale};
+use lyra_sim::{run_scenario, transform, FaultConfig, FaultPlan, PolicyKind, Scenario};
+
+/// Crash-rate sweep (crashes per server per day) × scheduling policy.
+pub fn faults(scale: Scale) -> ExperimentResult {
+    let (mut jobs, inference) = scale.traces(0xFA);
+    // Half the trace elastic, half checkpointing — faults then exercise
+    // every recovery path: absorb, checkpoint restore, scratch restart.
+    transform::set_elastic_fraction(&mut jobs, 0.5, 0xFA);
+    transform::set_checkpoint_fraction(&mut jobs, 0.5, 0xFB);
+    let horizon_s = f64::from(scale.days()) * 86_400.0;
+    let (training, inf_servers) = scale.servers();
+    let servers = training + inf_servers;
+
+    let policies = [
+        ("FIFO", PolicyKind::FifoBackfill, false),
+        ("AFS", PolicyKind::Afs, false),
+        ("Pollux", PolicyKind::Pollux, false),
+        ("Lyra", PolicyKind::Lyra, true),
+    ];
+    let crash_rates = [0.0, 0.2, 1.0];
+
+    let mut rows = vec![vec![
+        "Policy".to_string(),
+        "Crashes/server/day".to_string(),
+        "JCT mean".to_string(),
+        "QT mean".to_string(),
+        "Restarts".to_string(),
+        "Absorbed".to_string(),
+        "Work lost (h)".to_string(),
+        "Deadline misses".to_string(),
+    ]];
+    let mut res = ExperimentResult {
+        experiment: "faults".to_string(),
+        scale: format!("{scale:?}"),
+        series: Vec::new(),
+        reports: Vec::new(),
+    };
+
+    for (label, policy, loaning) in policies {
+        for &rate in &crash_rates {
+            let mut s = if loaning {
+                Scenario::basic()
+            } else {
+                Scenario::elastic_only(policy, label)
+            };
+            s.name = format!("{label}@{rate}");
+            s.policy = policy;
+            s.cluster = scale.cluster_config();
+            if rate > 0.0 {
+                s.faults = Some(FaultPlan::generate(
+                    &FaultConfig {
+                        server_crash_rate_per_day: rate,
+                        worker_failure_rate_per_day: 2.0 * rate * f64::from(servers),
+                        checkpoint_restore_failure_prob: 0.1,
+                        straggler_rate_per_day: rate / 4.0,
+                        dropped_tick_prob: 0.02,
+                        horizon_s,
+                        ..FaultConfig::default()
+                    },
+                    servers,
+                    0xFA017 ^ (rate * 10.0) as u64,
+                ));
+            }
+            let r = run_scenario(&s, &jobs, &inference).expect("fault scenario completes");
+            rows.push(vec![
+                label.to_string(),
+                format!("{rate}"),
+                format!("{:.0}", r.jct.mean),
+                format!("{:.0}", r.queuing.mean),
+                r.fault.restarts.to_string(),
+                r.fault.elastic_absorbed.to_string(),
+                format!("{:.1}", r.fault.work_lost_s / 3_600.0),
+                r.fault.reclaim_deadline_violations.to_string(),
+            ]);
+            res.series.push((
+                format!("{label}@{rate}"),
+                vec![
+                    r.jct.mean,
+                    r.queuing.mean,
+                    f64::from(r.fault.restarts),
+                    f64::from(r.fault.elastic_absorbed),
+                    r.fault.work_lost_s,
+                ],
+            ));
+            res.reports.push(r);
+        }
+    }
+    println!("Robustness: JCT and fault accounting under rising crash rates");
+    println!("{}", render(&rows));
+    res
+}

@@ -6,6 +6,7 @@
 //! returns an [`ExperimentResult`] for JSON archival.
 
 pub mod extensions;
+pub mod faults;
 pub mod jobsched;
 pub mod loaning;
 pub mod mainline;
@@ -47,6 +48,7 @@ pub const ALL: &[&str] = &[
     "ext-granularity",
     "ext-slo",
     "ext-interval",
+    "faults",
 ];
 
 /// Dispatches one experiment by id. Returns `None` for unknown ids.
@@ -83,6 +85,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentResult> {
         "ext-granularity" => extensions::ext_granularity(scale),
         "ext-slo" => extensions::ext_slo(scale),
         "ext-interval" => extensions::ext_interval(scale),
+        "faults" => faults::faults(scale),
         _ => return None,
     })
 }

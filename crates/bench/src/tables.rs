@@ -167,6 +167,7 @@ mod tests {
             hourly_on_loan_usage: vec![],
             on_loan_queuing: Percentiles::default(),
             on_loan_jct: Percentiles::default(),
+            fault: lyra_sim::FaultStats::default(),
             records: vec![],
         }
     }

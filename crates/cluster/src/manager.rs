@@ -38,6 +38,11 @@ pub enum RmOp {
         /// Workers stopped there.
         workers: u32,
     },
+    /// Node marked lost after a health-check failure (fault injection):
+    /// the scheduler must stop placing work there.
+    MarkServerDown(ServerId),
+    /// Node passed health checks again and rejoined its pool.
+    MarkServerUp(ServerId),
 }
 
 /// Latency constants for resource-manager operations, from the testbed
@@ -82,7 +87,10 @@ impl ResourceManager {
     /// Records one op, returning its modelled latency in seconds.
     pub fn submit(&mut self, op: RmOp) -> f64 {
         let latency = match &op {
-            RmOp::AddToWhitelist(_) | RmOp::RemoveFromWhitelist(_) => self.latencies.whitelist_s,
+            RmOp::AddToWhitelist(_)
+            | RmOp::RemoveFromWhitelist(_)
+            | RmOp::MarkServerDown(_)
+            | RmOp::MarkServerUp(_) => self.latencies.whitelist_s,
             RmOp::LaunchContainers { .. } => self.latencies.launch_s,
             RmOp::KillContainers { .. } => self.latencies.kill_s,
         };

@@ -56,6 +56,9 @@ pub enum ClusterError {
     NotWhitelisted(ServerId),
     /// The server is not currently on loan.
     NotLoaned(ServerId),
+    /// The server is down (crashed) and cannot take part in the
+    /// operation.
+    ServerDown(ServerId),
     /// A loaned server cannot be returned while occupied.
     Occupied(ServerId),
     /// An occupancy mutation would overflow or underflow a server.
@@ -67,6 +70,8 @@ pub enum ClusterError {
         /// Servers actually available.
         available: u32,
     },
+    /// The state failed a consistency audit (see [`ClusterState::audit`]).
+    AuditViolation(String),
 }
 
 impl std::fmt::Display for ClusterError {
@@ -75,6 +80,7 @@ impl std::fmt::Display for ClusterError {
             ClusterError::UnknownServer(s) => write!(f, "unknown {s}"),
             ClusterError::NotWhitelisted(s) => write!(f, "{s} is not whitelisted"),
             ClusterError::NotLoaned(s) => write!(f, "{s} is not on loan"),
+            ClusterError::ServerDown(s) => write!(f, "{s} is down"),
             ClusterError::Occupied(s) => write!(f, "{s} still hosts workers"),
             ClusterError::Occupancy(msg) => write!(f, "occupancy violation: {msg}"),
             ClusterError::InsufficientLoanable {
@@ -84,6 +90,7 @@ impl std::fmt::Display for ClusterError {
                 f,
                 "asked to loan {requested} servers, only {available} idle"
             ),
+            ClusterError::AuditViolation(msg) => write!(f, "audit violation: {msg}"),
         }
     }
 }
@@ -98,6 +105,9 @@ pub struct ClusterState {
     servers: BTreeMap<ServerId, Server>,
     whitelist: BTreeSet<ServerId>,
     loaned: BTreeSet<ServerId>,
+    /// Servers currently crashed: off the whitelist, off the loan ledger,
+    /// and ineligible for loans until they recover.
+    down: BTreeSet<ServerId>,
 }
 
 impl ClusterState {
@@ -125,6 +135,7 @@ impl ClusterState {
             servers,
             whitelist,
             loaned: BTreeSet::new(),
+            down: BTreeSet::new(),
         }
     }
 
@@ -132,7 +143,7 @@ impl ClusterState {
     pub fn server_views(&self) -> Vec<ServerView> {
         self.whitelist
             .iter()
-            .map(|id| self.servers[id].view())
+            .filter_map(|id| self.servers.get(id).map(Server::view))
             .collect()
     }
 
@@ -161,13 +172,144 @@ impl ClusterState {
         let mut used = 0;
         let mut total = 0;
         for id in &self.whitelist {
-            let s = &self.servers[id];
+            let Some(s) = self.servers.get(id) else {
+                continue;
+            };
             if s.pool == pool {
                 used += s.used_gpus();
                 total += s.total_gpus;
             }
         }
         (used, total)
+    }
+
+    /// Whether `id` is currently down (crashed).
+    pub fn is_down(&self, id: ServerId) -> bool {
+        self.down.contains(&id)
+    }
+
+    /// Ids of servers currently down, ascending.
+    pub fn down_ids(&self) -> Vec<ServerId> {
+        self.down.iter().copied().collect()
+    }
+
+    /// Crashes a server: every worker on it is lost, it leaves the
+    /// whitelist and the loan ledger, and it stays ineligible for loans
+    /// until [`Self::recover_server`]. Returns the `(job, gpus)` pairs
+    /// that were running there.
+    pub fn crash_server(&mut self, id: ServerId) -> Result<Vec<(JobId, u32)>, ClusterError> {
+        if self.down.contains(&id) {
+            return Err(ClusterError::ServerDown(id));
+        }
+        let s = self
+            .servers
+            .get_mut(&id)
+            .ok_or(ClusterError::UnknownServer(id))?;
+        let victims: Vec<(JobId, u32)> = s.jobs().collect();
+        for (job, _) in &victims {
+            s.evict(*job);
+        }
+        self.whitelist.remove(&id);
+        self.loaned.remove(&id);
+        self.down.insert(id);
+        self.debug_audit();
+        Ok(victims)
+    }
+
+    /// Brings a crashed server back: dedicated training servers rejoin
+    /// the whitelist immediately; inference-owned servers return to the
+    /// inference pool and become loanable again.
+    pub fn recover_server(&mut self, id: ServerId) -> Result<(), ClusterError> {
+        if !self.down.remove(&id) {
+            return Err(ClusterError::UnknownServer(id));
+        }
+        let s = self
+            .servers
+            .get_mut(&id)
+            .ok_or(ClusterError::UnknownServer(id))?;
+        s.group = ServerGroup::Unassigned;
+        if s.gpu_type == GpuType::V100 {
+            s.pool = PoolKind::Training;
+            self.whitelist.insert(id);
+        }
+        self.debug_audit();
+        Ok(())
+    }
+
+    /// Audits the bookkeeping invariants and returns a typed error on the
+    /// first violation:
+    ///
+    /// * per-server GPU accounting never exceeds capacity;
+    /// * the loan ledger is a subset of the whitelist and only ever holds
+    ///   inference-owned (T4) servers;
+    /// * down servers are neither whitelisted nor loaned, and host no
+    ///   workers;
+    /// * no orphaned assignments: servers outside the whitelist host no
+    ///   workers.
+    ///
+    /// Release builds call this explicitly where they want degradation
+    /// instead of a crash; debug builds additionally run it after every
+    /// mutation (via `debug_audit`) so tests fail fast at the corrupting
+    /// operation.
+    pub fn audit(&self) -> Result<(), ClusterError> {
+        let violation = |msg: String| Err(ClusterError::AuditViolation(msg));
+        for s in self.servers.values() {
+            if s.used_gpus() > s.total_gpus {
+                return violation(format!(
+                    "{}: {} GPUs used of {}",
+                    s.id,
+                    s.used_gpus(),
+                    s.total_gpus
+                ));
+            }
+        }
+        for id in &self.whitelist {
+            if !self.servers.contains_key(id) {
+                return violation(format!("whitelisted {id} does not exist"));
+            }
+        }
+        for id in &self.loaned {
+            if !self.whitelist.contains(id) {
+                return violation(format!("loaned {id} is not whitelisted"));
+            }
+            match self.servers.get(id) {
+                Some(s) if s.gpu_type != GpuType::T4 => {
+                    return violation(format!("loaned {id} is a dedicated training server"));
+                }
+                Some(_) => {}
+                None => return violation(format!("loaned {id} does not exist")),
+            }
+        }
+        for id in &self.down {
+            if self.whitelist.contains(id) {
+                return violation(format!("down {id} is still whitelisted"));
+            }
+            if self.loaned.contains(id) {
+                return violation(format!("down {id} is still on the loan ledger"));
+            }
+            if self.servers.get(id).is_some_and(|s| !s.is_empty()) {
+                return violation(format!("down {id} still hosts workers"));
+            }
+        }
+        for s in self.servers.values() {
+            if !self.whitelist.contains(&s.id) && !s.is_empty() {
+                return violation(format!(
+                    "{} hosts workers but is outside the whitelist",
+                    s.id
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// In debug builds, panics at the corrupting mutation instead of
+    /// letting an inconsistency propagate. No-op in release.
+    #[inline]
+    fn debug_audit(&self) {
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.audit() {
+            panic!("cluster-state {e}");
+        }
     }
 
     /// Loans `n` idle inference-owned servers to training, adding them to
@@ -177,7 +319,10 @@ impl ClusterState {
             .servers
             .values()
             .filter(|s| {
-                s.gpu_type == GpuType::T4 && !self.whitelist.contains(&s.id) && s.is_empty()
+                s.gpu_type == GpuType::T4
+                    && !self.whitelist.contains(&s.id)
+                    && !self.down.contains(&s.id)
+                    && s.is_empty()
             })
             .map(|s| s.id)
             .take(n as usize)
@@ -196,6 +341,7 @@ impl ClusterState {
                 s.group = ServerGroup::Unassigned;
             }
         }
+        self.debug_audit();
         Ok(candidates)
     }
 
@@ -218,6 +364,7 @@ impl ClusterState {
             self.whitelist.remove(id);
             self.loaned.remove(id);
         }
+        self.debug_audit();
         Ok(())
     }
 
@@ -255,6 +402,7 @@ impl ClusterState {
                 s.group = group;
             }
         }
+        self.debug_audit();
         Ok(())
     }
 
@@ -284,6 +432,7 @@ impl ClusterState {
             s.release(job, workers * gpus_per_worker)
                 .map_err(ClusterError::Occupancy)?;
         }
+        self.debug_audit();
         Ok(())
     }
 
@@ -298,6 +447,7 @@ impl ClusterState {
         for (job, _) in &jobs {
             s.evict(*job);
         }
+        self.debug_audit();
         Ok(jobs)
     }
 
@@ -311,6 +461,7 @@ impl ClusterState {
                 freed.push((s.id, g));
             }
         }
+        self.debug_audit();
         freed
     }
 
@@ -320,7 +471,7 @@ impl ClusterState {
         self.loaned
             .iter()
             .filter_map(|id| {
-                let s = &self.servers[id];
+                let s = self.servers.get(id)?;
                 (s.group == ServerGroup::Flexible).then(|| (s.id, s.jobs().collect()))
             })
             .collect()
@@ -342,13 +493,13 @@ impl ClusterState {
         let servers: Vec<ReclaimServerView> = self
             .loaned
             .iter()
-            .map(|id| {
-                let s = &self.servers[id];
-                ReclaimServerView {
+            .filter_map(|id| {
+                let s = self.servers.get(id)?;
+                Some(ReclaimServerView {
                     id: s.id,
                     total_gpus: s.total_gpus,
                     jobs: s.jobs().collect(),
-                }
+                })
             })
             .collect();
         let mut jobs: Vec<JobFootprint> = servers
@@ -357,7 +508,7 @@ impl ClusterState {
             .collect::<BTreeSet<JobId>>()
             .into_iter()
             .map(|id| {
-                let (total_servers, total_gpus) = footprints[&id];
+                let (total_servers, total_gpus) = footprints.get(&id).copied().unwrap_or((0, 0));
                 JobFootprint {
                     id,
                     total_servers,
@@ -518,5 +669,73 @@ mod tests {
         assert_eq!(req.jobs[0].total_servers, 2);
         assert_eq!(req.jobs[0].total_gpus, 8);
         req.validate().expect("request is consistent");
+    }
+
+    #[test]
+    fn crash_evicts_and_delists() {
+        let mut c = small();
+        c.allocate(JobId(1), &[(ServerId(0), 2)], 2, ServerGroup::Base)
+            .unwrap();
+        let victims = c.crash_server(ServerId(0)).expect("crashes");
+        assert_eq!(victims, vec![(JobId(1), 4)]);
+        assert!(c.is_down(ServerId(0)));
+        assert_eq!(c.down_ids(), vec![ServerId(0)]);
+        assert_eq!(c.server_views().len(), 1, "left the whitelist");
+        // Down servers reject double-crash and cannot take allocations.
+        assert_eq!(
+            c.crash_server(ServerId(0)),
+            Err(ClusterError::ServerDown(ServerId(0)))
+        );
+        assert!(matches!(
+            c.allocate(JobId(2), &[(ServerId(0), 1)], 1, ServerGroup::Base),
+            Err(ClusterError::NotWhitelisted(_))
+        ));
+    }
+
+    #[test]
+    fn crashed_training_server_recovers_to_whitelist() {
+        let mut c = small();
+        c.crash_server(ServerId(0)).unwrap();
+        c.recover_server(ServerId(0)).expect("recovers");
+        assert!(!c.is_down(ServerId(0)));
+        assert_eq!(c.server_views().len(), 2);
+        assert!(matches!(
+            c.recover_server(ServerId(0)),
+            Err(ClusterError::UnknownServer(_))
+        ));
+    }
+
+    #[test]
+    fn crashed_loaned_server_recovers_to_inference_pool() {
+        let mut c = small();
+        let loaned = c.loan(1).unwrap();
+        c.allocate(JobId(1), &[(loaned[0], 1)], 2, ServerGroup::Flexible)
+            .unwrap();
+        let victims = c.crash_server(loaned[0]).unwrap();
+        assert_eq!(victims.len(), 1);
+        assert_eq!(c.loaned_count(), 0, "off the loan ledger");
+        // While down it cannot be loaned again.
+        assert!(matches!(
+            c.loan(3),
+            Err(ClusterError::InsufficientLoanable { available: 2, .. })
+        ));
+        c.recover_server(loaned[0]).unwrap();
+        assert_eq!(c.server_views().len(), 2, "not auto-rewhitelisted");
+        let again = c.loan(3).expect("recovered server is loanable again");
+        assert!(again.contains(&loaned[0]));
+    }
+
+    #[test]
+    fn audit_accepts_all_legal_histories() {
+        let mut c = small();
+        c.audit().expect("fresh state is consistent");
+        let loaned = c.loan(2).unwrap();
+        c.allocate(JobId(1), &[(ServerId(0), 2), (loaned[0], 1)], 2, ServerGroup::Base)
+            .unwrap();
+        c.crash_server(loaned[1]).unwrap();
+        c.audit().expect("after loan/allocate/crash");
+        c.recover_server(loaned[1]).unwrap();
+        c.evict_job(JobId(1));
+        c.audit().expect("after recover/evict");
     }
 }

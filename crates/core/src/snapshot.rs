@@ -181,6 +181,64 @@ impl Snapshot {
             .map(|s| s.free_gpus)
             .sum()
     }
+
+    /// Checks the snapshot's internal consistency, returning a
+    /// description of the first violation found:
+    ///
+    /// * per-server free GPUs never exceed the installed total;
+    /// * no duplicate server ids;
+    /// * running jobs' placements reference servers in the snapshot,
+    ///   their worker counts sum to `workers`, and the flexible subset
+    ///   never exceeds what the placement holds per server.
+    ///
+    /// The simulator asserts this on every snapshot it builds in debug
+    /// builds; policies may call it on untrusted input.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::BTreeSet::new();
+        for s in &self.servers {
+            if s.free_gpus > s.total_gpus {
+                return Err(format!(
+                    "{}: {} free GPUs of {} installed",
+                    s.id, s.free_gpus, s.total_gpus
+                ));
+            }
+            if !seen.insert(s.id) {
+                return Err(format!("duplicate {}", s.id));
+            }
+        }
+        for r in &self.running {
+            let placed: u32 = r.placement.iter().map(|(_, w)| w).sum();
+            if placed != r.workers {
+                return Err(format!(
+                    "{}: placement holds {placed} workers, job reports {}",
+                    r.spec.id, r.workers
+                ));
+            }
+            if r.flexible_workers > r.workers {
+                return Err(format!(
+                    "{}: {} flexible of {} workers",
+                    r.spec.id, r.flexible_workers, r.workers
+                ));
+            }
+            for (sid, w) in &r.placement {
+                if !seen.contains(sid) {
+                    return Err(format!("{}: placed on unknown {sid}", r.spec.id));
+                }
+                let flex = r
+                    .flex_placement
+                    .iter()
+                    .find(|(s, _)| s == sid)
+                    .map_or(0, |(_, f)| *f);
+                if flex > *w {
+                    return Err(format!(
+                        "{}: {flex} flexible workers on {sid} but only {w} placed",
+                        r.spec.id
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A worker-to-server assignment: `(server, number of workers placed
@@ -284,6 +342,74 @@ mod tests {
             flex_placement: vec![(ServerId(0), 3)],
         };
         assert_eq!(v.base_workers(), 2);
+    }
+
+    #[test]
+    fn validate_accepts_consistent_snapshots() {
+        let mut s = snap();
+        assert_eq!(s.validate(), Ok(()));
+        s.running.push(RunningJobView {
+            spec: JobSpec::elastic(1, 0.0, 2, 6, 1, 20.0),
+            workers: 5,
+            work_left: 10.0,
+            placement: vec![(ServerId(0), 3), (ServerId(1), 2)],
+            flexible_workers: 3,
+            flex_placement: vec![(ServerId(0), 3)],
+        });
+        assert_eq!(s.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_inconsistencies() {
+        // Free exceeding total.
+        let mut s = snap();
+        s.servers[0].free_gpus = 99;
+        assert!(s.validate().is_err());
+
+        // Duplicate server id.
+        let mut s = snap();
+        let dup = s.servers[0].clone();
+        s.servers.push(dup);
+        assert!(s.validate().is_err());
+
+        let running = |placement: Vec<(ServerId, u32)>, workers, flex, flex_placement| {
+            RunningJobView {
+                spec: JobSpec::elastic(1, 0.0, 2, 6, 1, 20.0),
+                workers,
+                work_left: 10.0,
+                placement,
+                flexible_workers: flex,
+                flex_placement,
+            }
+        };
+
+        // Placement sum disagrees with the worker count.
+        let mut s = snap();
+        s.running
+            .push(running(vec![(ServerId(0), 2)], 5, 0, vec![]));
+        assert!(s.validate().is_err());
+
+        // More flexible workers than workers.
+        let mut s = snap();
+        s.running
+            .push(running(vec![(ServerId(0), 2)], 2, 3, vec![]));
+        assert!(s.validate().is_err());
+
+        // Placed on a server the snapshot does not contain.
+        let mut s = snap();
+        s.running
+            .push(running(vec![(ServerId(42), 2)], 2, 0, vec![]));
+        assert!(s.validate().is_err());
+
+        // Flexible subset exceeds the placement on a server.
+        let mut s = snap();
+        s.running.push(running(
+            vec![(ServerId(0), 2)],
+            2,
+            2,
+            vec![(ServerId(0), 3)],
+        ));
+        assert!(s.validate().is_err());
     }
 
     #[test]

@@ -41,6 +41,8 @@ pub struct ElasticController {
     rendezvous_pause_s: f64,
     /// Total scaling operations performed.
     ops: u32,
+    /// Involuntary membership shrinks (worker/server failures) absorbed.
+    failures: u32,
     /// Total pause seconds charged.
     total_pause_s: f64,
 }
@@ -56,6 +58,7 @@ impl ElasticController {
             active: workers,
             rendezvous_pause_s,
             ops: 0,
+            failures: 0,
             total_pause_s: 0.0,
         }
     }
@@ -90,6 +93,24 @@ impl ElasticController {
             workers: target,
             pause_s: self.rendezvous_pause_s,
         })
+    }
+
+    /// Involuntary membership shrink count absorbed so far.
+    pub fn failures(&self) -> u32 {
+        self.failures
+    }
+
+    /// Handles an involuntary worker loss (server crash or container
+    /// death): membership drops to `survivors` and one rendezvous is
+    /// charged, exactly as for a voluntary resize — the collective must
+    /// re-form either way. The loss is tracked separately from planned
+    /// scaling.
+    pub fn workers_lost(&mut self, survivors: u32) -> Option<ControllerEvent> {
+        if survivors >= self.active {
+            return None;
+        }
+        self.failures += 1;
+        self.resize(survivors)
     }
 }
 
@@ -130,5 +151,24 @@ mod tests {
         assert_eq!(c.scaling_ops(), 3);
         assert_eq!(c.total_pause_s(), 30.0);
         assert_eq!(c.active_workers(), 5);
+    }
+
+    #[test]
+    fn worker_loss_counts_as_failure_and_charges_pause() {
+        let mut c = ElasticController::new(4, 15.0);
+        let ev = c.workers_lost(3).expect("loss rescales");
+        assert_eq!(
+            ev,
+            ControllerEvent::Rescaled {
+                workers: 3,
+                pause_s: 15.0
+            }
+        );
+        assert_eq!(c.failures(), 1);
+        assert_eq!(c.scaling_ops(), 1);
+        // A "loss" that does not shrink membership is ignored.
+        assert!(c.workers_lost(3).is_none());
+        assert!(c.workers_lost(5).is_none());
+        assert_eq!(c.failures(), 1);
     }
 }

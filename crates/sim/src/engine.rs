@@ -23,7 +23,8 @@
 //!   decision; checkpointing jobs keep their progress and pay the
 //!   overhead, others restart from scratch (§4's conservative default).
 
-use crate::metrics::{percentiles, JobRecord, ReclaimRecord, SimReport, UsageIntegral};
+use crate::faults::{FaultKind, FaultPlan};
+use crate::metrics::{percentiles, FaultStats, JobRecord, ReclaimRecord, SimReport, UsageIntegral};
 use lyra_cluster::inference::{InferenceScheduler, LoanInstruction};
 use lyra_cluster::manager::{ResourceManager, RmOp};
 use lyra_cluster::orchestrator::{Orchestrator, OrchestratorDecision};
@@ -38,9 +39,11 @@ use lyra_core::tuning::GoodputModel;
 use lyra_elastic::controller::ElasticController;
 use lyra_elastic::hetero::{hetero_rate, HeteroGroup};
 use lyra_predictor::RuntimeEstimator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Engine timing and overhead parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -84,6 +87,14 @@ pub struct SimConfig {
     /// from the last completed checkpoint, not the exact preemption
     /// point.
     pub checkpoint_interval_work: f64,
+    /// Initial retry backoff for a reclaim demand that could not be
+    /// fully satisfied at its tick; the unmet remainder is carried
+    /// forward and retried with exponential backoff instead of being
+    /// dropped.
+    pub reclaim_retry_backoff_s: f64,
+    /// Deadline for a carried-forward reclaim demand; missing it is
+    /// counted as a reclaim-deadline violation in the report.
+    pub reclaim_deadline_s: f64,
 }
 
 impl Default for SimConfig {
@@ -101,6 +112,8 @@ impl Default for SimConfig {
             loan_all_offered: false,
             special_placement: true,
             checkpoint_interval_work: 600.0,
+            reclaim_retry_backoff_s: 300.0,
+            reclaim_deadline_s: 1_800.0,
         }
     }
 }
@@ -111,6 +124,12 @@ enum EventKind {
     Finish(usize, u64),
     SchedulerTick,
     OrchestratorTick,
+    /// The `i`-th event of the attached fault plan fires.
+    Fault(usize),
+    /// A crashed server completes recovery and rejoins its pool.
+    ServerRecover(ServerId),
+    /// A straggler episode on this server ends.
+    StragglerEnd(ServerId),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -235,6 +254,21 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// A reclaim demand that could not be satisfied at its tick: carried
+/// forward and retried with exponential backoff until met, resolved
+/// externally, or expired (a counted deadline violation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ReclaimCarry {
+    /// Servers still owed to the inference cluster.
+    servers: u32,
+    /// Absolute time the debt expires.
+    deadline_s: f64,
+    /// Earliest tick the demand is retried.
+    next_retry_s: f64,
+    /// Current backoff step (doubles per failed retry).
+    backoff_s: f64,
+}
+
 /// The discrete-event simulation.
 pub struct Simulation {
     /// Engine parameters.
@@ -266,6 +300,17 @@ pub struct Simulation {
     rm: ResourceManager,
     /// Inference-cluster total GPUs (for overall usage).
     inference_total_gpus: f64,
+    // Fault injection.
+    faults: Option<FaultPlan>,
+    /// Fire-time rolls (checkpoint-restore failures), seeded from the
+    /// plan so fault outcomes replay exactly.
+    fault_rng: StdRng,
+    fault_stats: FaultStats,
+    /// Active straggler slowdown factors per server.
+    slowdown: BTreeMap<ServerId, f64>,
+    /// The next orchestrator tick was marked lost by a fault.
+    drop_next_orch_tick: bool,
+    reclaim_carry: Option<ReclaimCarry>,
 }
 
 impl Simulation {
@@ -311,6 +356,12 @@ impl Simulation {
             scaling_ops: 0,
             rm: ResourceManager::new(),
             inference_total_gpus,
+            faults: None,
+            fault_rng: StdRng::seed_from_u64(0),
+            fault_stats: FaultStats::default(),
+            slowdown: BTreeMap::new(),
+            drop_next_orch_tick: false,
+            reclaim_carry: None,
         };
         for (i, spec) in specs.into_iter().enumerate() {
             debug_assert_eq!(spec.id.0 as usize, i, "trace ids must be dense");
@@ -323,6 +374,29 @@ impl Simulation {
             sim.push_event(0.0, EventKind::OrchestratorTick);
         }
         sim
+    }
+
+    /// Attaches a fault plan: every scheduled fault becomes a
+    /// first-class simulator event, and the plan's seed drives the
+    /// fire-time rolls (checkpoint-restore failures), so runs with the
+    /// same trace and plan are bit-reproducible.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_rng = StdRng::seed_from_u64(plan.seed ^ 0x5EED_F417);
+        for (i, ev) in plan.events.iter().enumerate() {
+            self.push_event(ev.time_s, EventKind::Fault(i));
+        }
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Bounds-checked job lookup (trace ids are dense `0..n`).
+    fn job_index(&self, job: JobId) -> Result<usize, SimError> {
+        let idx = job.0 as usize;
+        if idx < self.jobs.len() {
+            Ok(idx)
+        } else {
+            Err(SimError(format!("{job} is not in the trace")))
+        }
     }
 
     fn push_event(&mut self, time_s: f64, kind: EventKind) {
@@ -369,6 +443,22 @@ impl Simulation {
             hetero_rate(&groups, self.config.hetero_efficiency) / f64::from(total);
         let speedup = job.spec.curve.speedup(total);
         let mut rate = speedup * ideal_per_worker;
+        if !self.slowdown.is_empty() {
+            // Straggling servers drag the job: worker-weighted average of
+            // the per-server throughput factors (bucketed all-reduce hides
+            // part of a slow host, so the job does not fall all the way to
+            // the minimum).
+            let mut weighted = 0.0;
+            let mut workers = 0.0;
+            for (sid, w) in &job.placement {
+                let f = self.slowdown.get(sid).copied().unwrap_or(1.0);
+                weighted += f64::from(*w) * f;
+                workers += f64::from(*w);
+            }
+            if workers > 0.0 {
+                rate *= weighted / workers;
+            }
+        }
         if self.config.tuned && job.spec.is_elastic() {
             let work = job.spec.work();
             let progress = if work > 0.0 {
@@ -418,9 +508,11 @@ impl Simulation {
         let pos = self
             .queue
             .binary_search_by(|&j| {
-                (self.jobs[j].spec.submit_time_s, self.jobs[j].spec.id)
-                    .partial_cmp(&(self.jobs[idx].spec.submit_time_s, self.jobs[idx].spec.id))
-                    .expect("no NaN submit times")
+                self.jobs[j]
+                    .spec
+                    .submit_time_s
+                    .total_cmp(&self.jobs[idx].spec.submit_time_s)
+                    .then(self.jobs[j].spec.id.cmp(&self.jobs[idx].spec.id))
             })
             .unwrap_or_else(|p| p);
         self.queue.insert(pos, idx);
@@ -458,12 +550,18 @@ impl Simulation {
                 flex_placement: j.flex_placement.clone(),
             })
             .collect();
-        Snapshot {
+        let snapshot = Snapshot {
             time_s: self.now_s,
             servers: self.cluster.server_views(),
             pending,
             running,
-        }
+        };
+        debug_assert!(
+            snapshot.validate().is_ok(),
+            "inconsistent snapshot: {:?}",
+            snapshot.validate()
+        );
+        snapshot
     }
 
     fn merge_assignment(into: &mut Vec<(ServerId, u32)>, add: &[(ServerId, u32)]) {
@@ -500,7 +598,7 @@ impl Simulation {
                 workers,
                 placement,
             } => {
-                let idx = job.0 as usize;
+                let idx = self.job_index(*job)?;
                 if self.jobs[idx].state != JobState::Pending {
                     return Err(SimError(format!("{job} launched but not pending")));
                 }
@@ -552,7 +650,7 @@ impl Simulation {
                 extra,
                 placement,
             } => {
-                let idx = job.0 as usize;
+                let idx = self.job_index(*job)?;
                 if self.jobs[idx].state != JobState::Running {
                     return Err(SimError(format!("{job} scaled out but not running")));
                 }
@@ -602,7 +700,7 @@ impl Simulation {
                 self.reschedule_finish(idx);
             }
             Action::ScaleIn { job, removal } => {
-                let idx = job.0 as usize;
+                let idx = self.job_index(*job)?;
                 if self.jobs[idx].state != JobState::Running {
                     return Err(SimError(format!("{job} scaled in but not running")));
                 }
@@ -654,13 +752,13 @@ impl Simulation {
     /// Applies a forced scale-in from the orchestrator's flexible-group
     /// release: workers of `job` on `server` are gone (cluster side
     /// already updated).
-    fn apply_flex_release(&mut self, job: JobId, server: ServerId, gpus: u32) {
-        let idx = job.0 as usize;
+    fn apply_flex_release(&mut self, job: JobId, server: ServerId, gpus: u32) -> Result<(), SimError> {
+        let idx = self.job_index(job)?;
         let now = self.now_s;
         let pause = self.config.rendezvous_pause_s;
         let j = &mut self.jobs[idx];
         if j.state != JobState::Running {
-            return;
+            return Ok(());
         }
         j.sync(now);
         let mut workers = gpus / j.spec.gpus_per_worker.max(1);
@@ -675,7 +773,7 @@ impl Simulation {
         debug_assert!(workers <= have, "{job} flex release exceeds flex workers");
         workers = workers.min(have);
         if workers == 0 {
-            return;
+            return Ok(());
         }
         let _ = Self::remove_assignment(&mut j.placement, &[(server, workers)]);
         let _ = Self::remove_assignment(&mut j.flex_placement, &[(server, workers)]);
@@ -695,17 +793,18 @@ impl Simulation {
         self.scaling_ops += 1;
         self.jobs[idx].rate = self.compute_rate(&self.jobs[idx]);
         self.reschedule_finish(idx);
+        Ok(())
     }
 
     /// Preempts a running job (cluster side already evicted).
-    fn apply_preemption(&mut self, job: JobId) {
-        let idx = job.0 as usize;
+    fn apply_preemption(&mut self, job: JobId) -> Result<(), SimError> {
+        let idx = self.job_index(job)?;
         let now = self.now_s;
         let overhead = self.config.preemption_overhead_s;
         {
             let j = &mut self.jobs[idx];
             if j.state != JobState::Running {
-                return;
+                return Ok(());
             }
             j.sync(now);
             j.state = JobState::Pending;
@@ -734,6 +833,299 @@ impl Simulation {
             }
         }
         self.enqueue(idx);
+        Ok(())
+    }
+
+    /// Fires the `i`-th event of the attached fault plan.
+    fn handle_fault(&mut self, i: usize) -> Result<(), SimError> {
+        let Some(plan) = self.faults.as_ref() else {
+            return Ok(());
+        };
+        let Some(event) = plan.events.get(i).copied() else {
+            return Ok(());
+        };
+        let include_loaned = plan.include_loaned;
+        self.fault_stats.injected += 1;
+        match event.kind {
+            FaultKind::ServerCrash {
+                selector,
+                recovery_s,
+            } => {
+                let eligible: Vec<ServerId> = self
+                    .cluster
+                    .server_views()
+                    .iter()
+                    .filter(|v| include_loaned || v.pool == PoolKind::Training)
+                    .map(|v| v.id)
+                    .collect();
+                if eligible.is_empty() {
+                    return Ok(());
+                }
+                let sid = eligible[(selector as usize) % eligible.len()];
+                let victims = self
+                    .cluster
+                    .crash_server(sid)
+                    .map_err(|e| SimError(e.to_string()))?;
+                self.rm.submit(RmOp::MarkServerDown(sid));
+                self.slowdown.remove(&sid);
+                self.fault_stats.server_crashes += 1;
+                for (job, gpus) in victims {
+                    self.handle_job_worker_loss(job, sid, gpus)?;
+                }
+                self.push_event(
+                    self.now_s + recovery_s.max(1.0),
+                    EventKind::ServerRecover(sid),
+                );
+            }
+            FaultKind::WorkerFailure { selector } => {
+                let busy: Vec<ServerId> = self
+                    .cluster
+                    .server_views()
+                    .iter()
+                    .filter(|v| v.used_gpus() > 0)
+                    .map(|v| v.id)
+                    .collect();
+                if busy.is_empty() {
+                    return Ok(());
+                }
+                let sid = busy[(selector as usize) % busy.len()];
+                let jobs: Vec<(JobId, u32)> = match self.cluster.server(sid) {
+                    Some(s) => s.jobs().collect(),
+                    None => return Ok(()),
+                };
+                if jobs.is_empty() {
+                    return Ok(());
+                }
+                // Second, independent coordinate of the same draw picks
+                // the job on the server.
+                let (job, _) = jobs[((selector >> 32) as usize) % jobs.len()];
+                self.fault_stats.worker_failures += 1;
+                let idx = self.job_index(job)?;
+                let gpw = self.jobs[idx].spec.gpus_per_worker.max(1);
+                let flex_there = self.jobs[idx]
+                    .flex_placement
+                    .iter()
+                    .find(|(s, _)| *s == sid)
+                    .map_or(0, |(_, w)| *w);
+                if self.jobs[idx].spec.is_elastic() && flex_there > 0 {
+                    // The dead container hosted a flexible worker: the
+                    // collective re-forms one member short.
+                    self.cluster
+                        .release(job, &[(sid, 1)], gpw)
+                        .map_err(|e| SimError(e.to_string()))?;
+                    self.rm.submit(RmOp::KillContainers {
+                        job,
+                        server: sid,
+                        workers: 1,
+                    });
+                    self.apply_worker_loss(idx, sid, 1);
+                } else {
+                    self.kill_job_for_fault(idx, None)?;
+                }
+            }
+            FaultKind::Straggler {
+                selector,
+                factor,
+                duration_s,
+            } => {
+                let eligible: Vec<ServerId> = self
+                    .cluster
+                    .server_views()
+                    .iter()
+                    .filter(|v| include_loaned || v.pool == PoolKind::Training)
+                    .map(|v| v.id)
+                    .collect();
+                if eligible.is_empty() {
+                    return Ok(());
+                }
+                let sid = eligible[(selector as usize) % eligible.len()];
+                self.slowdown.insert(sid, factor.clamp(0.01, 1.0));
+                self.fault_stats.stragglers += 1;
+                self.push_event(
+                    self.now_s + duration_s.max(1.0),
+                    EventKind::StragglerEnd(sid),
+                );
+                self.recompute_rates_on(sid);
+            }
+            FaultKind::DropOrchestratorTick => {
+                self.drop_next_orch_tick = true;
+                self.fault_stats.dropped_ticks += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// A running job lost the workers it had on `server` (`gpus` GPUs
+    /// there, cluster side already freed). Elastic jobs whose lost
+    /// workers were all flexible absorb the loss by scaling in around
+    /// the dead server; anything else dies and restarts.
+    fn handle_job_worker_loss(
+        &mut self,
+        job: JobId,
+        server: ServerId,
+        gpus: u32,
+    ) -> Result<(), SimError> {
+        let idx = self.job_index(job)?;
+        if self.jobs[idx].state != JobState::Running {
+            return Ok(());
+        }
+        let total_there = self.jobs[idx]
+            .placement
+            .iter()
+            .find(|(s, _)| *s == server)
+            .map_or(0, |(_, w)| *w);
+        let flex_there = self.jobs[idx]
+            .flex_placement
+            .iter()
+            .find(|(s, _)| *s == server)
+            .map_or(0, |(_, w)| *w);
+        let gpw = self.jobs[idx].spec.gpus_per_worker.max(1);
+        debug_assert_eq!(total_there * gpw, gpus, "{job} placement out of sync");
+        if self.jobs[idx].spec.is_elastic() && total_there > 0 && total_there == flex_there {
+            // Only flexible workers lived there: membership shrinks, the
+            // base demand survives, no restart needed.
+            self.apply_worker_loss(idx, server, total_there);
+        } else {
+            self.kill_job_for_fault(idx, Some(server))?;
+        }
+        Ok(())
+    }
+
+    /// Shrinks an elastic job in place after an involuntary worker loss
+    /// (sim-side bookkeeping; the cluster already freed the GPUs).
+    fn apply_worker_loss(&mut self, idx: usize, server: ServerId, workers: u32) {
+        let now = self.now_s;
+        let default_pause = self.config.rendezvous_pause_s;
+        let j = &mut self.jobs[idx];
+        j.sync(now);
+        let _ = Self::remove_assignment(&mut j.placement, &[(server, workers)]);
+        let _ = Self::remove_assignment(&mut j.flex_placement, &[(server, workers)]);
+        j.workers = j.workers.saturating_sub(workers);
+        j.flexible_workers = j.flexible_workers.saturating_sub(workers);
+        j.record.scaling_ops += 1;
+        let pause = match j.controller.as_mut() {
+            Some(c) => c
+                .workers_lost(j.workers)
+                .map(|ev| match ev {
+                    lyra_elastic::ControllerEvent::Rescaled { pause_s, .. } => pause_s,
+                })
+                .unwrap_or(0.0),
+            None => default_pause,
+        };
+        j.stall(now, pause);
+        self.fault_stats.elastic_absorbed += 1;
+        self.scaling_ops += 1;
+        self.jobs[idx].rate = self.compute_rate(&self.jobs[idx]);
+        self.reschedule_finish(idx);
+    }
+
+    /// Kills a running job because of a fault: surviving containers are
+    /// stopped, progress rolls back to the last checkpoint (when the
+    /// restore succeeds) or to zero, and the job re-queues paying the
+    /// preemption overhead. `crashed` is the server whose allocation the
+    /// cluster already dropped.
+    fn kill_job_for_fault(&mut self, idx: usize, crashed: Option<ServerId>) -> Result<(), SimError> {
+        let job = self.jobs[idx].spec.id;
+        for (sid, w) in self.jobs[idx].placement.clone() {
+            if Some(sid) == crashed {
+                continue;
+            }
+            self.rm.submit(RmOp::KillContainers {
+                job,
+                server: sid,
+                workers: w,
+            });
+        }
+        self.cluster.evict_job(job);
+        let now = self.now_s;
+        let overhead = self.config.preemption_overhead_s;
+        let restore_prob = self
+            .faults
+            .as_ref()
+            .map_or(0.0, |p| p.checkpoint_restore_failure_prob);
+        let restore_failed = self.jobs[idx].spec.checkpointing
+            && self.fault_rng.gen_bool(restore_prob.clamp(0.0, 1.0));
+        let j = &mut self.jobs[idx];
+        j.sync(now);
+        let done_before = j.spec.work() - j.work_left;
+        j.state = JobState::Pending;
+        j.workers = 0;
+        j.flexible_workers = 0;
+        j.placement.clear();
+        j.flex_placement.clear();
+        j.rate = 0.0;
+        j.generation += 1; // cancel in-flight finish
+        j.record.fault_restarts += 1;
+        if j.spec.checkpointing && !restore_failed {
+            let policy = lyra_elastic::CheckpointPolicy {
+                interval_work: self.config.checkpoint_interval_work.max(1.0),
+                overhead_s: overhead,
+            };
+            j.work_left = j.spec.work() - policy.preserved_work(done_before);
+            j.resume_overhead_s = policy.overhead_s;
+            self.fault_stats.checkpoint_restores += 1;
+        } else {
+            if j.spec.checkpointing {
+                self.fault_stats.checkpoint_restore_failures += 1;
+            }
+            j.work_left = j.spec.work();
+            j.resume_overhead_s = overhead;
+        }
+        let preserved = j.spec.work() - j.work_left;
+        self.fault_stats.work_lost_s += (done_before - preserved).max(0.0);
+        self.fault_stats.jobs_killed += 1;
+        self.fault_stats.restarts += 1;
+        self.enqueue(idx);
+        Ok(())
+    }
+
+    /// Re-derives service rates of every running job with workers on
+    /// `sid` (straggler start/end changes their throughput).
+    fn recompute_rates_on(&mut self, sid: ServerId) {
+        let idxs: Vec<usize> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| {
+                j.state == JobState::Running && j.placement.iter().any(|(s, _)| *s == sid)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        for idx in idxs {
+            self.jobs[idx].sync(self.now_s);
+            self.jobs[idx].rate = self.compute_rate(&self.jobs[idx]);
+            self.reschedule_finish(idx);
+        }
+    }
+
+    /// Books the unmet remainder of a reclaim demand: new debts get a
+    /// deadline and a retry backoff, retried debts shrink to the
+    /// remainder with doubled backoff, and a met demand clears the debt
+    /// it folded in.
+    fn note_reclaim_shortfall(&mut self, unmet: u32, retried_carry: bool) {
+        let now = self.now_s;
+        if unmet == 0 {
+            if retried_carry {
+                self.reclaim_carry = None;
+            }
+            return;
+        }
+        match &mut self.reclaim_carry {
+            Some(carry) => {
+                carry.servers = unmet;
+                carry.backoff_s *= 2.0;
+                carry.next_retry_s = now + carry.backoff_s;
+            }
+            None => {
+                self.reclaim_carry = Some(ReclaimCarry {
+                    servers: unmet,
+                    deadline_s: now + self.config.reclaim_deadline_s,
+                    next_retry_s: now + self.config.reclaim_retry_backoff_s,
+                    backoff_s: self.config.reclaim_retry_backoff_s,
+                });
+                self.fault_stats.reclaim_carryovers += 1;
+            }
+        }
     }
 
     /// Runs one scheduling epoch; returns the number of launches.
@@ -801,6 +1193,14 @@ impl Simulation {
         if self.orchestrator.is_none() {
             return Ok(());
         }
+        // A carried reclaim debt that outlived its deadline is a
+        // violation: record it and stop retrying.
+        if let Some(carry) = &self.reclaim_carry {
+            if self.now_s > carry.deadline_s {
+                self.fault_stats.reclaim_deadline_violations += 1;
+                self.reclaim_carry = None;
+            }
+        }
         match instruction {
             LoanInstruction::Loan(offered) => {
                 let take = if self.config.loan_all_offered {
@@ -809,8 +1209,13 @@ impl Simulation {
                     let wanted = self.loan_demand_servers();
                     offered.min(wanted.saturating_sub(self.cluster.loaned_count()))
                 };
+                // Inference is offering servers again: any pending reclaim
+                // debt has been resolved on its side.
+                self.reclaim_carry = None;
                 if take > 0 {
-                    let orchestrator = self.orchestrator.as_mut().expect("checked above");
+                    let Some(orchestrator) = self.orchestrator.as_mut() else {
+                        return Ok(());
+                    };
                     let d = orchestrator
                         .execute_loan(&mut self.cluster, take)
                         .map_err(|e| SimError(e.to_string()))?;
@@ -825,10 +1230,24 @@ impl Simulation {
                 }
             }
             LoanInstruction::Reclaim(n) => {
-                let orchestrator = self.orchestrator.as_mut().expect("checked above");
+                // Fold a carried-forward debt into the demand once its
+                // retry backoff has elapsed.
+                let mut demand = n;
+                let mut retried_carry = false;
+                if let Some(carry) = &self.reclaim_carry {
+                    if self.now_s >= carry.next_retry_s {
+                        demand = demand.max(carry.servers);
+                        retried_carry = true;
+                    }
+                }
+                let Some(orchestrator) = self.orchestrator.as_mut() else {
+                    return Ok(());
+                };
                 let d = orchestrator
-                    .execute_reclaim(&mut self.cluster, n)
+                    .execute_reclaim(&mut self.cluster, demand)
                     .map_err(|e| SimError(e.to_string()))?;
+                let returned = d.servers_returned() as u32;
+                self.note_reclaim_shortfall(demand.saturating_sub(returned), retried_carry);
                 if let OrchestratorDecision::Reclaimed {
                     flex_releases,
                     returned_flex,
@@ -837,16 +1256,17 @@ impl Simulation {
                 } = d
                 {
                     for (job, server, gpus) in &flex_releases {
-                        let workers = gpus / self.jobs[job.0 as usize].spec.gpus_per_worker.max(1);
+                        let idx = self.job_index(*job)?;
+                        let workers = gpus / self.jobs[idx].spec.gpus_per_worker.max(1);
                         self.rm.submit(RmOp::KillContainers {
                             job: *job,
                             server: *server,
                             workers,
                         });
-                        self.apply_flex_release(*job, *server, *gpus);
+                        self.apply_flex_release(*job, *server, *gpus)?;
                     }
                     for job in &outcome.preempted {
-                        self.apply_preemption(*job);
+                        self.apply_preemption(*job)?;
                     }
                     for sid in returned_flex
                         .iter()
@@ -857,7 +1277,7 @@ impl Simulation {
                     }
                     self.reclaims.push(ReclaimRecord {
                         time_s: self.now_s,
-                        demanded: n,
+                        demanded: demand,
                         returned_flex: returned_flex.len() as u32,
                         returned_idle: returned_idle.len() as u32,
                         returned_preempt: outcome.returned.len() as u32,
@@ -866,7 +1286,11 @@ impl Simulation {
                     });
                 }
             }
-            LoanInstruction::Hold => {}
+            LoanInstruction::Hold => {
+                // No outstanding reclaim pressure from the inference side:
+                // a pending debt is moot.
+                self.reclaim_carry = None;
+            }
         }
         self.return_surplus_idle_loans()?;
         Ok(())
@@ -982,7 +1406,16 @@ impl Simulation {
                     }
                 }
                 EventKind::OrchestratorTick => {
-                    self.handle_orchestrator_tick()?;
+                    if self.drop_next_orch_tick {
+                        // Control-plane fault: this tick's loan/reclaim
+                        // instruction is lost; the cadence itself survives.
+                        self.drop_next_orch_tick = false;
+                    } else {
+                        self.handle_orchestrator_tick()?;
+                        if self.cluster.audit().is_err() {
+                            self.fault_stats.audit_violations += 1;
+                        }
+                    }
                     if self.completed < n_jobs {
                         self.push_event(
                             self.now_s + self.config.orchestrator_interval_s,
@@ -990,11 +1423,30 @@ impl Simulation {
                         );
                     }
                 }
+                EventKind::Fault(i) => {
+                    self.handle_fault(i)?;
+                    if self.cluster.audit().is_err() {
+                        self.fault_stats.audit_violations += 1;
+                    }
+                }
+                EventKind::ServerRecover(sid) => {
+                    if self.cluster.recover_server(sid).is_ok() {
+                        self.rm.submit(RmOp::MarkServerUp(sid));
+                    }
+                }
+                EventKind::StragglerEnd(sid) => {
+                    self.slowdown.remove(&sid);
+                    self.recompute_rates_on(sid);
+                }
             }
             if self.completed >= n_jobs {
                 // Drain: no more work will be created.
                 break;
             }
+        }
+        // Final consistency check: a clean run ends with zero violations.
+        if self.cluster.audit().is_err() {
+            self.fault_stats.audit_violations += 1;
         }
         Ok(self.report(name))
     }
@@ -1075,6 +1527,7 @@ impl Simulation {
             hourly_on_loan_usage: self.on_loan_usage.hourly_utilization(),
             on_loan_queuing: percentiles(&on_loan_queuing),
             on_loan_jct: percentiles(&on_loan_jct),
+            fault: self.fault_stats,
             records,
         }
     }

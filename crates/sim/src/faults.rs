@@ -1,0 +1,322 @@
+//! Deterministic fault injection for the simulator.
+//!
+//! The paper's production setting loses machines — inference servers get
+//! pulled back abruptly, nodes die, containers crash, and slow hosts drag
+//! synchronous training down. This module turns those failure modes into
+//! first-class, *seeded* simulator events so robustness experiments are
+//! exactly reproducible: a [`FaultPlan`] is generated once from a
+//! [`FaultConfig`] and a seed, carries absolute event times, and is
+//! replayed identically on every run.
+//!
+//! Server selection is deliberately deferred: events carry an opaque
+//! `selector` draw that the engine resolves against the set of servers
+//! actually eligible *when the event fires* (whitelisted, not already
+//! down). A plan generated before the run therefore keeps hitting live
+//! servers even as loans and crashes reshape the cluster.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Rates and magnitudes of the injected faults.
+///
+/// Rates are per *server per day* (crash/straggler) or per cluster per
+/// day (worker failures), so experiments scale naturally with cluster
+/// size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Expected whole-server crashes per server per day.
+    pub server_crash_rate_per_day: f64,
+    /// Whether on-loan servers can crash too (they can in production —
+    /// the inference fleet is no more reliable than the training one).
+    pub include_loaned: bool,
+    /// Seconds a crashed server stays down before rejoining its pool.
+    pub crash_recovery_s: f64,
+    /// Expected single-worker (container) failures per cluster per day.
+    pub worker_failure_rate_per_day: f64,
+    /// Probability that restoring from a checkpoint fails and the job
+    /// restarts from scratch (corrupt/missing checkpoint).
+    pub checkpoint_restore_failure_prob: f64,
+    /// Expected straggler episodes per server per day.
+    pub straggler_rate_per_day: f64,
+    /// Throughput factor of a straggling server (e.g. 0.4 = runs at
+    /// 40 % speed).
+    pub straggler_slowdown: f64,
+    /// Seconds one straggler episode lasts.
+    pub straggler_duration_s: f64,
+    /// Probability that any given orchestrator tick is dropped (control
+    /// plane hiccup: the tick's loan/reclaim instruction is lost).
+    pub dropped_tick_prob: f64,
+    /// Horizon over which events are generated, seconds.
+    pub horizon_s: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            server_crash_rate_per_day: 0.0,
+            include_loaned: true,
+            crash_recovery_s: 3_600.0,
+            worker_failure_rate_per_day: 0.0,
+            checkpoint_restore_failure_prob: 0.0,
+            straggler_rate_per_day: 0.0,
+            straggler_slowdown: 0.4,
+            straggler_duration_s: 1_800.0,
+            dropped_tick_prob: 0.0,
+            horizon_s: 2.0 * 86_400.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A moderate all-modes preset for tests and demos: crashes,
+    /// worker failures, stragglers and occasional dropped ticks over
+    /// `horizon_s` seconds.
+    pub fn moderate(horizon_s: f64) -> Self {
+        FaultConfig {
+            server_crash_rate_per_day: 0.05,
+            worker_failure_rate_per_day: 4.0,
+            checkpoint_restore_failure_prob: 0.1,
+            straggler_rate_per_day: 0.05,
+            dropped_tick_prob: 0.02,
+            horizon_s,
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// One kind of injected fault.
+///
+/// `selector` fields are uniform `u64` draws fixed at plan-generation
+/// time; the engine maps them onto the eligible server (and job) set at
+/// fire time, keeping plans meaningful under any cluster evolution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A whole server dies: its workers are lost, it leaves the
+    /// whitelist, and it rejoins its pool after `recovery_s`.
+    ServerCrash {
+        /// Opaque draw resolved against eligible servers at fire time.
+        selector: u64,
+        /// Seconds until the server comes back.
+        recovery_s: f64,
+    },
+    /// One worker container on one busy server dies.
+    WorkerFailure {
+        /// Opaque draw resolved against busy servers (and their jobs).
+        selector: u64,
+    },
+    /// A server runs slow for a while, dragging synchronous jobs with
+    /// workers there.
+    Straggler {
+        /// Opaque draw resolved against eligible servers at fire time.
+        selector: u64,
+        /// Throughput factor while straggling (0 < factor ≤ 1).
+        factor: f64,
+        /// Episode length, seconds.
+        duration_s: f64,
+    },
+    /// The next orchestrator tick is lost (no loan/reclaim executes).
+    DropOrchestratorTick,
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Absolute simulation time the fault fires, seconds.
+    pub time_s: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A complete, reproducible fault schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed the plan was generated from; also seeds the engine's
+    /// fire-time rolls (checkpoint-restore failures).
+    pub seed: u64,
+    /// Whether crash/straggler events may target on-loan servers.
+    pub include_loaned: bool,
+    /// Probability a checkpoint restore fails at fire time.
+    pub checkpoint_restore_failure_prob: f64,
+    /// All scheduled faults, ascending by time.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults); useful as a neutral default.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            include_loaned: true,
+            checkpoint_restore_failure_prob: 0.0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Generates a plan from `config` and `seed`.
+    ///
+    /// Each fault class is an independent Poisson process: inter-arrival
+    /// times are exponential with the configured per-day rate (scaled by
+    /// a nominal server count for per-server rates — the caller passes
+    /// the cluster size via `servers`). Dropped ticks are Bernoulli per
+    /// orchestrator tick and are materialised as events too, so the
+    /// whole schedule is visible up front.
+    pub fn generate(config: &FaultConfig, servers: u32, seed: u64) -> Self {
+        // Inverse-CDF exponential inter-arrivals of one Poisson process.
+        fn exp_times(rate_per_s: f64, horizon_s: f64, rng: &mut StdRng) -> Vec<f64> {
+            let mut out = Vec::new();
+            if rate_per_s <= 0.0 {
+                return out;
+            }
+            let mut t = 0.0;
+            loop {
+                let u: f64 = rng.gen::<f64>().max(1e-12);
+                t += -u.ln() / rate_per_s;
+                if t >= horizon_s {
+                    break;
+                }
+                out.push(t);
+            }
+            out
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA_0175);
+        let mut events = Vec::new();
+        let day = 86_400.0;
+        let horizon = config.horizon_s.max(0.0);
+        let crash_rate = config.server_crash_rate_per_day * f64::from(servers.max(1)) / day;
+        let recovery = config.crash_recovery_s.max(0.0);
+        for t in exp_times(crash_rate, horizon, &mut rng) {
+            events.push(FaultEvent {
+                time_s: t,
+                kind: FaultKind::ServerCrash {
+                    selector: rng.gen::<u64>(),
+                    recovery_s: recovery,
+                },
+            });
+        }
+        let worker_rate = config.worker_failure_rate_per_day / day;
+        for t in exp_times(worker_rate, horizon, &mut rng) {
+            events.push(FaultEvent {
+                time_s: t,
+                kind: FaultKind::WorkerFailure {
+                    selector: rng.gen::<u64>(),
+                },
+            });
+        }
+        let straggler_rate = config.straggler_rate_per_day * f64::from(servers.max(1)) / day;
+        let factor = config.straggler_slowdown.clamp(0.01, 1.0);
+        let duration = config.straggler_duration_s.max(0.0);
+        for t in exp_times(straggler_rate, horizon, &mut rng) {
+            events.push(FaultEvent {
+                time_s: t,
+                kind: FaultKind::Straggler {
+                    selector: rng.gen::<u64>(),
+                    factor,
+                    duration_s: duration,
+                },
+            });
+        }
+        if config.dropped_tick_prob > 0.0 {
+            // Bernoulli per 5-minute orchestrator tick.
+            let mut t = 300.0;
+            while t < horizon {
+                if rng.gen_bool(config.dropped_tick_prob.clamp(0.0, 1.0)) {
+                    events.push(FaultEvent {
+                        time_s: t - 1.0, // just before the tick it drops
+                        kind: FaultKind::DropOrchestratorTick,
+                    });
+                }
+                t += 300.0;
+            }
+        }
+        events.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
+        FaultPlan {
+            seed,
+            include_loaned: config.include_loaned,
+            checkpoint_restore_failure_prob: config.checkpoint_restore_failure_prob.clamp(0.0, 1.0),
+            events,
+        }
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> FaultConfig {
+        FaultConfig {
+            server_crash_rate_per_day: 0.5,
+            worker_failure_rate_per_day: 10.0,
+            straggler_rate_per_day: 0.3,
+            dropped_tick_prob: 0.05,
+            horizon_s: 86_400.0,
+            ..FaultConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FaultPlan::generate(&config(), 20, 7);
+        let b = FaultPlan::generate(&config(), 20, 7);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::generate(&config(), 20, 1);
+        let b = FaultPlan::generate(&config(), 20, 2);
+        assert_ne!(a.events, b.events);
+    }
+
+    #[test]
+    fn events_are_sorted_and_within_horizon() {
+        let plan = FaultPlan::generate(&config(), 20, 3);
+        let mut last = 0.0;
+        for e in &plan.events {
+            assert!(e.time_s >= last, "events out of order");
+            assert!(e.time_s < 86_400.0, "event beyond horizon");
+            last = e.time_s;
+        }
+    }
+
+    #[test]
+    fn rates_scale_event_counts() {
+        let low = FaultPlan::generate(
+            &FaultConfig {
+                server_crash_rate_per_day: 0.1,
+                horizon_s: 10.0 * 86_400.0,
+                ..FaultConfig::default()
+            },
+            20,
+            4,
+        );
+        let high = FaultPlan::generate(
+            &FaultConfig {
+                server_crash_rate_per_day: 1.0,
+                horizon_s: 10.0 * 86_400.0,
+                ..FaultConfig::default()
+            },
+            20,
+            4,
+        );
+        assert!(
+            high.events.len() > 3 * low.events.len(),
+            "10x the rate should yield far more events: {} vs {}",
+            high.events.len(),
+            low.events.len()
+        );
+    }
+
+    #[test]
+    fn zero_rates_yield_empty_plan() {
+        let plan = FaultPlan::generate(&FaultConfig::default(), 100, 9);
+        assert!(plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+}

@@ -10,8 +10,11 @@
 //!   preemption, loaning/reclaiming ticks and lazy progress accounting.
 //! * [`scenario`] — Baseline/Basic/Advanced/Heterogeneous/Ideal and the
 //!   deep-dive configurations, plus the trace transforms that define them.
-//! * [`metrics`] — queuing/JCT percentiles, usage integrals, preemption
-//!   and collateral-damage accounting.
+//! * [`metrics`] — queuing/JCT percentiles, usage integrals, preemption,
+//!   collateral-damage and fault accounting.
+//! * [`faults`] — deterministic, seeded fault injection: server crashes,
+//!   worker failures, stragglers, checkpoint-restore failures and dropped
+//!   orchestrator ticks as first-class simulator events.
 //!
 //! ```no_run
 //! use lyra_sim::{run_scenario, Scenario};
@@ -24,9 +27,13 @@
 //! ```
 
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod scenario;
 
 pub use engine::{SimConfig, SimError, Simulation};
-pub use metrics::{percentiles, JobRecord, Percentiles, ReclaimRecord, SimReport, UsageIntegral};
+pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan};
+pub use metrics::{
+    percentiles, FaultStats, JobRecord, Percentiles, ReclaimRecord, SimReport, UsageIntegral,
+};
 pub use scenario::{run_scenario, transform, PolicyKind, Scenario};

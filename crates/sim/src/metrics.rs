@@ -30,7 +30,7 @@ pub fn percentiles(values: &[f64]) -> Percentiles {
         return Percentiles::default();
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric values are not NaN"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
     Percentiles {
         mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
@@ -60,6 +60,9 @@ pub struct JobRecord {
     pub ran_on_loan: bool,
     /// Scaling operations applied to it.
     pub scaling_ops: u32,
+    /// Restarts forced by injected faults (server crashes, worker
+    /// failures) — distinct from scheduler-driven preemptions.
+    pub fault_restarts: u32,
 }
 
 impl JobRecord {
@@ -74,6 +77,7 @@ impl JobRecord {
             preemptions: 0,
             ran_on_loan: false,
             scaling_ops: 0,
+            fault_restarts: 0,
         }
     }
 
@@ -81,6 +85,45 @@ impl JobRecord {
     pub fn jct_s(&self) -> Option<f64> {
         self.complete_s.map(|c| c - self.submit_s)
     }
+}
+
+/// Fault-injection accounting: what the injected failures cost the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultStats {
+    /// Fault events injected (fired, whether or not they found a target).
+    pub injected: u32,
+    /// Whole-server crashes that hit a live server.
+    pub server_crashes: u32,
+    /// Single-worker (container) failures that hit a running job.
+    pub worker_failures: u32,
+    /// Straggler episodes started.
+    pub stragglers: u32,
+    /// Orchestrator ticks dropped by the control-plane fault.
+    pub dropped_ticks: u32,
+    /// Jobs killed outright by a fault (restarted from checkpoint or
+    /// scratch).
+    pub jobs_killed: u32,
+    /// Worker losses absorbed in place by elastic jobs (membership
+    /// shrank; the job kept running).
+    pub elastic_absorbed: u32,
+    /// Fault-forced restarts (re-queues) across all jobs.
+    pub restarts: u32,
+    /// Restarts that successfully resumed from a checkpoint.
+    pub checkpoint_restores: u32,
+    /// Restarts whose checkpoint restore failed (job restarted from
+    /// scratch despite checkpointing).
+    pub checkpoint_restore_failures: u32,
+    /// Reclaim demands that could not be met at their tick and were
+    /// carried forward with a deadline.
+    pub reclaim_carryovers: u32,
+    /// Carried-forward reclaim demands that missed their deadline.
+    pub reclaim_deadline_violations: u32,
+    /// Cluster-state audit failures observed (release builds count them
+    /// instead of panicking).
+    pub audit_violations: u32,
+    /// Work lost to fault-forced restarts, reference worker-seconds
+    /// (goodput lost to failures).
+    pub work_lost_s: f64,
 }
 
 /// One reclaiming operation's outcome, for Figure 10's metrics.
@@ -228,6 +271,9 @@ pub struct SimReport {
     pub on_loan_queuing: Percentiles,
     /// JCT distribution of jobs that ran on on-loan servers (Table 7).
     pub on_loan_jct: Percentiles,
+    /// Fault-injection accounting (all zeros when no faults were
+    /// injected).
+    pub fault: FaultStats,
     /// Per-job records for downstream analysis (Figure 2 etc.).
     pub records: Vec<JobRecord>,
 }
@@ -342,6 +388,7 @@ mod tests {
             hourly_on_loan_usage: vec![],
             on_loan_queuing: Percentiles::default(),
             on_loan_jct: Percentiles::default(),
+            fault: FaultStats::default(),
             records,
         };
         let ratio = report.hourly_queuing_ratio(60.0);

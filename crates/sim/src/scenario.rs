@@ -11,6 +11,7 @@
 //! checkpoint/elastic-fraction sweeps of Figures 13–16 rewrite job flags.
 
 use crate::engine::{SimConfig, SimError, Simulation};
+use crate::faults::FaultPlan;
 use crate::metrics::SimReport;
 use lyra_cluster::inference::InferenceScheduler;
 use lyra_cluster::orchestrator::{Orchestrator, ReclaimPolicy};
@@ -82,6 +83,9 @@ pub struct Scenario {
     pub use_capacity_model: bool,
     /// Seed for the orchestrator's randomised comparators.
     pub seed: u64,
+    /// Optional fault schedule injected into the run (crashes, worker
+    /// failures, stragglers, dropped ticks).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -96,6 +100,7 @@ impl Scenario {
             use_predictor: false,
             use_capacity_model: false,
             seed: 0xCAFE,
+            faults: None,
         }
     }
 
@@ -360,7 +365,7 @@ pub fn run_scenario(
     if scenario.policy == PolicyKind::LyraNaivePlacement {
         sim_config.special_placement = false;
     }
-    let sim = Simulation::new(
+    let mut sim = Simulation::new(
         sim_config,
         cluster,
         policy,
@@ -369,6 +374,9 @@ pub fn run_scenario(
         estimator,
         specs,
     );
+    if let Some(plan) = &scenario.faults {
+        sim = sim.with_faults(plan.clone());
+    }
     sim.run(&scenario.name)
 }
 

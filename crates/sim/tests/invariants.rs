@@ -3,7 +3,9 @@
 
 use lyra_cluster::orchestrator::ReclaimPolicy;
 use lyra_cluster::state::ClusterConfig;
-use lyra_sim::{run_scenario, transform, PolicyKind, Scenario, SimReport};
+use lyra_sim::{
+    run_scenario, transform, FaultConfig, FaultPlan, PolicyKind, Scenario, SimReport,
+};
 use lyra_trace::{InferenceTrace, InferenceTraceConfig, JobTrace, TraceConfig};
 use proptest::prelude::*;
 
@@ -88,6 +90,49 @@ proptest! {
         let r = run_scenario(&s, &jobs, &inference).expect("run succeeds");
         check_invariants(&r, jobs.jobs.len());
         prop_assert_eq!(r.completed, jobs.jobs.len(), "all jobs complete");
+    }
+
+    #[test]
+    fn invariants_hold_under_any_fault_plan(
+        seed in 0u64..1000,
+        fault_seed in 0u64..1000,
+        crash_rate in 0.0f64..2.0,
+        worker_rate in 0.0f64..20.0,
+        restore_fail in 0.0f64..1.0,
+    ) {
+        let (mut jobs, inference) = traces(seed, 0.6);
+        transform::set_elastic_fraction(&mut jobs, 0.5, seed);
+        transform::set_checkpoint_fraction(&mut jobs, 0.5, seed ^ 1);
+        let mut s = Scenario::basic();
+        s.cluster = cluster();
+        s.seed = seed;
+        s.faults = Some(FaultPlan::generate(
+            &FaultConfig {
+                server_crash_rate_per_day: crash_rate,
+                worker_failure_rate_per_day: worker_rate,
+                checkpoint_restore_failure_prob: restore_fail,
+                straggler_rate_per_day: 0.5,
+                dropped_tick_prob: 0.1,
+                horizon_s: 86_400.0,
+                ..FaultConfig::default()
+            },
+            s.cluster.training_servers + s.cluster.inference_servers,
+            fault_seed,
+        ));
+        let r = run_scenario(&s, &jobs, &inference).expect("survives faults");
+        check_invariants(&r, jobs.jobs.len());
+        // The in-run auditor (GPU accounting, orphaned assignments, loan
+        // ledger) must never trip, faults or not.
+        prop_assert_eq!(r.fault.audit_violations, 0);
+        // No job may retain an allocation after the run: every record is
+        // either complete or was accounted as waiting; killed jobs
+        // restarted. Killed ⇒ restarts counted.
+        prop_assert!(r.fault.restarts >= r.fault.jobs_killed);
+        prop_assert!(
+            r.fault.checkpoint_restores + r.fault.checkpoint_restore_failures
+                <= r.fault.restarts
+        );
+        prop_assert!(r.fault.work_lost_s >= 0.0);
     }
 }
 
@@ -181,6 +226,73 @@ fn tuned_jobs_never_slow_down() {
         "tuned {:.0}s vs plain {:.0}s",
         rt.jct.mean,
         rp.jct.mean
+    );
+}
+
+fn faulty_scenario(seed: u64) -> (Scenario, JobTrace, InferenceTrace) {
+    let (mut jobs, inference) = traces(seed, 0.6);
+    transform::set_elastic_fraction(&mut jobs, 0.6, seed);
+    transform::set_checkpoint_fraction(&mut jobs, 0.5, seed ^ 1);
+    let mut s = Scenario::basic();
+    s.cluster = cluster();
+    s.faults = Some(FaultPlan::generate(
+        &FaultConfig {
+            server_crash_rate_per_day: 1.0,
+            worker_failure_rate_per_day: 8.0,
+            checkpoint_restore_failure_prob: 0.2,
+            straggler_rate_per_day: 0.5,
+            dropped_tick_prob: 0.05,
+            horizon_s: 86_400.0,
+            ..FaultConfig::default()
+        },
+        s.cluster.training_servers + s.cluster.inference_servers,
+        seed ^ 0xBAD,
+    ));
+    (s, jobs, inference)
+}
+
+#[test]
+fn fault_runs_are_deterministic() {
+    let (s, jobs, inference) = faulty_scenario(17);
+    let a = run_scenario(&s, &jobs, &inference).expect("runs");
+    let b = run_scenario(&s, &jobs, &inference).expect("runs");
+    assert_eq!(a, b, "same seed + plan ⇒ identical report");
+    assert!(a.fault.injected > 0, "the plan actually fired");
+    assert!(
+        a.fault.restarts > 0 || a.fault.elastic_absorbed > 0,
+        "faults had visible effect: {:?}",
+        a.fault
+    );
+    assert_eq!(a.fault.audit_violations, 0);
+}
+
+#[test]
+fn high_crash_rate_still_completes_workload() {
+    let (mut s, jobs, inference) = faulty_scenario(23);
+    // Crank crashes an order of magnitude higher than the moderate preset.
+    s.faults = Some(FaultPlan::generate(
+        &FaultConfig {
+            server_crash_rate_per_day: 3.0,
+            crash_recovery_s: 1_200.0,
+            worker_failure_rate_per_day: 20.0,
+            checkpoint_restore_failure_prob: 0.3,
+            horizon_s: 86_400.0,
+            ..FaultConfig::default()
+        },
+        20,
+        99,
+    ));
+    let r = run_scenario(&s, &jobs, &inference).expect("survives heavy crashes");
+    check_invariants(&r, jobs.jobs.len());
+    assert!(r.fault.server_crashes > 5, "crashes fired: {:?}", r.fault);
+    assert!(r.fault.restarts > 0);
+    assert_eq!(r.fault.audit_violations, 0);
+    // Crashed servers recover, so the workload still finishes.
+    assert!(
+        r.completed >= jobs.jobs.len() * 90 / 100,
+        "completed {}/{}",
+        r.completed,
+        jobs.jobs.len()
     );
 }
 

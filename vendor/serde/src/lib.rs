@@ -1,0 +1,566 @@
+//! Minimal, dependency-free stand-in for `serde`.
+//!
+//! Instead of the real crate's visitor-based (de)serializer pair, this
+//! facade converts every value through one in-memory [`Value`] tree:
+//! [`Serialize`] renders a value *to* the tree, [`Deserialize`] rebuilds
+//! a value *from* it. `serde_json` then prints/parses that tree. The
+//! derive macros are re-exported from `serde_derive` and generate code
+//! against exactly these two traits.
+//!
+//! Representation choices (shared with the derives and `serde_json`):
+//! - structs → objects keyed by field name
+//! - tuple structs with one field → transparent; more fields → arrays
+//! - unit enum variants → a string of the variant name; data-carrying
+//!   variants → a single-key object `{ "Variant": payload }`
+//! - maps/sets → sorted arrays (of `[key, value]` pairs for maps), so
+//!   output is deterministic even for hash containers
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The in-memory data tree every value serializes through. Mirrors the
+/// JSON data model with integers kept exact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (negative or within `i64`).
+    Int(i64),
+    /// Unsigned integer (used for values above `i64::MAX` and all
+    /// unsigned sources).
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// String-keyed object with preserved field order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Short human-readable kind label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Total order used to sort map entries for deterministic output.
+    fn canonical_cmp(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::UInt(_) | Value::Float(_) => 2,
+                Value::Str(_) => 3,
+                Value::Array(_) => 4,
+                Value::Object(_) => 5,
+            }
+        }
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) if rank(a) == 2 && rank(b) == 2 => {
+                let fa = a.as_f64_lossy();
+                let fb = b.as_f64_lossy();
+                fa.partial_cmp(&fb).unwrap_or(Ordering::Equal)
+            }
+            (Value::Array(a), Value::Array(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let c = x.canonical_cmp(y);
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    fn as_f64_lossy(&self) -> f64 {
+        match self {
+            Value::Int(i) => *i as f64,
+            Value::UInt(u) => *u as f64,
+            Value::Float(f) => *f,
+            _ => f64::NAN,
+        }
+    }
+}
+
+/// Deserialization error: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an "expected X, found Y" error for `value`.
+    pub fn expected(what: &str, value: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", value.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion of a value into the [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction of a value from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from `value`.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Helper used by derived code: reads struct field `name` out of an
+/// object. A missing field is treated as `null` (tolerates added
+/// optional fields when reading older archives).
+pub fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, DeError> {
+    let Value::Object(_) = value else {
+        return Err(DeError::expected("object", value));
+    };
+    match value.get(name) {
+        Some(v) => T::from_value(v).map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        None => {
+            T::from_value(&Value::Null).map_err(|_| DeError(format!("missing field `{name}`")))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide: u64 = match value {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    Value::Float(f) if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 => {
+                        *f as u64
+                    }
+                    other => return Err(DeError::expected("unsigned integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide: i64 = match value {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u)
+                        .map_err(|_| DeError(format!("{u} out of range for i64")))?,
+                    Value::Float(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => *f as i64,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(intern(s)),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+/// Interns a string, leaking each *distinct* value once. This is how
+/// the facade supports `&'static str` fields (the real crate borrows
+/// from the input instead); label-like fields only, by design.
+fn intern(s: &str) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut guard = pool.lock().expect("intern pool poisoned");
+    if let Some(&found) = guard.get(s) {
+        return found;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    guard.insert(leaked);
+    leaked
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-char string", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| DeError::expected("tuple array", value))?;
+                if items.len() != LEN {
+                    return Err(DeError(format!(
+                        "expected array of {LEN}, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+fn map_to_value<'a, K, V, I>(entries: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut pairs: Vec<Value> = entries
+        .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+        .collect();
+    pairs.sort_by(|a, b| a.canonical_cmp(b));
+    Value::Array(pairs)
+}
+
+fn map_from_value<K: Deserialize, V: Deserialize>(
+    value: &Value,
+) -> Result<Vec<(K, V)>, DeError> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| DeError::expected("map as array of pairs", value))?;
+    items
+        .iter()
+        .map(<(K, V)>::from_value)
+        .collect()
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(map_from_value(value)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(map_from_value(value)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(value).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<T: Serialize, S: BuildHasher> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        items.sort_by(|a, b| a.canonical_cmp(b));
+        Value::Array(items)
+    }
+}
+
+impl<T: Deserialize + Eq + Hash, S: BuildHasher + Default> Deserialize for HashSet<T, S> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(value).map(|v| v.into_iter().collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-7i64).to_value()), Ok(-7));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn numbers_cross_convert() {
+        // A float-encoded integer reads back as an integer type.
+        assert_eq!(u32::from_value(&Value::Float(5.0)), Ok(5));
+        assert_eq!(f64::from_value(&Value::Int(3)), Ok(3.0));
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn option_uses_null() {
+        assert_eq!(Option::<f64>::from_value(&Value::Null), Ok(None));
+        let v = Some(2.0f64).to_value();
+        assert_eq!(Option::<f64>::from_value(&v), Ok(Some(2.0)));
+    }
+
+    #[test]
+    fn maps_round_trip_sorted() {
+        let mut m = HashMap::new();
+        m.insert(3u32, "c".to_string());
+        m.insert(1u32, "a".to_string());
+        let v = m.to_value();
+        // Deterministic order regardless of hash order.
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr[0].as_array().unwrap()[0], Value::UInt(1));
+        let back: HashMap<u32, String> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn tuples_and_vecs_round_trip() {
+        let x = vec![(1u32, 2.5f64), (3, 4.5)];
+        let back: Vec<(u32, f64)> = Deserialize::from_value(&x.to_value()).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn missing_field_reads_as_null() {
+        let obj = Value::Object(vec![("a".into(), Value::Int(1))]);
+        let got: Option<f64> = field(&obj, "absent").unwrap();
+        assert_eq!(got, None);
+        assert!(field::<u32>(&obj, "absent").is_err());
+    }
+}

@@ -1,0 +1,429 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Parses the derive input directly from the `proc_macro` token stream
+//! (no `syn`/`quote`), which is enough because every serialized type in
+//! this workspace is a plain non-generic struct or enum. Generated code
+//! targets the `Serialize`/`Deserialize` traits of `vendor/serde` and
+//! mirrors its representation rules (structs → objects, one-field tuple
+//! structs → transparent, enums → variant-name string or single-key
+//! object).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+enum Data {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("derived Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("derived Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Strips a raw-identifier prefix for use as the serialized name.
+fn plain_name(ident: &proc_macro::Ident) -> String {
+    let s = ident.to_string();
+    s.strip_prefix("r#").unwrap_or(&s).to_string()
+}
+
+/// Consumes leading attributes (`#[...]`, including doc comments) and a
+/// visibility qualifier, returning the next meaningful token.
+fn skip_attrs_and_vis(iter: &mut Tokens) -> Option<TokenTree> {
+    loop {
+        match iter.next()? {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute body: `[...]` (or `![...]`, not expected here).
+                match iter.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    Some(TokenTree::Punct(bang)) if bang.as_char() == '!' => {
+                        iter.next();
+                    }
+                    _ => panic!("malformed attribute in derive input"),
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // Optional restriction: `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            other => return Some(other),
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    let keyword = match skip_attrs_and_vis(&mut iter) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde derives do not support generic type `{name}`");
+        }
+    }
+    let data = match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        kw => panic!("vendored serde derives support structs and enums, not `{kw}`"),
+    };
+    Input { name, data }
+}
+
+/// Field names of a `{ ... }` body, skipping attributes, visibility and
+/// the type (tracking `<...>` depth so nested commas don't split
+/// fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while let Some(tok) = skip_attrs_and_vis(&mut iter) {
+        let TokenTree::Ident(field) = tok else {
+            panic!("expected field name, got {tok:?}");
+        };
+        fields.push(plain_name(&field));
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{field}`, got {other:?}"),
+        }
+        // Consume the type up to a top-level comma.
+        let mut angle_depth = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Number of comma-separated fields in a tuple body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    let mut last_was_comma = false;
+    for tok in stream {
+        saw_tokens = true;
+        last_was_comma = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                fields += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if saw_tokens && !last_was_comma {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while let Some(tok) = skip_attrs_and_vis(&mut iter) {
+        let TokenTree::Ident(vname) = tok else {
+            panic!("expected variant name, got {tok:?}");
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_fields(g.stream());
+                iter.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume up to the separating comma (covers discriminants,
+        // which this workspace doesn't use).
+        for tok in iter.by_ref() {
+            if let TokenTree::Punct(p) = tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant {
+            name: plain_name(&vname),
+            kind,
+        });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Data::UnitStruct => "::serde::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Object(vec![{}]))]),",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(value, \"{f}\")?,"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Data::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+        ),
+        Data::TupleStruct(n) => {
+            let args: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = value.as_array()\
+                 .ok_or_else(|| ::serde::DeError::expected(\"array\", value))?;\n\
+                 if __items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::DeError(\
+                 format!(\"expected array of {n}, found {{}}\", __items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                args.join(", ")
+            )
+        }
+        Data::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Data::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                vn = v.name
+            )
+        })
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "\"{vn}\" => ::std::result::Result::Ok(\
+                     {name}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                )),
+                VariantKind::Tuple(n) => {
+                    let args: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => {{\n\
+                         let __items = __inner.as_array()\
+                         .ok_or_else(|| ::serde::DeError::expected(\"array\", __inner))?;\n\
+                         if __items.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError(\
+                         format!(\"variant {vn}: expected array of {n}, found {{}}\", \
+                         __items.len())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}::{vn}({}))\n\
+                         }}",
+                        args.join(", ")
+                    ))
+                }
+                VariantKind::Struct(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(__inner, \"{f}\")?,"))
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",
+                        inits.join(" ")
+                    ))
+                }
+            }
+        })
+        .collect();
+
+    let mut arms = String::new();
+    if !unit_arms.is_empty() {
+        arms.push_str(&format!(
+            "::serde::Value::Str(__s) => match __s.as_str() {{\n{}\n\
+             __other => ::std::result::Result::Err(::serde::DeError(\
+             format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n",
+            unit_arms.join("\n")
+        ));
+    }
+    if !data_arms.is_empty() {
+        arms.push_str(&format!(
+            "::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+             let (__tag, __inner) = &__pairs[0];\n\
+             match __tag.as_str() {{\n{}\n\
+             __other => ::std::result::Result::Err(::serde::DeError(\
+             format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n",
+            data_arms.join("\n")
+        ));
+    }
+    format!(
+        "match value {{\n{arms}\
+         __other => ::std::result::Result::Err(\
+         ::serde::DeError::expected(\"{name} variant\", __other)),\n}}"
+    )
+}
