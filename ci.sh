@@ -1,7 +1,16 @@
 #!/usr/bin/env sh
-# Tier-1 gate: build, test, lint. Run from the repo root.
+# Tier-1 gate: build, test, lint, docs, smoke. Run from the repo root.
 set -eu
 
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
+
+# First-party rustdoc must build clean (vendored stand-ins are exempt).
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
+  -p lyra -p lyra-core -p lyra-cluster -p lyra-sim -p lyra-trace \
+  -p lyra-predictor -p lyra-elastic -p lyra-obs -p lyra-bench
+
+# Bench smoke: one observed end-to-end run; exits non-zero unless the
+# event log, metric snapshots and span profile all came out non-empty.
+./target/release/lyra-bench smoke

@@ -84,8 +84,8 @@ pub fn ext_las(scale: Scale) -> ExperimentResult {
         res.series
             .push((format!("{label}/{est}"), vec![r.queuing.mean, r.jct.mean]));
     }
-    println!("Extension: information-agnostic phase 1 (LAS) vs SJF");
-    println!("{}", render(&rows));
+    lyra_obs::emitln!("Extension: information-agnostic phase 1 (LAS) vs SJF");
+    lyra_obs::emitln!("{}", render(&rows));
     res.reports = vec![baseline, sjf, sjf_wrong, las];
     res
 }
@@ -125,8 +125,8 @@ pub fn ext_phase2(scale: Scale) -> ExperimentResult {
         res.series
             .push((label.to_string(), vec![r.queuing.mean, r.jct.mean]));
     }
-    println!("Extension: phase-2 solver ablation");
-    println!("{}", render(&rows));
+    lyra_obs::emitln!("Extension: phase-2 solver ablation");
+    lyra_obs::emitln!("{}", render(&rows));
     res.reports = vec![mckp, greedy];
     res
 }
@@ -164,8 +164,8 @@ pub fn ext_predictor(scale: Scale) -> ExperimentResult {
             vec![r.queuing.mean, r.jct.mean, r.preemption_ratio],
         ));
     }
-    println!("Extension: LSTM-predictive vs reactive reclaiming (§6)");
-    println!("{}", render(&rows));
+    lyra_obs::emitln!("Extension: LSTM-predictive vs reactive reclaiming (§6)");
+    lyra_obs::emitln!("{}", render(&rows));
     res.reports = vec![reactive, predictive];
     res
 }
@@ -203,8 +203,8 @@ pub fn ext_costmodel(scale: Scale) -> ExperimentResult {
         ));
         res.reports.push(r);
     }
-    println!("Extension: preemption-cost definitions end-to-end (Table 1)");
-    println!("{}", render(&rows));
+    lyra_obs::emitln!("Extension: preemption-cost definitions end-to-end (Table 1)");
+    lyra_obs::emitln!("{}", render(&rows));
     res
 }
 
@@ -245,8 +245,8 @@ pub fn ext_slo(scale: Scale) -> ExperimentResult {
             vec![r.queuing.mean, r.jct.mean, r.preemption_ratio],
         ));
     }
-    println!("Extension: inference capacity target model (§4's assumption)");
-    println!("{}", render(&rows));
+    lyra_obs::emitln!("Extension: inference capacity target model (§4's assumption)");
+    lyra_obs::emitln!("{}", render(&rows));
     res.reports = vec![proportional, erlang];
     res
 }
@@ -280,8 +280,8 @@ pub fn ext_interval(scale: Scale) -> ExperimentResult {
         ));
         res.reports.push(r);
     }
-    println!("Extension: scheduler epoch length (§3's cadence choice)");
-    println!("{}", render(&rows));
+    lyra_obs::emitln!("Extension: scheduler epoch length (§3's cadence choice)");
+    lyra_obs::emitln!("{}", render(&rows));
     res
 }
 
@@ -343,7 +343,7 @@ pub fn ext_granularity(scale: Scale) -> ExperimentResult {
         ));
         res.reports.push(r);
     }
-    println!("Extension: loaning granularity (§8's fine-grained sharing)");
-    println!("{}", render(&rows));
+    lyra_obs::emitln!("Extension: loaning granularity (§8's fine-grained sharing)");
+    lyra_obs::emitln!("{}", render(&rows));
     res
 }

@@ -97,7 +97,7 @@ pub fn faults(scale: Scale) -> ExperimentResult {
             res.reports.push(r);
         }
     }
-    println!("Robustness: JCT and fault accounting under rising crash rates");
-    println!("{}", render(&rows));
+    lyra_obs::emitln!("Robustness: JCT and fault accounting under rising crash rates");
+    lyra_obs::emitln!("{}", render(&rows));
     res
 }

@@ -54,8 +54,8 @@ pub fn tab8(scale: Scale) -> ExperimentResult {
         rows.push(table8_row(label, &r));
         res.reports.push(r);
     }
-    println!("Table 8: queuing time and JCT percentiles (Basic)");
-    println!("{}", render(&rows));
+    lyra_obs::emitln!("Table 8: queuing time and JCT percentiles (Basic)");
+    lyra_obs::emitln!("{}", render(&rows));
     res
 }
 
@@ -88,8 +88,8 @@ pub fn tab9(scale: Scale) -> ExperimentResult {
         res.series.push((format!("wrong-{wrong}"), vec![q, j]));
         res.reports.push(r);
     }
-    println!("Table 9: sensitivity to running-time estimation error (≤25% margin)");
-    println!("{}", render(&rows));
+    lyra_obs::emitln!("Table 9: sensitivity to running-time estimation error (≤25% margin)");
+    lyra_obs::emitln!("{}", render(&rows));
     res.reports.push(baseline);
     res
 }
@@ -133,8 +133,8 @@ pub fn fig1415(scale: Scale) -> ExperimentResult {
         res.series.push((format!("{label}-queuing"), qrow));
         res.series.push((format!("{label}-jct"), jrow));
     }
-    println!("Figures 14-15: reductions over Baseline vs % elastic jobs");
-    println!("{}", render(&table));
+    lyra_obs::emitln!("Figures 14-15: reductions over Baseline vs % elastic jobs");
+    lyra_obs::emitln!("{}", render(&table));
     res
 }
 
@@ -164,11 +164,11 @@ pub fn fig16(scale: Scale) -> ExperimentResult {
         lossy_q.push(reduction(baseline.queuing.mean, r_loss.queuing.mean));
     }
     let xs: Vec<f64> = fractions.iter().map(|f| f * 100.0).collect();
-    println!(
+    lyra_obs::emitln!(
         "{}",
         render_series("Figure 16: JCT reduction, linear scaling", &xs, &linear_j)
     );
-    println!(
+    lyra_obs::emitln!(
         "{}",
         render_series(
             "Figure 16: JCT reduction, 20% per-worker loss",
@@ -176,11 +176,11 @@ pub fn fig16(scale: Scale) -> ExperimentResult {
             &lossy_j
         )
     );
-    println!(
+    lyra_obs::emitln!(
         "{}",
         render_series("Figure 16: queuing reduction, linear", &xs, &linear_q)
     );
-    println!(
+    lyra_obs::emitln!(
         "{}",
         render_series("Figure 16: queuing reduction, lossy", &xs, &lossy_q)
     );
@@ -214,7 +214,7 @@ pub fn fig12(scale: Scale) -> ExperimentResult {
         ideal_j.push(reduction(baseline.jct.mean, ideal.jct.mean));
     }
     let xs: Vec<f64> = (0..10).map(f64::from).collect();
-    println!(
+    lyra_obs::emitln!(
         "{}",
         render_series(
             "Figure 12: Basic queuing reduction per trace",
@@ -222,11 +222,11 @@ pub fn fig12(scale: Scale) -> ExperimentResult {
             &basic_q
         )
     );
-    println!(
+    lyra_obs::emitln!(
         "{}",
         render_series("Figure 12: Basic JCT reduction per trace", &xs, &basic_j)
     );
-    println!(
+    lyra_obs::emitln!(
         "{}",
         render_series(
             "Figure 12: Ideal queuing reduction per trace",
@@ -234,12 +234,12 @@ pub fn fig12(scale: Scale) -> ExperimentResult {
             &ideal_q
         )
     );
-    println!(
+    lyra_obs::emitln!(
         "{}",
         render_series("Figure 12: Ideal JCT reduction per trace", &xs, &ideal_j)
     );
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    println!(
+    lyra_obs::emitln!(
         "means: Basic {:.2}x/{:.2}x, Ideal {:.2}x/{:.2}x (queuing/JCT)",
         mean(&basic_q),
         mean(&basic_j),

@@ -94,12 +94,12 @@ pub fn tab7(scale: Scale) -> ExperimentResult {
         format!("{:.0}", lyra.on_loan_jct.p50),
         format!("{:.0}", lyra.on_loan_jct.p95),
     ]);
-    println!(
+    lyra_obs::emitln!(
         "Table 7: jobs running on on-loan servers ({} jobs)",
         loan_ids.len()
     );
-    println!("{}", render(&rows));
-    println!(
+    lyra_obs::emitln!("{}", render(&rows));
+    lyra_obs::emitln!(
         "median queuing reduction {:.2}x, p95 {:.2}x",
         reduction(bq.p50.max(1.0), lyra.on_loan_queuing.p50.max(1.0)),
         reduction(bq.p95.max(1.0), lyra.on_loan_queuing.p95.max(1.0)),
@@ -132,11 +132,11 @@ pub fn fig9(scale: Scale) -> ExperimentResult {
         })
         .collect();
     let xs: Vec<f64> = (0..daily.len()).map(|d| d as f64).collect();
-    println!(
+    lyra_obs::emitln!(
         "{}",
         render_series("Figure 9: daily avg on-loan server usage", &xs, &daily)
     );
-    println!(
+    lyra_obs::emitln!(
         "on-loan server usage {:.2} (GPU-level {:.2})",
         lyra.on_loan_server_usage, lyra.on_loan_usage
     );
@@ -188,8 +188,8 @@ pub fn fig10(scale: Scale) -> ExperimentResult {
             res.reports.push(r);
         }
     }
-    println!("Figure 10: reclaiming heuristic comparison");
-    println!("{}", render(&rows));
+    lyra_obs::emitln!("Figure 10: reclaiming heuristic comparison");
+    lyra_obs::emitln!("{}", render(&rows));
     res
 }
 
@@ -223,15 +223,15 @@ pub fn fig13(scale: Scale) -> ExperimentResult {
         res.reports.push(r);
     }
     let xs: Vec<f64> = fractions.iter().map(|f| f * 100.0).collect();
-    println!(
+    lyra_obs::emitln!(
         "{}",
         render_series("Figure 13: queuing reduction vs % checkpointed", &xs, &qs)
     );
-    println!(
+    lyra_obs::emitln!(
         "{}",
         render_series("Figure 13: JCT reduction vs % checkpointed", &xs, &js)
     );
-    println!(
+    lyra_obs::emitln!(
         "{}",
         render_series("Figure 13: preemption ratio vs % checkpointed", &xs, &ps)
     );
@@ -356,7 +356,7 @@ pub fn reclaim_opt(scale: Scale) -> ExperimentResult {
     let t0 = Instant::now();
     let _ = reclaim_exhaustive_optimal(&big);
     let opt_big = t0.elapsed().as_secs_f64();
-    println!(
+    lyra_obs::emitln!(
         "Reclaiming vs optimal over {total} feasible instances:\n\
          optimal-preemption matches: {:.0}% (excess preemptions when not: {excess_preemptions})\n\
          mean server overlap with optimal: {:.0}% (paper: 84%)\n\

@@ -111,12 +111,12 @@ pub fn tab5(scale: Scale) -> ExperimentResult {
     for ((label, r), loaning) in reports.iter().zip(&loaning_flags) {
         rows.push(table5_row(label, r, *loaning));
     }
-    println!("Table 5: simulation results");
-    println!("{}", render(&rows));
+    lyra_obs::emitln!("Table 5: simulation results");
+    lyra_obs::emitln!("{}", render(&rows));
 
     let baseline = &reports[0].1;
     let basic = &reports[1].1;
-    println!(
+    lyra_obs::emitln!(
         "Basic vs Baseline: queuing reduction {:.2}x, JCT reduction {:.2}x, \
          overall usage {:.0}% → {:.0}%",
         reduction(baseline.queuing.mean, basic.queuing.mean),
@@ -171,11 +171,11 @@ pub fn headline(scale: Scale) -> ExperimentResult {
     for (label, r) in &reports {
         rows.push(table5_row(label, r, true));
     }
-    println!("Headline rows (Table 5 subset)");
-    println!("{}", render(&rows));
+    lyra_obs::emitln!("Headline rows (Table 5 subset)");
+    lyra_obs::emitln!("{}", render(&rows));
     let baseline = &reports[0].1;
     for (label, r) in &reports[1..] {
-        println!(
+        lyra_obs::emitln!(
             "{label}: queuing {:.2}x, JCT {:.2}x over Baseline",
             reduction(baseline.queuing.mean, r.queuing.mean),
             reduction(baseline.jct.mean, r.jct.mean),
@@ -206,7 +206,7 @@ pub fn fig7(scale: Scale) -> ExperimentResult {
         ("Ideal", &ideal),
     ] {
         let ys: Vec<f64> = r.hourly_overall_usage.iter().take(hours).copied().collect();
-        println!(
+        lyra_obs::emitln!(
             "{}",
             render_series(
                 &format!("Figure 7: {label} hourly combined usage"),
@@ -251,8 +251,8 @@ pub fn fig8(scale: Scale) -> ExperimentResult {
         ]);
         res.series.push((label.to_string(), vec![q, j]));
     }
-    println!("Figure 8: gains over Baseline with non-linear scaling (20% per-worker loss)");
-    println!("{}", render(&rows));
+    lyra_obs::emitln!("Figure 8: gains over Baseline with non-linear scaling (20% per-worker loss)");
+    lyra_obs::emitln!("{}", render(&rows));
     res.reports = vec![baseline, basic, ideal];
     res
 }
@@ -301,8 +301,8 @@ pub fn tab6(scale: Scale) -> ExperimentResult {
         ]);
         res.reports.push(r);
     }
-    println!("Table 6: naive BFD placement (no special elastic treatment)");
-    println!("{}", render(&rows));
+    lyra_obs::emitln!("Table 6: naive BFD placement (no special elastic treatment)");
+    lyra_obs::emitln!("{}", render(&rows));
     res
 }
 
@@ -326,11 +326,11 @@ pub fn fig11(scale: Scale) -> ExperimentResult {
         res.reports.push(r);
     }
     let xs: Vec<f64> = fractions.iter().map(|f| f * 100.0).collect();
-    println!(
+    lyra_obs::emitln!(
         "{}",
         render_series("Figure 11: queuing reduction vs % hetero jobs", &xs, &qs)
     );
-    println!(
+    lyra_obs::emitln!(
         "{}",
         render_series("Figure 11: JCT reduction vs % hetero jobs", &xs, &js)
     );

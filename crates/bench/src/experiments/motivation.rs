@@ -35,12 +35,12 @@ pub fn fig1(scale: Scale) -> ExperimentResult {
         .map(|c| c.iter().sum::<f64>() / c.len() as f64)
         .collect();
     let xs: Vec<f64> = (0..hourly.len()).map(|h| h as f64).collect();
-    println!(
+    lyra_obs::emitln!(
         "{}",
         render_series("Figure 1: inference GPU utilisation (hourly)", &xs, &hourly)
     );
     let (trough, peak) = trace.trough_peak();
-    println!(
+    lyra_obs::emitln!(
         "mean {:.2}  trough {:.2}  peak {:.2}  peak/trough {:.2}  median 5-min burst {:.3}",
         trace.mean(),
         trough,
@@ -67,11 +67,11 @@ pub fn fig2(scale: Scale) -> ExperimentResult {
     let tolerance = scenario.sim.scheduler_interval_s + 1.0;
     let ratio = report.hourly_queuing_ratio(tolerance);
     let xs: Vec<f64> = (0..ratio.len()).map(|h| h as f64).collect();
-    println!(
+    lyra_obs::emitln!(
         "{}",
         render_series("Figure 2: hourly queuing-job ratio (Baseline)", &xs, &ratio)
     );
-    println!(
+    lyra_obs::emitln!(
         "training usage {:.2}  mean queuing {:.0}s",
         report.training_usage, report.queuing.mean
     );
@@ -93,7 +93,7 @@ pub fn fig3() -> ExperimentResult {
         let series = figure3_series(family, 30, 5);
         let xs: Vec<f64> = series.iter().map(|p| f64::from(p.epoch)).collect();
         let ys: Vec<f64> = series.iter().map(|p| p.throughput).collect();
-        println!(
+        lyra_obs::emitln!(
             "{}",
             render_series(&format!("Figure 3: {family:?} throughput"), &xs, &ys)
         );
@@ -171,16 +171,16 @@ pub fn tab1() -> ExperimentResult {
             format!("{server_frac:.1}"),
         ]);
     }
-    println!("Table 1: server preemption-cost definitions (Figure 5 example)");
-    println!("{}", render(&rows));
+    lyra_obs::emitln!("Table 1: server preemption-cost definitions (Figure 5 example)");
+    lyra_obs::emitln!("{}", render(&rows));
     let out = lyra_core::reclaim_servers(&request, lyra_core::CostModel::ServerFraction);
-    println!(
+    lyra_obs::emitln!(
         "Lyra (server fraction): returns {:?}, preempts {} job(s) — the optimum.",
         out.returned,
         out.preempted.len()
     );
     let out = lyra_core::reclaim_servers(&request, lyra_core::CostModel::GpuFraction);
-    println!(
+    lyra_obs::emitln!(
         "GPU-fraction variant: returns {:?}, preempts {} job(s) — the paper's counterexample.",
         out.returned,
         out.preempted.len()
@@ -193,7 +193,7 @@ pub fn tab234() -> ExperimentResult {
     // Table 2/3: jobs A and B, range [2, 6], 50 s / 20 s, 8 workers.
     let a = JobSpec::elastic(0, 0.0, 2, 6, 1, 50.0);
     let b = JobSpec::elastic(1, 0.0, 2, 6, 1, 20.0);
-    println!("Table 3: allocation strategies for Table 2's jobs (8 workers)");
+    lyra_obs::emitln!("Table 3: allocation strategies for Table 2's jobs (8 workers)");
     let mut rows = vec![vec![
         "Solution".to_string(),
         "A".to_string(),
@@ -218,9 +218,9 @@ pub fn tab234() -> ExperimentResult {
             format!("{:.2}", out.avg_jct),
         ]);
     }
-    println!("{}", render(&rows));
+    lyra_obs::emitln!("{}", render(&rows));
     let opt = lyra_core::optimal_two_job_allocation(&a, &b, 8).expect("feasible");
-    println!(
+    lyra_obs::emitln!(
         "exact optimum over all splits: A={} B={} (avg JCT {:.2}) — §5.1's analysis",
         opt.initial.0, opt.initial.1, opt.avg_jct
     );
@@ -228,7 +228,7 @@ pub fn tab234() -> ExperimentResult {
     // Table 4 / Figure 6: the SJF counterexample and its MCKP transform.
     let a4 = JobSpec::elastic(0, 0.0, 2, 3, 2, 100.0);
     let b4 = JobSpec::elastic(1, 0.0, 2, 6, 1, 20.0);
-    println!("Figure 6: MCKP items for Table 4's jobs (2 GPUs left after bases)");
+    lyra_obs::emitln!("Figure 6: MCKP items for Table 4's jobs (2 GPUs left after bases)");
     let groups = vec![
         McKnapsackGroup {
             key: 0,
@@ -265,9 +265,9 @@ pub fn tab234() -> ExperimentResult {
             ]);
         }
     }
-    println!("{}", render(&rows));
+    lyra_obs::emitln!("{}", render(&rows));
     let solution = solve_mckp(&groups, 2);
-    println!(
+    lyra_obs::emitln!(
         "MCKP over 2 leftover GPUs picks value {:.0} (A's extra worker) — \
          prioritising A as §5.1 derives.",
         solution.total_value
@@ -281,7 +281,7 @@ pub fn tab234() -> ExperimentResult {
         running: vec![],
     };
     let out = two_phase_allocate(&snapshot, AllocationConfig::default());
-    println!("two-phase allocation on Table 4: {:?}", out.launches);
+    lyra_obs::emitln!("two-phase allocation on Table 4: {:?}", out.launches);
     result("tab234", Scale::Small)
 }
 
@@ -294,7 +294,7 @@ pub fn lstm(scale: Scale) -> ExperimentResult {
     let mut model = UsagePredictor::new(LstmConfig::default());
     let train_loss = model.train_series(&trace.samples[..split], 3);
     let eval = model.evaluate(&trace.samples[split..]);
-    println!(
+    lyra_obs::emitln!(
         "LSTM usage predictor: final training MSE {train_loss:.6}, \
          held-out MSE over {} points: {eval:.6} (paper reports 0.00048)",
         n - split

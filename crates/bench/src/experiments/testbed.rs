@@ -53,12 +53,12 @@ pub fn tab10() -> ExperimentResult {
     let lyra = run(Scenario::basic(), &jobs, &inference);
     rows.push(table5_row("Baseline", &baseline, true));
     rows.push(table5_row("Lyra", &lyra, true));
-    println!(
+    lyra_obs::emitln!(
         "Overall: queuing {:.2}x, JCT mean {:.2}x over Baseline",
         reduction(baseline.queuing.mean, lyra.queuing.mean),
         reduction(baseline.jct.mean, lyra.jct.mean),
     );
-    println!(
+    lyra_obs::emitln!(
         "loan ops {}, reclaim ops {}, scaling ops {}",
         lyra.loan_ops, lyra.reclaim_ops, lyra.scaling_ops
     );
@@ -92,8 +92,8 @@ pub fn tab10() -> ExperimentResult {
         rows.push(table5_row(label, &r, false));
         res.reports.push(r);
     }
-    println!("Table 10: testbed results (Basic scenario)");
-    println!("{}", render(&rows));
+    lyra_obs::emitln!("Table 10: testbed results (Basic scenario)");
+    lyra_obs::emitln!("{}", render(&rows));
     res
 }
 
@@ -136,8 +136,8 @@ pub fn fig17() -> ExperimentResult {
             res.reports.push(r);
         }
     }
-    println!("Figure 17: testbed preemption and collateral damage");
-    println!("{}", render(&rows));
+    lyra_obs::emitln!("Figure 17: testbed preemption and collateral damage");
+    lyra_obs::emitln!("{}", render(&rows));
     res
 }
 

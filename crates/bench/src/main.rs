@@ -5,22 +5,96 @@
 //! cargo run -p lyra-bench --release -- all --small     # everything, CI size
 //! cargo run -p lyra-bench --release -- fig10 --full    # paper scale
 //! cargo run -p lyra-bench --release -- list
+//! cargo run -p lyra-bench --release -- smoke           # observed end-to-end run
+//! cargo run -p lyra-bench --release -- explain 17      # one job's decision chain
 //! ```
 //!
-//! Results print as tables/series on stdout; `--json <dir>` additionally
-//! writes one JSON file per experiment. `plot <file.json>...` renders
-//! archived results as SVG line charts next to the JSON.
+//! Results print as tables/series on stdout; `--quiet` suppresses the
+//! tables and `--json [dir]` replaces them with one machine-readable
+//! JSON line per experiment (and, when a directory is given, one JSON
+//! file per experiment). `plot <file.json>...` renders archived results
+//! as SVG line charts next to the JSON. `explain <job-id> [--log
+//! <file.jsonl>]` reconstructs the scheduler's causal chain for one job
+//! from a recorded event log (or from a fresh small observed run).
 
 use lyra_bench::{experiments, Scale};
+use lyra_obs::OutputMode;
+use lyra_sim::{run_scenario_observed, ObserverConfig, Scenario};
 use std::io::Write as _;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id>... [--small|--medium|--full] [--json <dir>]\n\
-         ids: {}  (or `all`, `list`)",
+        "usage: lyra-bench <id>... [--small|--medium|--full] [--quiet] [--json [dir]]\n\
+         \x20      lyra-bench list | plot <file.json>... | smoke [--log <file.jsonl>]\n\
+         \x20      lyra-bench explain <job-id> [--log <file.jsonl>]\n\
+         ids: {}  (or `all`)",
         experiments::ALL.join(" ")
     );
     std::process::exit(2);
+}
+
+/// Runs one small observed Basic scenario and returns its report; used
+/// by `smoke` and by `explain` when no `--log` file is given.
+fn observed_small_run(sink: Option<&str>) -> lyra_sim::SimReport {
+    // Seed 5 and the Small cluster match tab5's Basic row, which
+    // exercises loaning, reclaiming and preemption even at Small scale.
+    let (jobs, inference) = Scale::Small.traces(5);
+    let mut scenario = Scenario::basic();
+    scenario.cluster = Scale::Small.cluster_config();
+    let observer = ObserverConfig {
+        sink_path: sink.map(std::path::PathBuf::from),
+        ..ObserverConfig::default()
+    };
+    run_scenario_observed(&scenario, &jobs, &inference, observer)
+        .unwrap_or_else(|e| panic!("observed run failed: {e}"))
+}
+
+/// `smoke [--log <file>]`: one observed end-to-end run with every
+/// observability pillar checked — used by ci.sh as the bench smoke
+/// test. Exits non-zero if the run produced no events, no metric
+/// snapshots or no span profile. With `--log`, also writes the JSONL
+/// event log to `file` (feed it to `explain <job-id> --log <file>`).
+fn smoke(log_path: Option<&str>) -> ! {
+    let report = observed_small_run(log_path);
+    println!(
+        "smoke: {} jobs completed, {} events, {} metric snapshots, {} profiled phases",
+        report.completed,
+        report.events.len(),
+        report.metrics.len(),
+        report.profile.0.len()
+    );
+    print!("{}", report.profile.render());
+    let ok = report.completed > 0
+        && !report.events.is_empty()
+        && !report.metrics.is_empty()
+        && !report.profile.0.is_empty();
+    if !ok {
+        eprintln!("smoke: missing observability output");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// `explain <job-id>`: narrate the causal chain for one job from a
+/// recorded event log, or from a fresh small observed run.
+fn explain(job: u64, log_path: Option<&str>) -> ! {
+    let jsonl = match log_path {
+        Some(path) => {
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+        }
+        None => observed_small_run(None).events.join("\n"),
+    };
+    let events = lyra_obs::parse_log(&jsonl).unwrap_or_else(|e| panic!("parse event log: {e}"));
+    print!("{}", lyra_obs::explain_job(&events, job));
+    std::process::exit(0);
+}
+
+/// True if `arg` is a flag, subcommand or experiment id — i.e. not a
+/// directory operand for `--json [dir]`.
+fn is_operand_like(arg: &str) -> bool {
+    arg.starts_with("--")
+        || matches!(arg, "all" | "list" | "plot" | "smoke" | "explain")
+        || experiments::ALL.contains(&arg)
 }
 
 fn main() {
@@ -37,9 +111,17 @@ fn main() {
             "--small" => scale = Scale::Small,
             "--medium" => scale = Scale::Medium,
             "--full" => scale = Scale::Full,
+            "--quiet" => lyra_obs::output::set_mode(OutputMode::Quiet),
             "--json" => {
-                i += 1;
-                json_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+                lyra_obs::output::set_mode(OutputMode::Json);
+                // Back-compat: `--json results/` also archives one JSON
+                // file per experiment into the directory.
+                if let Some(next) = args.get(i + 1) {
+                    if !is_operand_like(next) {
+                        json_dir = Some(next.clone());
+                        i += 1;
+                    }
+                }
             }
             "list" => {
                 for id in experiments::ALL {
@@ -47,13 +129,30 @@ fn main() {
                 }
                 return;
             }
+            "smoke" => {
+                let log_path = match args.get(i + 1).map(String::as_str) {
+                    Some("--log") => Some(args.get(i + 2).cloned().unwrap_or_else(|| usage())),
+                    _ => None,
+                };
+                smoke(log_path.as_deref());
+            }
+            "explain" => {
+                let job: u64 = args
+                    .get(i + 1)
+                    .and_then(|a| a.parse().ok())
+                    .unwrap_or_else(|| usage());
+                let log_path = match args.get(i + 2).map(String::as_str) {
+                    Some("--log") => Some(args.get(i + 3).cloned().unwrap_or_else(|| usage())),
+                    _ => None,
+                };
+                explain(job, log_path.as_deref());
+            }
             "plot" => {
                 for path in &args[i + 1..] {
                     let json = std::fs::read_to_string(path)
                         .unwrap_or_else(|e| panic!("read {path}: {e}"));
-                    let result: lyra_bench::ExperimentResult =
-                        serde_json::from_str(&json)
-                            .unwrap_or_else(|e| panic!("parse {path}: {e}"));
+                    let result: lyra_bench::ExperimentResult = serde_json::from_str(&json)
+                        .unwrap_or_else(|e| panic!("parse {path}: {e}"));
                     let svg = lyra_bench::plot::plot_experiment(&result);
                     let out = path.replace(".json", ".svg");
                     std::fs::write(&out, svg).expect("write svg");
@@ -70,20 +169,22 @@ fn main() {
         usage();
     }
     for id in &ids {
-        println!("==== {id} ({scale:?}) ====");
+        lyra_obs::emitln!("==== {id} ({scale:?}) ====");
         let start = std::time::Instant::now();
         let Some(result) = experiments::run(id, scale) else {
             eprintln!("unknown experiment: {id}");
             std::process::exit(2);
         };
-        println!("[{id} done in {:.1}s]\n", start.elapsed().as_secs_f64());
+        lyra_obs::emitln!("[{id} done in {:.1}s]\n", start.elapsed().as_secs_f64());
+        let payload = serde_json::to_string(&result).expect("serialise result");
+        lyra_obs::output::emit_json(&payload);
         if let Some(dir) = &json_dir {
             std::fs::create_dir_all(dir).expect("create output dir");
             let path = format!("{dir}/{id}.json");
             let mut f = std::fs::File::create(&path).expect("create json file");
-            let payload = serde_json::to_string_pretty(&result).expect("serialise result");
-            f.write_all(payload.as_bytes()).expect("write json");
-            println!("wrote {path}");
+            let pretty = serde_json::to_string_pretty(&result).expect("serialise result");
+            f.write_all(pretty.as_bytes()).expect("write json");
+            lyra_obs::emitln!("wrote {path}");
         }
     }
 }

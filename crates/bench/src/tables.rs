@@ -169,6 +169,9 @@ mod tests {
             on_loan_jct: Percentiles::default(),
             fault: lyra_sim::FaultStats::default(),
             records: vec![],
+            events: vec![],
+            metrics: vec![],
+            profile: lyra_obs::Profile::default(),
         }
     }
 

@@ -113,6 +113,7 @@ impl Orchestrator {
         if n == 0 {
             return Ok(OrchestratorDecision::Hold);
         }
+        let _timing = lyra_obs::span::span("cluster.loan");
         let loaned = state.loan(n)?;
         Ok(OrchestratorDecision::Loaned(loaned))
     }
@@ -131,6 +132,7 @@ impl Orchestrator {
         if n == 0 {
             return Ok(OrchestratorDecision::Hold);
         }
+        let _timing = lyra_obs::span::span("cluster.reclaim");
         let mut remaining = n as usize;
         let mut flex_releases: Vec<(JobId, ServerId, u32)> = Vec::new();
         let mut returned_flex: Vec<ServerId> = Vec::new();

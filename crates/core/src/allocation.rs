@@ -124,6 +124,8 @@ pub struct AllocationOutcome {
 /// assert_eq!(out.launches, vec![(lyra_core::JobId(1), 2), (lyra_core::JobId(0), 3)]);
 /// ```
 pub fn two_phase_allocate(snapshot: &Snapshot, config: AllocationConfig) -> AllocationOutcome {
+    let _timing = lyra_obs::span::span("core.allocation");
+    let auditing = lyra_obs::audit::is_enabled();
     // Pool capacity: idle GPUs plus GPUs held by flexible workers of
     // running elastic jobs (which are up for resizing).
     let idle = if config.normalize_capacity {
@@ -170,16 +172,33 @@ pub fn two_phase_allocate(snapshot: &Snapshot, config: AllocationConfig) -> Allo
     let mut launches: Vec<(JobId, u32)> = Vec::new();
     let mut launched_set: HashMap<JobId, usize> = HashMap::new();
     let mut skipped: Vec<JobId> = Vec::new();
+    let phase1_capacity = capacity.min(u64::from(u32::MAX)) as u32;
+    let mut phase1_audit: Vec<lyra_obs::audit::Phase1Entry> = Vec::new();
     for idx in order {
         let p = &snapshot.pending[idx];
         let need = u64::from(p.spec.base_gpus());
-        if need <= capacity {
+        let admitted = need <= capacity;
+        if admitted {
             capacity -= need;
             launched_set.insert(p.spec.id, idx);
             launches.push((p.spec.id, p.spec.w_min()));
         } else {
             skipped.push(p.spec.id);
         }
+        if auditing {
+            phase1_audit.push(lyra_obs::audit::Phase1Entry {
+                job: p.spec.id.0,
+                est_running_time_s: p.est_running_time_s,
+                base_gpus: p.spec.base_gpus(),
+                admitted,
+            });
+        }
+    }
+    if auditing && !phase1_audit.is_empty() {
+        lyra_obs::audit::record(lyra_obs::audit::AuditRecord::Phase1Order {
+            capacity_gpus: phase1_capacity,
+            order: phase1_audit,
+        });
     }
 
     // ---- Phase 2: MCKP over elastic jobs' flexible demand. ----
@@ -278,6 +297,31 @@ pub fn two_phase_allocate(snapshot: &Snapshot, config: AllocationConfig) -> Allo
             Phase2Solver::Greedy => solve_greedy(&groups_sorted, cap_u32),
         };
         capacity -= u64::from(solution.total_weight);
+
+        if auditing && !groups_sorted.is_empty() {
+            // Per-group option values are capped: a wide elastic range
+            // would bloat every audit record.
+            const AUDIT_VALUES: usize = 16;
+            let audit_groups = groups_sorted
+                .iter()
+                .zip(&solution.chosen)
+                .map(|(g, chosen)| {
+                    let gpw = g.items.first().map_or(1, |i| i.weight.max(1));
+                    lyra_obs::audit::MckpGroupAudit {
+                        job: g.key,
+                        values: g.items.iter().take(AUDIT_VALUES).map(|i| i.value).collect(),
+                        chosen_extra: chosen.map(|i| g.items[i].weight / gpw).unwrap_or(0),
+                        chosen_value: chosen.map(|i| g.items[i].value).unwrap_or(0.0),
+                    }
+                })
+                .collect();
+            lyra_obs::audit::record(lyra_obs::audit::AuditRecord::Phase2Mckp {
+                capacity_gpus: cap_u32,
+                groups: audit_groups,
+                total_value: solution.total_value,
+                total_weight: solution.total_weight,
+            });
+        }
 
         for (slot, chosen) in solution.chosen.iter().enumerate() {
             let extra = chosen

@@ -78,6 +78,7 @@ pub struct MckpSolution {
 /// assert_eq!(sol.chosen, vec![Some(0), Some(1)]);
 /// ```
 pub fn solve_mckp(groups: &[McKnapsackGroup], capacity: u32) -> MckpSolution {
+    let _timing = lyra_obs::span::span("core.mckp");
     let cap = capacity as usize;
     // `dp[c]`: best value using the groups processed so far with ≤ c GPUs.
     let mut dp = vec![0.0_f64; cap + 1];

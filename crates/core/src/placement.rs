@@ -224,6 +224,7 @@ pub fn place_gang(
     group: ServerGroup,
     config: PlacementConfig,
 ) -> Option<Assignment> {
+    let _timing = lyra_obs::span::span("core.placement.gang");
     let mut scratch = servers.clone();
     let assignment = place_in_pool(&mut scratch, pool, count, gpus_per_worker, group, config)?;
     *servers = scratch;
@@ -245,6 +246,7 @@ pub fn place_best_effort(
     config: PlacementConfig,
     span_pools: bool,
 ) -> Assignment {
+    let _timing = lyra_obs::span::span("core.placement.flex");
     let mut assignment: Vec<(ServerId, u32)> = Vec::new();
     let mut remaining = count;
     for pool in pools {
@@ -310,6 +312,8 @@ pub fn place_workers(
     requests: &[PlacementRequest],
     config: PlacementConfig,
 ) -> PlacementOutcome {
+    let _timing = lyra_obs::span::span("core.placement");
+    let auditing = lyra_obs::audit::is_enabled();
     // BFD: largest per-worker GPU demand first; stable by job id.
     let mut order: Vec<usize> = (0..requests.len()).collect();
     order.sort_by(|&a, &b| {
@@ -326,6 +330,13 @@ pub fn place_workers(
             continue;
         }
         let (pools, group) = pool_preference(req, config);
+        // Candidate fits (and their best-fit costs) before this request
+        // mutates the scratch state, for the decision audit.
+        let candidates = if auditing {
+            candidate_fits(servers, &pools, req.gpus_per_worker, group, config)
+        } else {
+            Vec::new()
+        };
         let gang = matches!(req.role, WorkerRole::Inelastic | WorkerRole::ElasticBase);
         if gang {
             // All workers in one pool, first preference that fits.
@@ -339,6 +350,15 @@ pub fn place_workers(
                     config,
                 )
             });
+            if auditing {
+                audit_placement(
+                    req.job,
+                    req.role,
+                    req.gpus_per_worker,
+                    placed.as_ref(),
+                    &candidates,
+                );
+            }
             match placed {
                 Some(a) => outcome.placed.push((req.job, req.role, a)),
                 None => outcome.failed.push(req.job),
@@ -354,6 +374,16 @@ pub fn place_workers(
                 config,
                 req.hetero,
             );
+            if auditing {
+                let placed = (!assignment.is_empty()).then(|| assignment.clone());
+                audit_placement(
+                    req.job,
+                    req.role,
+                    req.gpus_per_worker,
+                    placed.as_ref(),
+                    &candidates,
+                );
+            }
             if !assignment.is_empty() {
                 outcome.placed.push((req.job, req.role, assignment));
             } else if req.workers > 0 {
@@ -362,6 +392,69 @@ pub fn place_workers(
         }
     }
     outcome
+}
+
+/// Servers that could host one worker of this request, with their free
+/// GPUs (the best-fit cost), in pool-preference then tightest-fit order.
+pub(crate) fn candidate_fits(
+    servers: &[ServerView],
+    pools: &[PoolKind],
+    demand: u32,
+    group: ServerGroup,
+    config: PlacementConfig,
+) -> Vec<(u32, u32)> {
+    let mut fits: Vec<(u32, u32)> = Vec::new();
+    for pool in pools {
+        let mut in_pool: Vec<(u32, u32)> = servers
+            .iter()
+            .filter(|s| {
+                s.pool == *pool && s.free_gpus >= demand && group_compatible(s, group, config)
+            })
+            .map(|s| (s.id.0, s.free_gpus))
+            .collect();
+        in_pool.sort_by_key(|&(id, free)| (free, id));
+        fits.extend(in_pool);
+    }
+    fits
+}
+
+/// Cap on rejected alternatives kept per placement audit record.
+const AUDIT_ALTERNATIVES: usize = 8;
+
+/// Records a [`lyra_obs::audit::AuditRecord::PlacementDecision`]: the
+/// chosen server (when the request placed) and the rejected candidates
+/// with their best-fit costs.
+pub(crate) fn audit_placement(
+    job: JobId,
+    role: WorkerRole,
+    gpus_per_worker: u32,
+    assignment: Option<&Assignment>,
+    candidates: &[(u32, u32)],
+) {
+    let role = match role {
+        WorkerRole::Inelastic => "inelastic",
+        WorkerRole::ElasticBase => "elastic_base",
+        WorkerRole::ElasticFlexible => "elastic_flexible",
+    };
+    let chosen = assignment.and_then(|a| a.first()).map(|(id, _)| id.0);
+    let chosen_free_gpus = chosen
+        .and_then(|id| candidates.iter().find(|&&(c, _)| c == id))
+        .map(|&(_, free)| free)
+        .unwrap_or(0);
+    let alternatives = candidates
+        .iter()
+        .filter(|&&(id, _)| Some(id) != chosen)
+        .take(AUDIT_ALTERNATIVES)
+        .map(|&(server, free_gpus)| lyra_obs::audit::PlacementAlternative { server, free_gpus })
+        .collect();
+    lyra_obs::audit::record(lyra_obs::audit::AuditRecord::PlacementDecision {
+        job: job.0,
+        role: role.to_string(),
+        gpus: gpus_per_worker,
+        chosen,
+        chosen_free_gpus,
+        alternatives,
+    });
 }
 
 #[cfg(test)]

@@ -6,7 +6,9 @@ use super::{assignment_workers, scale_in_removal, JobScheduler};
 use crate::allocation::{two_phase_allocate, AllocationConfig};
 use crate::gpu::GpuType;
 use crate::job::{JobId, JobSpec};
-use crate::placement::{place_best_effort, place_gang, PlacementConfig};
+use crate::placement::{
+    audit_placement, candidate_fits, place_best_effort, place_gang, PlacementConfig, WorkerRole,
+};
 use crate::snapshot::{Action, PoolKind, ServerGroup, ServerView, Snapshot};
 use std::collections::HashMap;
 
@@ -103,10 +105,25 @@ impl LyraScheduler {
         let special = self.config.placement.special_elastic_treatment;
         let base_workers = spec.w_min();
         let extra = target_workers.saturating_sub(base_workers);
+        let auditing = lyra_obs::audit::is_enabled();
 
         // Gang-place the base demand: one pool, first preference that fits.
+        let pools = base_pools(spec, special);
+        // Candidate fits (with best-fit costs) before placement mutates
+        // the scratch state, for the decision audit.
+        let base_candidates = if auditing {
+            candidate_fits(
+                servers,
+                &pools,
+                spec.gpus_per_worker,
+                ServerGroup::Base,
+                self.config.placement,
+            )
+        } else {
+            Vec::new()
+        };
         let mut launched: Option<(u32, Vec<(crate::snapshot::ServerId, u32)>)> = None;
-        for pool in base_pools(spec, special) {
+        for pool in pools {
             // Fungible *inelastic* jobs moved to T4 take the memory-driven
             // worker multiplier; elastic jobs keep their worker count (the
             // per-worker rate models the slower GPU).
@@ -127,6 +144,20 @@ impl LyraScheduler {
                 break;
             }
         }
+        if auditing {
+            let role = if spec.is_elastic() {
+                WorkerRole::ElasticBase
+            } else {
+                WorkerRole::Inelastic
+            };
+            audit_placement(
+                spec.id,
+                role,
+                spec.gpus_per_worker,
+                launched.as_ref().map(|(_, a)| a),
+                &base_candidates,
+            );
+        }
         let (workers, placement) = launched?;
         let mut actions = vec![Action::Launch {
             job: spec.id,
@@ -135,15 +166,37 @@ impl LyraScheduler {
         }];
 
         if extra > 0 {
+            let flex_prefs = flex_pools(spec, special);
+            let flex_candidates = if auditing {
+                candidate_fits(
+                    servers,
+                    &flex_prefs,
+                    spec.gpus_per_worker,
+                    ServerGroup::Flexible,
+                    self.config.placement,
+                )
+            } else {
+                Vec::new()
+            };
             let flex = place_best_effort(
                 servers,
-                &flex_pools(spec, special),
+                &flex_prefs,
                 extra,
                 spec.gpus_per_worker,
                 ServerGroup::Flexible,
                 self.config.placement,
                 spec.hetero_capable,
             );
+            if auditing {
+                let placed = (!flex.is_empty()).then_some(&flex);
+                audit_placement(
+                    spec.id,
+                    WorkerRole::ElasticFlexible,
+                    spec.gpus_per_worker,
+                    placed,
+                    &flex_candidates,
+                );
+            }
             if !flex.is_empty() {
                 actions.push(Action::ScaleOut {
                     job: spec.id,

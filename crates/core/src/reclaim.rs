@@ -237,6 +237,7 @@ fn greedy_reclaim<F>(request: &ReclaimRequest, mut pick: F) -> ReclaimOutcome
 where
     F: FnMut(&[&ReclaimServerView], &HashSet<JobId>, &HashMap<JobId, JobFootprint>, usize) -> usize,
 {
+    let _timing = lyra_obs::span::span("core.reclaim");
     let footprints = request.footprints();
     let mut alive: HashSet<JobId> = footprints.keys().copied().collect();
     let mut returned: Vec<ServerId> = Vec::new();
@@ -342,21 +343,48 @@ fn collateral_damage(request: &ReclaimRequest, returned: &[ServerId], preempted:
 /// ```
 pub fn reclaim_servers(request: &ReclaimRequest, model: CostModel) -> ReclaimOutcome {
     greedy_reclaim(request, |candidates, alive, footprints, need_left| {
+        let auditing = lyra_obs::audit::is_enabled();
+        let mut audit_costs = Vec::new();
         let mut best = 0;
         let mut best_cost = f64::INFINITY;
         let mut best_coll = u32::MAX;
         for (i, s) in candidates.iter().enumerate() {
             let cost = server_cost(s, alive, footprints, model, need_left);
             let coll = collateral_of(s, candidates, alive, footprints);
+            if auditing && audit_costs.len() < AUDIT_CANDIDATES {
+                audit_costs.push(lyra_obs::audit::ReclaimCandidate {
+                    server: s.id.0,
+                    cost,
+                    collateral_gpus: coll,
+                });
+            }
             if cost < best_cost - 1e-12 || ((cost - best_cost).abs() <= 1e-12 && coll < best_coll) {
                 best = i;
                 best_cost = cost;
                 best_coll = coll;
             }
         }
+        if auditing {
+            let victim = candidates[best];
+            let preempted = victim
+                .jobs
+                .iter()
+                .filter(|(j, _)| alive.contains(j))
+                .map(|(j, _)| j.0)
+                .collect();
+            lyra_obs::audit::record(lyra_obs::audit::AuditRecord::ReclaimChoice {
+                need: need_left as u32,
+                candidates: audit_costs,
+                chosen: victim.id.0,
+                preempted,
+            });
+        }
         best
     })
 }
+
+/// Cap on candidate costs kept per reclaim audit record.
+const AUDIT_CANDIDATES: usize = 16;
 
 /// Random reclaiming comparator (§7.1): clears uniformly random candidate
 /// servers until the demand is met.

@@ -86,6 +86,7 @@ impl ElasticController {
         if target == self.active {
             return None;
         }
+        let _timing = lyra_obs::span::span("elastic.rendezvous");
         self.active = target;
         self.ops += 1;
         self.total_pause_s += self.rendezvous_pause_s;

@@ -1,0 +1,196 @@
+//! Decision audit trail.
+//!
+//! The scheduling algorithms in `lyra-core` are pure functions; their
+//! decisions are explainable only if the *inputs* to each choice are
+//! recorded at the moment the choice is made. This module provides the
+//! record types and a thread-local collector the algorithm crates write
+//! into, so the decision sites need no plumbing of logger handles. The
+//! simulation engine drains the collector after each call into the
+//! policy/orchestrator and folds the records into its event log.
+//!
+//! Recording is off by default and costs one thread-local boolean check;
+//! the engine enables it only when an observer with auditing is
+//! attached.
+
+use std::cell::RefCell;
+
+use serde::{Deserialize, Serialize};
+
+/// One job considered by the phase-1 (inelastic/base) ordering pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase1Entry {
+    /// Job id.
+    pub job: u64,
+    /// Estimated remaining running time used as the SJF key, seconds.
+    pub est_running_time_s: f64,
+    /// Base GPUs the job asks for in phase 1.
+    pub base_gpus: u32,
+    /// Whether capacity sufficed to admit it this round.
+    pub admitted: bool,
+}
+
+/// One elastic job's group in the phase-2 multiple-choice knapsack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MckpGroupAudit {
+    /// Job id.
+    pub job: u64,
+    /// JCT-reduction value of each worker-count option, in option order.
+    pub values: Vec<f64>,
+    /// Extra workers the solver granted (0 = keep base allocation).
+    pub chosen_extra: u32,
+    /// Value of the chosen option (0 when nothing was chosen).
+    pub chosen_value: f64,
+}
+
+/// A rejected placement alternative and why it lost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementAlternative {
+    /// Server id.
+    pub server: u32,
+    /// Free GPUs the server had when the fit was evaluated (the
+    /// best-fit cost: more leftover = worse fit).
+    pub free_gpus: u32,
+}
+
+/// One candidate server in a reclaim cost search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReclaimCandidate {
+    /// Server id.
+    pub server: u32,
+    /// Preemption cost under the active cost model.
+    pub cost: f64,
+    /// Collateral GPUs preempting this server would waste.
+    pub collateral_gpus: u32,
+}
+
+/// One recorded scheduling decision with the inputs that produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AuditRecord {
+    /// The phase-1 shortest-job-first (or FIFO/LAS) admission pass.
+    Phase1Order {
+        /// GPUs available before the pass.
+        capacity_gpus: u32,
+        /// Jobs in the order they were considered.
+        order: Vec<Phase1Entry>,
+    },
+    /// The phase-2 MCKP allocation over elastic jobs' flexible demand.
+    Phase2Mckp {
+        /// Leftover GPUs offered to the knapsack.
+        capacity_gpus: u32,
+        /// One group per elastic job, with per-option values.
+        groups: Vec<MckpGroupAudit>,
+        /// Total value of the solution.
+        total_value: f64,
+        /// Total weight (GPUs) of the solution.
+        total_weight: u32,
+    },
+    /// A best-fit-decreasing placement decision for one worker.
+    PlacementDecision {
+        /// Job id.
+        job: u64,
+        /// Worker role: `inelastic`, `elastic_base` or
+        /// `elastic_flexible`.
+        role: String,
+        /// GPUs the worker needs.
+        gpus: u32,
+        /// Server chosen, or `None` if placement failed.
+        chosen: Option<u32>,
+        /// Free GPUs the chosen server had (best-fit cost).
+        chosen_free_gpus: u32,
+        /// Rejected alternatives with their costs (capped; best-first).
+        alternatives: Vec<PlacementAlternative>,
+    },
+    /// One server pick in the greedy reclaim cost search.
+    ReclaimChoice {
+        /// Servers still needed when the pick was made.
+        need: u32,
+        /// Candidate servers with their costs (capped; order follows the
+        /// request's candidate list).
+        candidates: Vec<ReclaimCandidate>,
+        /// Server picked.
+        chosen: u32,
+        /// Jobs preempted by taking it.
+        preempted: Vec<u64>,
+    },
+}
+
+thread_local! {
+    static AUDIT: RefCell<AuditState> = const { RefCell::new(AuditState { enabled: false, records: Vec::new() }) };
+}
+
+struct AuditState {
+    enabled: bool,
+    records: Vec<AuditRecord>,
+}
+
+/// Enables or disables audit collection on this thread.
+pub fn set_enabled(enabled: bool) {
+    AUDIT.with(|a| {
+        let mut a = a.borrow_mut();
+        a.enabled = enabled;
+        if !enabled {
+            a.records.clear();
+        }
+    });
+}
+
+/// Whether audit collection is enabled on this thread. Decision sites
+/// check this before building a record so disabled runs pay only the
+/// boolean.
+pub fn is_enabled() -> bool {
+    AUDIT.with(|a| a.borrow().enabled)
+}
+
+/// Appends a record to this thread's audit buffer (no-op when
+/// collection is disabled).
+pub fn record(rec: AuditRecord) {
+    AUDIT.with(|a| {
+        let mut a = a.borrow_mut();
+        if a.enabled {
+            a.records.push(rec);
+        }
+    });
+}
+
+/// Takes all records buffered on this thread since the last drain.
+pub fn drain() -> Vec<AuditRecord> {
+    AUDIT.with(|a| std::mem::take(&mut a.borrow_mut().records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_records_when_enabled() {
+        assert!(!is_enabled());
+        record(AuditRecord::Phase1Order {
+            capacity_gpus: 8,
+            order: vec![],
+        });
+        assert!(drain().is_empty());
+
+        set_enabled(true);
+        record(AuditRecord::Phase1Order {
+            capacity_gpus: 8,
+            order: vec![],
+        });
+        let drained = drain();
+        assert_eq!(drained.len(), 1);
+        assert!(drain().is_empty(), "drain empties the buffer");
+        set_enabled(false);
+    }
+
+    #[test]
+    fn disabling_clears_pending_records() {
+        set_enabled(true);
+        record(AuditRecord::ReclaimChoice {
+            need: 1,
+            candidates: vec![],
+            chosen: 3,
+            preempted: vec![],
+        });
+        set_enabled(false);
+        assert!(drain().is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Typed scheduler events.
+//!
+//! Every significant state transition in the simulator is one
+//! [`SchedEvent`] wrapped in a [`TimedEvent`] carrying the simulated
+//! timestamp and a per-log sequence number. Payloads hold only simulated
+//! quantities (ids, GPU counts, simulated seconds) — never wall-clock
+//! readings — so a run's event log is a pure function of its seed.
+//!
+//! Ids are raw integers (`u64` for jobs, `u32` for servers) rather than
+//! the `lyra-core` newtypes: `lyra-obs` sits below every other crate in
+//! the dependency graph and must not depend upwards.
+
+use serde::{Deserialize, Serialize};
+
+use crate::audit::AuditRecord;
+
+/// One structured scheduler event.
+///
+/// Fault variants carry a `kind` string that matches the corresponding
+/// `FaultStats` counter field name (`server_crash` ↔ `server_crashes`,
+/// …), so an event log can be cross-checked against the aggregate fault
+/// accounting event-for-count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SchedEvent {
+    /// A job arrived and was admitted to the pending queue.
+    JobAdmit {
+        /// Job id.
+        job: u64,
+    },
+    /// A queued job was launched.
+    JobStart {
+        /// Job id.
+        job: u64,
+        /// Workers granted at launch.
+        workers: u32,
+        /// Whether any worker landed on a loaned (inference) server.
+        on_loan: bool,
+        /// Servers hosting the gang.
+        servers: Vec<u32>,
+    },
+    /// An elastic job grew by `delta` workers.
+    JobScaleOut {
+        /// Job id.
+        job: u64,
+        /// Workers added.
+        delta: u32,
+        /// Workers after the change.
+        workers: u32,
+    },
+    /// An elastic job shrank by `delta` workers.
+    JobScaleIn {
+        /// Job id.
+        job: u64,
+        /// Workers removed.
+        delta: u32,
+        /// Workers after the change.
+        workers: u32,
+    },
+    /// An elastic job's rendezvous barrier re-formed after a membership
+    /// change, pausing training.
+    ControllerRescale {
+        /// Job id.
+        job: u64,
+        /// Workers after the rendezvous.
+        workers: u32,
+        /// Training stall charged, seconds.
+        pause_s: f64,
+    },
+    /// Flexible workers were vacated from one server during a reclaim.
+    FlexRelease {
+        /// Job id.
+        job: u64,
+        /// Server vacated.
+        server: u32,
+        /// Workers released there.
+        workers: u32,
+    },
+    /// A job was preempted (killed and re-queued).
+    JobPreempt {
+        /// Job id.
+        job: u64,
+        /// Whether it resumes from a checkpoint.
+        checkpointed: bool,
+    },
+    /// A job finished.
+    JobComplete {
+        /// Job id.
+        job: u64,
+        /// Completion time minus submission time, seconds.
+        jct_s: f64,
+    },
+    /// Idle inference servers were loaned to the training cluster.
+    LoanGrant {
+        /// Servers loaned.
+        servers: Vec<u32>,
+    },
+    /// The inference side reclaimed loaned servers.
+    ReclaimGrant {
+        /// Servers demanded back.
+        demanded: u32,
+        /// Returned by vacating flexible workers.
+        returned_flex: u32,
+        /// Returned because they sat idle.
+        returned_idle: u32,
+        /// Returned by preempting jobs.
+        returned_preempt: u32,
+        /// Jobs preempted to satisfy the demand.
+        preempted: Vec<u64>,
+        /// GPUs of collateral damage (innocent-bystander GPUs on
+        /// preempted servers).
+        collateral_gpus: u32,
+    },
+    /// A reclaim could not be fully satisfied; the shortfall carries
+    /// over with a deadline.
+    ReclaimCarryover {
+        /// Servers still owed.
+        servers: u32,
+        /// Simulated deadline for the debt, seconds.
+        deadline_s: f64,
+    },
+    /// A carried-over reclaim debt missed its deadline.
+    ReclaimDeadlineMiss {
+        /// Servers still owed at the deadline.
+        servers: u32,
+    },
+    /// A fault-injection event; `kind` names the `FaultStats` counter it
+    /// increments.
+    Fault {
+        /// Counter name: `injected`, `server_crash`, `worker_failure`,
+        /// `straggler`, `dropped_tick`, `job_killed`,
+        /// `elastic_absorbed`, `restart`, `checkpoint_restore` or
+        /// `checkpoint_restore_failure`.
+        kind: String,
+        /// Job or server id the fault hit, when attributable.
+        target: u64,
+    },
+    /// A recorded scheduling decision with its inputs (see
+    /// [`AuditRecord`]).
+    Audit(AuditRecord),
+}
+
+/// A [`SchedEvent`] stamped with simulated time and a sequence number.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Simulated time, milliseconds.
+    pub time_ms: u64,
+    /// Monotonic per-log sequence number (total order within one run).
+    pub seq: u64,
+    /// The event payload.
+    pub event: SchedEvent,
+}

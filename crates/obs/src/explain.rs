@@ -1,0 +1,304 @@
+//! `--explain <job-id>`: reconstruct the causal chain for one job from
+//! a recorded event log.
+//!
+//! The audit trail records the *inputs* of every decision (SJF keys,
+//! MCKP values, placement costs, reclaim costs); this module replays a
+//! JSONL event log and narrates every event and decision that touched
+//! the requested job, in order.
+
+use crate::event::{SchedEvent, TimedEvent};
+use crate::audit::AuditRecord;
+
+/// Parses a JSONL event log (as produced by
+/// [`EventLog`](crate::log::EventLog)) back into timed events.
+///
+/// Returns `Err` with a description on the first malformed line.
+pub fn parse_log(jsonl: &str) -> Result<Vec<TimedEvent>, String> {
+    let mut events = Vec::new();
+    for (no, line) in jsonl.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ev: TimedEvent = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: {e:?}", no + 1))?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+fn stamp(time_ms: u64) -> String {
+    format!("[t={:>9.1}s]", time_ms as f64 / 1000.0)
+}
+
+fn audit_line(rec: &AuditRecord, job: u64) -> Option<String> {
+    match rec {
+        AuditRecord::Phase1Order {
+            capacity_gpus,
+            order,
+        } => {
+            let (rank, entry) = order
+                .iter()
+                .enumerate()
+                .find(|(_, e)| e.job == job)?;
+            Some(format!(
+                "phase-1 ordering: rank {}/{} (est running time {:.0}s, base {} GPUs, capacity {} GPUs) -> {}",
+                rank + 1,
+                order.len(),
+                entry.est_running_time_s,
+                entry.base_gpus,
+                capacity_gpus,
+                if entry.admitted { "admitted" } else { "deferred" },
+            ))
+        }
+        AuditRecord::Phase2Mckp {
+            capacity_gpus,
+            groups,
+            ..
+        } => {
+            let g = groups.iter().find(|g| g.job == job)?;
+            Some(format!(
+                "phase-2 MCKP: {} flexible-demand options (JCT-reduction values {:?}) over {} leftover GPUs -> granted {} extra workers (value {:.1})",
+                g.values.len(),
+                g.values
+                    .iter()
+                    .map(|v| (v * 10.0).round() / 10.0)
+                    .collect::<Vec<_>>(),
+                capacity_gpus,
+                g.chosen_extra,
+                g.chosen_value,
+            ))
+        }
+        AuditRecord::PlacementDecision {
+            job: j,
+            role,
+            gpus,
+            chosen,
+            chosen_free_gpus,
+            alternatives,
+        } if *j == job => {
+            let alts: Vec<String> = alternatives
+                .iter()
+                .map(|a| format!("s{}(free {})", a.server, a.free_gpus))
+                .collect();
+            Some(match chosen {
+                Some(server) => format!(
+                    "placement ({role}, {gpus} GPUs): best-fit chose server {server} (free {chosen_free_gpus}); rejected [{}]",
+                    alts.join(", ")
+                ),
+                None => format!(
+                    "placement ({role}, {gpus} GPUs): FAILED; candidates [{}]",
+                    alts.join(", ")
+                ),
+            })
+        }
+        AuditRecord::ReclaimChoice {
+            need,
+            candidates,
+            chosen,
+            preempted,
+        } if preempted.contains(&job) => {
+            let costs: Vec<String> = candidates
+                .iter()
+                .map(|c| format!("s{}: cost {:.3} (+{} collateral)", c.server, c.cost, c.collateral_gpus))
+                .collect();
+            Some(format!(
+                "reclaim cost search (need {need} servers): picked server {chosen} as cheapest of [{}] -> this job preempted",
+                costs.join("; ")
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// A line's kind for run-length collapsing: the text up to the first
+/// `:` (or the whole line). Recurring per-tick decisions ("phase-2
+/// MCKP: ...") share a kind even though their numbers drift.
+fn line_kind(line: &str) -> &str {
+    line.split(':').next().unwrap_or(line)
+}
+
+/// Narrates the full causal chain for `job` from a recorded run.
+///
+/// Returns a multi-line human-readable report; the final line counts
+/// the events that touched the job (0 lines of history means the id
+/// never appeared in the log). Long runs of the same decision kind
+/// (a running elastic job is re-evaluated by phase-2 every scheduler
+/// tick) are collapsed to their first and last occurrence.
+pub fn explain_job(events: &[TimedEvent], job: u64) -> String {
+    let mut lines: Vec<(u64, String)> = Vec::new();
+    for ev in events {
+        let line = match &ev.event {
+            SchedEvent::JobAdmit { job: j } if *j == job => {
+                Some("admitted to the pending queue".to_string())
+            }
+            SchedEvent::JobStart {
+                job: j,
+                workers,
+                on_loan,
+                servers,
+            } if *j == job => Some(format!(
+                "launched with {workers} workers on servers {servers:?}{}",
+                if *on_loan { " (partly on loaned capacity)" } else { "" }
+            )),
+            SchedEvent::JobScaleOut {
+                job: j,
+                delta,
+                workers,
+            } if *j == job => Some(format!("scaled out +{delta} -> {workers} workers")),
+            SchedEvent::JobScaleIn {
+                job: j,
+                delta,
+                workers,
+            } if *j == job => Some(format!("scaled in -{delta} -> {workers} workers")),
+            SchedEvent::ControllerRescale {
+                job: j,
+                workers,
+                pause_s,
+            } if *j == job => Some(format!(
+                "elastic controller rendezvous -> {workers} workers ({pause_s:.0}s pause)"
+            )),
+            SchedEvent::FlexRelease {
+                job: j,
+                server,
+                workers,
+            } if *j == job => Some(format!(
+                "released {workers} flexible workers from server {server} (reclaim pressure)"
+            )),
+            SchedEvent::JobPreempt { job: j, checkpointed } if *j == job => Some(format!(
+                "PREEMPTED{}",
+                if *checkpointed {
+                    " (will resume from checkpoint)"
+                } else {
+                    " (restarts from scratch)"
+                }
+            )),
+            SchedEvent::JobComplete { job: j, jct_s } if *j == job => {
+                Some(format!("completed (JCT {jct_s:.0}s)"))
+            }
+            SchedEvent::ReclaimGrant {
+                demanded,
+                preempted,
+                ..
+            } if preempted.contains(&job) => Some(format!(
+                "reclaim of {demanded} servers preempted this job"
+            )),
+            SchedEvent::Fault { kind, target } if *target == job => {
+                Some(format!("fault: {kind}"))
+            }
+            SchedEvent::Audit(rec) => audit_line(rec, job),
+            _ => None,
+        };
+        if let Some(line) = line {
+            lines.push((ev.time_ms, line));
+        }
+    }
+    let mut out = format!("decision chain for job {job}\n");
+    let mut i = 0;
+    while i < lines.len() {
+        let kind = line_kind(&lines[i].1);
+        let mut j = i + 1;
+        while j < lines.len() && line_kind(&lines[j].1) == kind {
+            j += 1;
+        }
+        out.push_str(&format!("  {} {}\n", stamp(lines[i].0), lines[i].1));
+        if j - i > 2 {
+            let n = j - i - 2;
+            let noun = if n == 1 { "decision" } else { "decisions" };
+            out.push_str(&format!("  ... ({n} similar {noun} elided)\n"));
+        }
+        if j - i > 1 {
+            let (t, line) = &lines[j - 1];
+            out.push_str(&format!("  {} {line}\n", stamp(*t)));
+        }
+        i = j;
+    }
+    out.push_str(&format!("{} events touched job {job}\n", lines.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::{Phase1Entry, ReclaimCandidate};
+    use crate::log::EventLog;
+
+    #[test]
+    fn explain_reconstructs_a_preemption_chain() {
+        let mut log = EventLog::new(64);
+        log.emit(0, SchedEvent::JobAdmit { job: 42 });
+        log.emit(
+            60_000,
+            SchedEvent::Audit(AuditRecord::Phase1Order {
+                capacity_gpus: 16,
+                order: vec![Phase1Entry {
+                    job: 42,
+                    est_running_time_s: 3600.0,
+                    base_gpus: 8,
+                    admitted: true,
+                }],
+            }),
+        );
+        log.emit(
+            60_000,
+            SchedEvent::JobStart {
+                job: 42,
+                workers: 2,
+                on_loan: true,
+                servers: vec![3, 9],
+            },
+        );
+        log.emit(
+            7_200_000,
+            SchedEvent::Audit(AuditRecord::ReclaimChoice {
+                need: 1,
+                candidates: vec![ReclaimCandidate {
+                    server: 9,
+                    cost: 0.5,
+                    collateral_gpus: 2,
+                }],
+                chosen: 9,
+                preempted: vec![42],
+            }),
+        );
+        log.emit(7_200_000, SchedEvent::JobPreempt { job: 42, checkpointed: false });
+
+        let events = parse_log(&log.to_jsonl()).expect("parses");
+        let text = explain_job(&events, 42);
+        assert!(text.contains("admitted"));
+        assert!(text.contains("rank 1/1"));
+        assert!(text.contains("launched with 2 workers"));
+        assert!(text.contains("picked server 9"));
+        assert!(text.contains("PREEMPTED"));
+        assert!(text.contains("5 events touched job 42"));
+        // A job that never appears yields an empty chain.
+        assert!(explain_job(&events, 7).contains("0 events touched job 7"));
+    }
+
+    #[test]
+    fn explain_collapses_repeated_decisions() {
+        let mut log = EventLog::new(64);
+        for tick in 0..5u64 {
+            log.emit(
+                tick * 60_000,
+                SchedEvent::Audit(AuditRecord::Phase2Mckp {
+                    capacity_gpus: 8,
+                    groups: vec![crate::audit::MckpGroupAudit {
+                        job: 1,
+                        values: vec![100.0 - tick as f64],
+                        chosen_extra: 0,
+                        chosen_value: 0.0,
+                    }],
+                    total_value: 0.0,
+                    total_weight: 0,
+                }),
+            );
+        }
+        let events = parse_log(&log.to_jsonl()).expect("parses");
+        let text = explain_job(&events, 1);
+        // First + elision note + last, not five near-identical lines.
+        assert_eq!(text.matches("phase-2 MCKP").count(), 2);
+        assert!(text.contains("(3 similar decisions elided)"));
+        assert!(text.contains("5 events touched job 1"));
+    }
+}

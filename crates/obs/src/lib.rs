@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # lyra-obs
+//!
+//! Zero-dependency observability for the Lyra stack (vendored `serde` /
+//! `serde_json` only — the build stays fully offline).
+//!
+//! Production schedulers live or die by their visibility into every
+//! placement and preemption decision; this crate gives the reproduction
+//! the same four pillars a real deployment would have:
+//!
+//! * [`event`] + [`log`] — a **structured event log**: typed, serialisable
+//!   scheduler events emitted as JSON Lines into a ring buffer with an
+//!   optional file sink. Event payloads carry only simulated quantities,
+//!   so two runs with the same seed produce byte-identical logs.
+//! * [`registry`] — a **metrics registry**: counters, gauges and
+//!   fixed-bucket histograms registered by name and snapshotted per
+//!   simulated hour, so time series come from one place instead of
+//!   bespoke report fields.
+//! * [`span`] — **span timing** for the hot paths (MCKP DP, best-fit
+//!   placement, reclaim cost search, engine ticks), aggregated into a
+//!   per-phase self-time profile.
+//! * [`audit`] — a **decision audit trail**: phase-1 orderings, phase-2
+//!   MCKP allocations, placement and reclaim choices record their inputs
+//!   so [`explain`] can reconstruct the causal chain for one job.
+//!
+//! [`output`] is the small experiment-output writer used by the bench
+//! CLI's `--quiet` / `--json` modes.
+//!
+//! The span and audit collectors are thread-local: the simulator runs one
+//! simulation per thread (the bench harness fans scenarios out with
+//! `std::thread::scope`), so per-thread state isolates concurrent runs
+//! without any handle threading through the algorithm crates.
+
+pub mod audit;
+pub mod event;
+pub mod explain;
+pub mod log;
+pub mod output;
+pub mod registry;
+pub mod span;
+
+pub use audit::{
+    AuditRecord, MckpGroupAudit, Phase1Entry, PlacementAlternative, ReclaimCandidate,
+};
+pub use event::{SchedEvent, TimedEvent};
+pub use explain::{explain_job, parse_log};
+pub use log::EventLog;
+pub use output::OutputMode;
+pub use registry::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use span::{PhaseStat, Profile, SpanGuard};

@@ -1,0 +1,187 @@
+//! The event log: JSON Lines into a ring buffer plus an optional file
+//! sink.
+//!
+//! Events are serialised eagerly to one JSON line each. The ring buffer
+//! keeps the most recent `capacity` lines for in-process inspection
+//! (`--explain`, tests); the file sink, when configured, receives every
+//! line. Serialisation is deterministic — map-free payloads, fields in
+//! declaration order — so same-seed runs yield byte-identical logs.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::event::{SchedEvent, TimedEvent};
+
+/// Ring-buffered JSONL event log with an optional file sink.
+#[derive(Debug)]
+pub struct EventLog {
+    capacity: usize,
+    ring: VecDeque<String>,
+    sink: Option<BufWriter<File>>,
+    sink_path: Option<PathBuf>,
+    seq: u64,
+    emitted: u64,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// Creates a log keeping at most `capacity` lines in memory.
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            capacity: capacity.max(1),
+            ring: VecDeque::new(),
+            sink: None,
+            sink_path: None,
+            seq: 0,
+            emitted: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Attaches a file sink; every subsequent line is also appended to
+    /// `path` (truncating any existing file).
+    pub fn with_sink(mut self, path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        self.sink = Some(BufWriter::new(file));
+        self.sink_path = Some(path.to_path_buf());
+        Ok(self)
+    }
+
+    /// Path of the file sink, if one is attached.
+    pub fn sink_path(&self) -> Option<&Path> {
+        self.sink_path.as_deref()
+    }
+
+    /// Stamps `event` with `time_ms` and the next sequence number, then
+    /// appends it to the ring (and sink, if any).
+    pub fn emit(&mut self, time_ms: u64, event: SchedEvent) {
+        let timed = TimedEvent {
+            time_ms,
+            seq: self.seq,
+            event,
+        };
+        self.seq += 1;
+        let line = serde_json::to_string(&timed)
+            .expect("event serialisation is infallible for in-tree types");
+        self.push_line(line);
+    }
+
+    fn push_line(&mut self, line: String) {
+        if let Some(sink) = &mut self.sink {
+            // A full disk shouldn't kill a simulation; drop the sink and
+            // keep the ring.
+            if writeln!(sink, "{line}").is_err() {
+                self.sink = None;
+            }
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(line);
+        self.emitted += 1;
+    }
+
+    /// Lines currently held in the ring, oldest first.
+    pub fn lines(&self) -> impl Iterator<Item = &str> {
+        self.ring.iter().map(String::as_str)
+    }
+
+    /// The ring contents joined into one JSONL string (trailing
+    /// newline included when non-empty).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for line in &self.ring {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Total events emitted over the log's lifetime.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Events evicted from the ring to honour the capacity bound (they
+    /// were still written to the sink, if one is attached).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Flushes the file sink, if any.
+    pub fn flush(&mut self) {
+        if let Some(sink) = &mut self.sink {
+            let _ = sink.flush();
+        }
+    }
+}
+
+impl Drop for EventLog {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let mut log = EventLog::new(2);
+        for id in 0..4u64 {
+            log.emit(id * 1000, SchedEvent::JobAdmit { job: id });
+        }
+        assert_eq!(log.emitted(), 4);
+        assert_eq!(log.dropped(), 2);
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"seq\":2"));
+        assert!(lines[1].contains("\"seq\":3"));
+    }
+
+    #[test]
+    fn lines_round_trip_through_parse() {
+        let mut log = EventLog::new(16);
+        log.emit(
+            500,
+            SchedEvent::JobStart {
+                job: 7,
+                workers: 2,
+                on_loan: true,
+                servers: vec![1, 4],
+            },
+        );
+        let events = crate::explain::parse_log(&log.to_jsonl()).expect("parses");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].time_ms, 500);
+        assert_eq!(
+            events[0].event,
+            SchedEvent::JobStart {
+                job: 7,
+                workers: 2,
+                on_loan: true,
+                servers: vec![1, 4],
+            }
+        );
+    }
+
+    #[test]
+    fn sink_receives_every_line_even_past_ring_capacity() {
+        let dir = std::env::temp_dir().join("lyra-obs-test-sink");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("events.jsonl");
+        {
+            let mut log = EventLog::new(1).with_sink(&path).expect("sink");
+            for id in 0..3u64 {
+                log.emit(id, SchedEvent::JobAdmit { job: id });
+            }
+        }
+        let contents = std::fs::read_to_string(&path).expect("read sink");
+        assert_eq!(contents.lines().count(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+}

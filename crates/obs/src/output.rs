@@ -1,0 +1,81 @@
+//! Experiment output writer with `--quiet` / `--json` modes.
+//!
+//! The bench experiments used to print tables straight to stdout with
+//! `println!`; routing them through [`emitln!`](crate::emitln) instead
+//! lets the CLI silence human-readable tables (`--quiet`) or replace
+//! them with machine-readable JSON lines (`--json`). The mode is a
+//! process-global atomic so experiment code needs no handle.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How experiment output should be written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputMode {
+    /// Human-readable tables on stdout (default).
+    Normal,
+    /// Suppress tables; only JSON records and errors are written.
+    Quiet,
+    /// Suppress tables and write one JSON line per result record.
+    Json,
+}
+
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide output mode.
+pub fn set_mode(mode: OutputMode) {
+    let v = match mode {
+        OutputMode::Normal => 0,
+        OutputMode::Quiet => 1,
+        OutputMode::Json => 2,
+    };
+    MODE.store(v, Ordering::Relaxed);
+}
+
+/// The current output mode.
+pub fn mode() -> OutputMode {
+    match MODE.load(Ordering::Relaxed) {
+        1 => OutputMode::Quiet,
+        2 => OutputMode::Json,
+        _ => OutputMode::Normal,
+    }
+}
+
+/// Writes one human-readable line; suppressed in `Quiet` and `Json`
+/// modes. Prefer the [`emitln!`](crate::emitln) macro.
+pub fn emit_line(line: &str) {
+    if mode() == OutputMode::Normal {
+        println!("{line}");
+    }
+}
+
+/// Writes one machine-readable JSON line; only emitted in `Json` mode.
+pub fn emit_json(line: &str) {
+    if mode() == OutputMode::Json {
+        println!("{line}");
+    }
+}
+
+/// `println!` replacement for experiment tables: formats its arguments
+/// and routes the line through the output writer so `--quiet` / `--json`
+/// can silence it.
+#[macro_export]
+macro_rules! emitln {
+    () => { $crate::output::emit_line("") };
+    ($($arg:tt)*) => { $crate::output::emit_line(&format!($($arg)*)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_round_trips() {
+        // Runs in one process with other tests; restore Normal after.
+        set_mode(OutputMode::Quiet);
+        assert_eq!(mode(), OutputMode::Quiet);
+        set_mode(OutputMode::Json);
+        assert_eq!(mode(), OutputMode::Json);
+        set_mode(OutputMode::Normal);
+        assert_eq!(mode(), OutputMode::Normal);
+    }
+}

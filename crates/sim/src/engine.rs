@@ -38,6 +38,7 @@ use lyra_core::snapshot::{
 use lyra_core::tuning::GoodputModel;
 use lyra_elastic::controller::ElasticController;
 use lyra_elastic::hetero::{hetero_rate, HeteroGroup};
+use lyra_obs::{EventLog, MetricsRegistry, MetricsSnapshot, SchedEvent};
 use lyra_predictor::RuntimeEstimator;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -242,6 +243,47 @@ impl SimJob {
     }
 }
 
+/// Configuration of the attached observer (event log + metrics registry
+/// + decision audit). See [`Simulation::with_observer`].
+#[derive(Debug, Clone)]
+pub struct ObserverConfig {
+    /// Event-log ring capacity (most recent lines kept in memory and
+    /// exported in the report's `events`).
+    pub ring_capacity: usize,
+    /// Optional JSONL file sink receiving *every* event line.
+    pub sink_path: Option<std::path::PathBuf>,
+    /// Record the decision audit trail (phase-1 orderings, MCKP
+    /// allocations, placement and reclaim choices) as `Audit` events.
+    pub audit: bool,
+}
+
+impl Default for ObserverConfig {
+    fn default() -> Self {
+        ObserverConfig {
+            ring_capacity: 1 << 16,
+            sink_path: None,
+            audit: true,
+        }
+    }
+}
+
+/// Attached observability state: the structured event log and the
+/// metrics registry with its hourly snapshots.
+struct Observer {
+    log: EventLog,
+    metrics: MetricsRegistry,
+    snapshots: Vec<MetricsSnapshot>,
+    audit: bool,
+    /// Next simulated hour to snapshot.
+    next_hour: u64,
+}
+
+/// Fixed histogram bucket bounds for job-level durations, seconds
+/// (1 min … 7 days, then overflow).
+const DURATION_BUCKETS_S: &[f64] = &[
+    60.0, 300.0, 900.0, 3_600.0, 7_200.0, 21_600.0, 43_200.0, 86_400.0, 172_800.0, 604_800.0,
+];
+
 /// Error from the simulation (policy/cluster inconsistencies).
 #[derive(Debug)]
 pub struct SimError(pub String);
@@ -311,6 +353,11 @@ pub struct Simulation {
     /// The next orchestrator tick was marked lost by a fault.
     drop_next_orch_tick: bool,
     reclaim_carry: Option<ReclaimCarry>,
+    /// Attached observability (event log + metrics + audit); `None`
+    /// keeps the hot path free of instrumentation.
+    observer: Option<Observer>,
+    /// Per-phase span profile collected at the end of an observed run.
+    profile: lyra_obs::Profile,
 }
 
 impl Simulation {
@@ -362,6 +409,8 @@ impl Simulation {
             slowdown: BTreeMap::new(),
             drop_next_orch_tick: false,
             reclaim_carry: None,
+            observer: None,
+            profile: lyra_obs::Profile::default(),
         };
         for (i, spec) in specs.into_iter().enumerate() {
             debug_assert_eq!(spec.id.0 as usize, i, "trace ids must be dense");
@@ -387,6 +436,106 @@ impl Simulation {
         }
         self.faults = Some(plan);
         self
+    }
+
+    /// Attaches an observer: the structured event log (ring buffer plus
+    /// optional JSONL file sink), the metrics registry snapshotted per
+    /// simulated hour, the decision audit trail and span timing for the
+    /// hot paths. The report then carries `events`, `metrics` and
+    /// `profile`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the file sink cannot be created.
+    pub fn with_observer(mut self, cfg: ObserverConfig) -> std::io::Result<Self> {
+        let mut log = EventLog::new(cfg.ring_capacity);
+        if let Some(path) = &cfg.sink_path {
+            log = log.with_sink(path)?;
+        }
+        let mut metrics = MetricsRegistry::default();
+        metrics.histogram_register("sim.jct_s", DURATION_BUCKETS_S);
+        metrics.histogram_register("sim.queue_s", DURATION_BUCKETS_S);
+        self.observer = Some(Observer {
+            log,
+            metrics,
+            snapshots: Vec::new(),
+            audit: cfg.audit,
+            next_hour: 0,
+        });
+        Ok(self)
+    }
+
+    /// Emits `ev` into the event log (no-op without an observer).
+    fn emit(&mut self, ev: SchedEvent) {
+        if let Some(obs) = self.observer.as_mut() {
+            let time_ms = (self.now_s.max(0.0) * 1000.0).round() as u64;
+            obs.log.emit(time_ms, ev);
+        }
+    }
+
+    /// Increments a registry counter (no-op without an observer).
+    fn count(&mut self, name: &str) {
+        if let Some(obs) = self.observer.as_mut() {
+            obs.metrics.counter_inc(name);
+        }
+    }
+
+    /// Observes a value into a registered histogram (no-op without an
+    /// observer).
+    fn observe_histogram(&mut self, name: &str, value: f64) {
+        if let Some(obs) = self.observer.as_mut() {
+            obs.metrics.histogram_observe(name, value);
+        }
+    }
+
+    /// Drains thread-local audit records into `Audit` events (no-op
+    /// unless the observer records the audit trail).
+    fn drain_audit(&mut self) {
+        if !self.observer.as_ref().is_some_and(|o| o.audit) {
+            return;
+        }
+        for rec in lyra_obs::audit::drain() {
+            self.emit(SchedEvent::Audit(rec));
+        }
+    }
+
+    /// Snapshots the metrics registry for every completed simulated hour
+    /// up to `up_to_s`, stamping point-in-time gauges first.
+    fn snapshot_metrics(&mut self, up_to_s: f64) {
+        let Some(obs) = self.observer.as_ref() else {
+            return;
+        };
+        let mut hour = obs.next_hour;
+        if up_to_s < (hour + 1) as f64 * 3600.0 {
+            return;
+        }
+        let queue_depth = self.queue.len() as f64;
+        let running = self
+            .jobs
+            .iter()
+            .filter(|j| j.state == JobState::Running)
+            .count() as f64;
+        let loaned = f64::from(self.cluster.loaned_count());
+        let (train_used, train_total) = self.cluster.gpu_usage(PoolKind::Training);
+        let (loan_used, loan_total) = self.cluster.gpu_usage(PoolKind::OnLoan);
+        let obs = self.observer.as_mut().expect("checked above");
+        obs.metrics.gauge_set("sim.queue.depth", queue_depth);
+        obs.metrics.gauge_set("sim.jobs.running", running);
+        obs.metrics.gauge_set("cluster.loaned.servers", loaned);
+        obs.metrics
+            .gauge_set("cluster.training.used_gpus", f64::from(train_used));
+        obs.metrics
+            .gauge_set("cluster.training.total_gpus", f64::from(train_total));
+        obs.metrics
+            .gauge_set("cluster.on_loan.used_gpus", f64::from(loan_used));
+        obs.metrics
+            .gauge_set("cluster.on_loan.total_gpus", f64::from(loan_total));
+        while (hour + 1) as f64 * 3600.0 <= up_to_s {
+            let snap = obs.metrics.snapshot(hour);
+            obs.snapshots.push(snap);
+            hour += 1;
+        }
+        obs.next_hour = hour;
     }
 
     /// Bounds-checked job lookup (trace ids are dense `0..n`).
@@ -644,6 +793,19 @@ impl Simulation {
                 }
                 self.jobs[idx].rate = self.compute_rate(&self.jobs[idx]);
                 self.reschedule_finish(idx);
+                if self.observer.is_some() {
+                    let on_loan = placement
+                        .iter()
+                        .any(|(sid, _)| self.cluster.is_loaned(*sid));
+                    let servers = placement.iter().map(|(sid, _)| sid.0).collect();
+                    self.emit(SchedEvent::JobStart {
+                        job: job.0,
+                        workers: *workers,
+                        on_loan,
+                        servers,
+                    });
+                    self.count("sim.jobs.started");
+                }
             }
             Action::ScaleOut {
                 job,
@@ -698,6 +860,23 @@ impl Simulation {
                 self.scaling_ops += 1;
                 self.jobs[idx].rate = self.compute_rate(&self.jobs[idx]);
                 self.reschedule_finish(idx);
+                if self.observer.is_some() {
+                    let workers_now = self.jobs[idx].workers;
+                    self.emit(SchedEvent::JobScaleOut {
+                        job: job.0,
+                        delta: *extra,
+                        workers: workers_now,
+                    });
+                    self.count("sim.scale.out");
+                    if self.jobs[idx].controller.is_some() && pause > 0.0 {
+                        self.emit(SchedEvent::ControllerRescale {
+                            job: job.0,
+                            workers: workers_now,
+                            pause_s: pause,
+                        });
+                        self.count("elastic.rendezvous.ops");
+                    }
+                }
             }
             Action::ScaleIn { job, removal } => {
                 let idx = self.job_index(*job)?;
@@ -744,6 +923,23 @@ impl Simulation {
                 self.scaling_ops += 1;
                 self.jobs[idx].rate = self.compute_rate(&self.jobs[idx]);
                 self.reschedule_finish(idx);
+                if self.observer.is_some() {
+                    let workers_now = self.jobs[idx].workers;
+                    self.emit(SchedEvent::JobScaleIn {
+                        job: job.0,
+                        delta: removed,
+                        workers: workers_now,
+                    });
+                    self.count("sim.scale.in");
+                    if self.jobs[idx].controller.is_some() && pause > 0.0 {
+                        self.emit(SchedEvent::ControllerRescale {
+                            job: job.0,
+                            workers: workers_now,
+                            pause_s: pause,
+                        });
+                        self.count("elastic.rendezvous.ops");
+                    }
+                }
             }
         }
         Ok(())
@@ -793,6 +989,23 @@ impl Simulation {
         self.scaling_ops += 1;
         self.jobs[idx].rate = self.compute_rate(&self.jobs[idx]);
         self.reschedule_finish(idx);
+        if self.observer.is_some() {
+            self.emit(SchedEvent::FlexRelease {
+                job: job.0,
+                server: server.0,
+                workers,
+            });
+            self.count("cluster.flex_release.ops");
+            if self.jobs[idx].controller.is_some() && pause > 0.0 {
+                let workers_now = self.jobs[idx].workers;
+                self.emit(SchedEvent::ControllerRescale {
+                    job: job.0,
+                    workers: workers_now,
+                    pause_s: pause,
+                });
+                self.count("elastic.rendezvous.ops");
+            }
+        }
         Ok(())
     }
 
@@ -833,6 +1046,14 @@ impl Simulation {
             }
         }
         self.enqueue(idx);
+        if self.observer.is_some() {
+            let checkpointed = self.jobs[idx].spec.checkpointing;
+            self.emit(SchedEvent::JobPreempt {
+                job: job.0,
+                checkpointed,
+            });
+            self.count("sim.jobs.preemptions");
+        }
         Ok(())
     }
 
@@ -846,6 +1067,13 @@ impl Simulation {
         };
         let include_loaned = plan.include_loaned;
         self.fault_stats.injected += 1;
+        if self.observer.is_some() {
+            self.emit(SchedEvent::Fault {
+                kind: "injected".to_string(),
+                target: i as u64,
+            });
+            self.count("faults.injected");
+        }
         match event.kind {
             FaultKind::ServerCrash {
                 selector,
@@ -869,6 +1097,10 @@ impl Simulation {
                 self.rm.submit(RmOp::MarkServerDown(sid));
                 self.slowdown.remove(&sid);
                 self.fault_stats.server_crashes += 1;
+                self.emit(SchedEvent::Fault {
+                    kind: "server_crash".to_string(),
+                    target: u64::from(sid.0),
+                });
                 for (job, gpus) in victims {
                     self.handle_job_worker_loss(job, sid, gpus)?;
                 }
@@ -900,6 +1132,10 @@ impl Simulation {
                 // the job on the server.
                 let (job, _) = jobs[((selector >> 32) as usize) % jobs.len()];
                 self.fault_stats.worker_failures += 1;
+                self.emit(SchedEvent::Fault {
+                    kind: "worker_failure".to_string(),
+                    target: job.0,
+                });
                 let idx = self.job_index(job)?;
                 let gpw = self.jobs[idx].spec.gpus_per_worker.max(1);
                 let flex_there = self.jobs[idx]
@@ -941,6 +1177,10 @@ impl Simulation {
                 let sid = eligible[(selector as usize) % eligible.len()];
                 self.slowdown.insert(sid, factor.clamp(0.01, 1.0));
                 self.fault_stats.stragglers += 1;
+                self.emit(SchedEvent::Fault {
+                    kind: "straggler".to_string(),
+                    target: u64::from(sid.0),
+                });
                 self.push_event(
                     self.now_s + duration_s.max(1.0),
                     EventKind::StragglerEnd(sid),
@@ -950,6 +1190,10 @@ impl Simulation {
             FaultKind::DropOrchestratorTick => {
                 self.drop_next_orch_tick = true;
                 self.fault_stats.dropped_ticks += 1;
+                self.emit(SchedEvent::Fault {
+                    kind: "dropped_tick".to_string(),
+                    target: 0,
+                });
             }
         }
         Ok(())
@@ -1017,6 +1261,13 @@ impl Simulation {
         self.scaling_ops += 1;
         self.jobs[idx].rate = self.compute_rate(&self.jobs[idx]);
         self.reschedule_finish(idx);
+        if self.observer.is_some() {
+            let job = self.jobs[idx].spec.id.0;
+            self.emit(SchedEvent::Fault {
+                kind: "elastic_absorbed".to_string(),
+                target: job,
+            });
+        }
     }
 
     /// Kills a running job because of a fault: surviving containers are
@@ -1076,6 +1327,28 @@ impl Simulation {
         self.fault_stats.jobs_killed += 1;
         self.fault_stats.restarts += 1;
         self.enqueue(idx);
+        if self.observer.is_some() {
+            if self.jobs[idx].spec.checkpointing {
+                let kind = if restore_failed {
+                    "checkpoint_restore_failure"
+                } else {
+                    "checkpoint_restore"
+                };
+                self.emit(SchedEvent::Fault {
+                    kind: kind.to_string(),
+                    target: job.0,
+                });
+            }
+            self.emit(SchedEvent::Fault {
+                kind: "job_killed".to_string(),
+                target: job.0,
+            });
+            self.emit(SchedEvent::Fault {
+                kind: "restart".to_string(),
+                target: job.0,
+            });
+            self.count("faults.jobs_killed");
+        }
         Ok(())
     }
 
@@ -1117,21 +1390,31 @@ impl Simulation {
                 carry.next_retry_s = now + carry.backoff_s;
             }
             None => {
+                let deadline_s = now + self.config.reclaim_deadline_s;
                 self.reclaim_carry = Some(ReclaimCarry {
                     servers: unmet,
-                    deadline_s: now + self.config.reclaim_deadline_s,
+                    deadline_s,
                     next_retry_s: now + self.config.reclaim_retry_backoff_s,
                     backoff_s: self.config.reclaim_retry_backoff_s,
                 });
                 self.fault_stats.reclaim_carryovers += 1;
+                self.emit(SchedEvent::ReclaimCarryover {
+                    servers: unmet,
+                    deadline_s,
+                });
+                self.count("cluster.reclaim.carryovers");
             }
         }
     }
 
     /// Runs one scheduling epoch; returns the number of launches.
     fn handle_scheduler_tick(&mut self) -> Result<usize, SimError> {
+        let _timing = lyra_obs::span::span("sim.scheduler_tick");
         let snapshot = self.build_snapshot();
         let actions = self.policy.schedule(&snapshot);
+        // Phase-1 / MCKP / placement decisions were just recorded by the
+        // policy; surface them before the actions they explain.
+        self.drain_audit();
         let launches = actions
             .iter()
             .filter(|a| matches!(a, Action::Launch { .. }))
@@ -1186,6 +1469,7 @@ impl Simulation {
     }
 
     fn handle_orchestrator_tick(&mut self) -> Result<(), SimError> {
+        let _timing = lyra_obs::span::span("sim.orchestrator_tick");
         let Some(inference) = &self.inference else {
             return Ok(());
         };
@@ -1197,8 +1481,11 @@ impl Simulation {
         // violation: record it and stop retrying.
         if let Some(carry) = &self.reclaim_carry {
             if self.now_s > carry.deadline_s {
+                let owed = carry.servers;
                 self.fault_stats.reclaim_deadline_violations += 1;
                 self.reclaim_carry = None;
+                self.emit(SchedEvent::ReclaimDeadlineMiss { servers: owed });
+                self.count("cluster.reclaim.deadline_misses");
             }
         }
         match instruction {
@@ -1225,6 +1512,11 @@ impl Simulation {
                         }
                         if !ids.is_empty() {
                             self.loan_ops += 1;
+                            if self.observer.is_some() {
+                                let servers = ids.iter().map(|s| s.0).collect();
+                                self.emit(SchedEvent::LoanGrant { servers });
+                                self.count("cluster.loan.ops");
+                            }
                         }
                     }
                 }
@@ -1246,6 +1538,9 @@ impl Simulation {
                 let d = orchestrator
                     .execute_reclaim(&mut self.cluster, demand)
                     .map_err(|e| SimError(e.to_string()))?;
+                // Surface the reclaim cost-search audit before the
+                // follow-on scale-ins and preemptions.
+                self.drain_audit();
                 let returned = d.servers_returned() as u32;
                 self.note_reclaim_shortfall(demand.saturating_sub(returned), retried_carry);
                 if let OrchestratorDecision::Reclaimed {
@@ -1284,6 +1579,18 @@ impl Simulation {
                         preempted: outcome.preempted.len() as u32,
                         collateral_gpus: outcome.collateral_gpus,
                     });
+                    if self.observer.is_some() {
+                        let preempted = outcome.preempted.iter().map(|j| j.0).collect();
+                        self.emit(SchedEvent::ReclaimGrant {
+                            demanded: demand,
+                            returned_flex: returned_flex.len() as u32,
+                            returned_idle: returned_idle.len() as u32,
+                            returned_preempt: outcome.returned.len() as u32,
+                            preempted,
+                            collateral_gpus: outcome.collateral_gpus,
+                        });
+                        self.count("cluster.reclaim.ops");
+                    }
                 }
             }
             LoanInstruction::Hold => {
@@ -1345,6 +1652,17 @@ impl Simulation {
         j.flex_placement.clear();
         j.record.complete_s = Some(self.now_s);
         self.completed += 1;
+        if self.observer.is_some() {
+            let record = self.jobs[idx].record;
+            let job = self.jobs[idx].spec.id.0;
+            let jct_s = record
+                .jct_s()
+                .unwrap_or_else(|| self.now_s - self.jobs[idx].spec.submit_time_s);
+            self.emit(SchedEvent::JobComplete { job, jct_s });
+            self.count("sim.jobs.completed");
+            self.observe_histogram("sim.jct_s", jct_s);
+            self.observe_histogram("sim.queue_s", record.queue_s);
+        }
     }
 
     /// Runs the simulation to completion and produces the report.
@@ -1355,6 +1673,10 @@ impl Simulation {
     /// infeasible actions), which indicate bugs rather than workload
     /// conditions.
     pub fn run(mut self, name: &str) -> Result<SimReport, SimError> {
+        if let Some(obs) = &self.observer {
+            lyra_obs::span::set_enabled(true);
+            lyra_obs::audit::set_enabled(obs.audit);
+        }
         let n_jobs = self.jobs.len();
         let last_submit = self
             .jobs
@@ -1369,10 +1691,16 @@ impl Simulation {
             }
             self.advance_usage(t);
             self.now_s = t;
+            self.snapshot_metrics(t);
             match event.kind {
                 EventKind::Arrival(idx) => {
                     self.arrived += 1;
                     self.enqueue(idx);
+                    if self.observer.is_some() {
+                        let job = self.jobs[idx].spec.id.0;
+                        self.emit(SchedEvent::JobAdmit { job });
+                        self.count("sim.jobs.admitted");
+                    }
                 }
                 EventKind::Finish(idx, generation) => {
                     self.handle_finish(idx, generation);
@@ -1448,7 +1776,27 @@ impl Simulation {
         if self.cluster.audit().is_err() {
             self.fault_stats.audit_violations += 1;
         }
+        self.finish_observation();
         Ok(self.report(name))
+    }
+
+    /// Closes out an observed run: drains pending audit records, forces
+    /// a snapshot covering the final partial hour, flushes the sink and
+    /// collects the span profile, then disables the thread-local
+    /// collectors so unobserved runs on this thread stay clean.
+    fn finish_observation(&mut self) {
+        if self.observer.is_none() {
+            return;
+        }
+        self.drain_audit();
+        let close_at = (self.observer.as_ref().map_or(0, |o| o.next_hour) + 1) as f64 * 3600.0;
+        self.snapshot_metrics(close_at);
+        if let Some(obs) = self.observer.as_mut() {
+            obs.log.flush();
+        }
+        self.profile = lyra_obs::span::take_profile();
+        lyra_obs::span::set_enabled(false);
+        lyra_obs::audit::set_enabled(false);
     }
 
     /// Utilisation of an integral truncated to the usage horizon.
@@ -1529,6 +1877,17 @@ impl Simulation {
             on_loan_jct: percentiles(&on_loan_jct),
             fault: self.fault_stats,
             records,
+            events: self
+                .observer
+                .as_ref()
+                .map(|o| o.log.lines().map(str::to_string).collect())
+                .unwrap_or_default(),
+            metrics: self
+                .observer
+                .as_ref()
+                .map(|o| o.snapshots.clone())
+                .unwrap_or_default(),
+            profile: self.profile.clone(),
         }
     }
 }

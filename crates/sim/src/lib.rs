@@ -31,9 +31,9 @@ pub mod faults;
 pub mod metrics;
 pub mod scenario;
 
-pub use engine::{SimConfig, SimError, Simulation};
+pub use engine::{ObserverConfig, SimConfig, SimError, Simulation};
 pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{
     percentiles, FaultStats, JobRecord, Percentiles, ReclaimRecord, SimReport, UsageIntegral,
 };
-pub use scenario::{run_scenario, transform, PolicyKind, Scenario};
+pub use scenario::{run_scenario, run_scenario_observed, transform, PolicyKind, Scenario};

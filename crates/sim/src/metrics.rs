@@ -25,13 +25,25 @@ pub struct Percentiles {
 }
 
 /// Computes [`Percentiles`] of a sample (empty sample → zeros).
+///
+/// Quantiles use linear interpolation between closest ranks (the
+/// `numpy.percentile` default): rank `p · (n − 1)` is split into its
+/// integer part and fraction, and the value is interpolated between the
+/// two bracketing order statistics. Truncating to the lower rank (the
+/// previous behaviour) biased every tail quantile low.
 pub fn percentiles(values: &[f64]) -> Percentiles {
     if values.is_empty() {
         return Percentiles::default();
     }
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.total_cmp(b));
-    let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
+    let q = |p: f64| {
+        let rank = (sorted.len() - 1) as f64 * p;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    };
     Percentiles {
         mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
         p50: q(0.50),
@@ -276,6 +288,15 @@ pub struct SimReport {
     pub fault: FaultStats,
     /// Per-job records for downstream analysis (Figure 2 etc.).
     pub records: Vec<JobRecord>,
+    /// Structured event log (JSONL lines from the observer's ring
+    /// buffer; empty when no observer was attached).
+    pub events: Vec<String>,
+    /// Hourly metrics-registry snapshots (empty without an observer).
+    pub metrics: Vec<lyra_obs::MetricsSnapshot>,
+    /// Per-phase self-time profile of an observed run. Carries
+    /// wall-clock data, so it compares equal to any other profile —
+    /// same-seed reports stay `==`.
+    pub profile: lyra_obs::Profile,
 }
 
 impl SimReport {
@@ -314,9 +335,10 @@ mod tests {
         let values: Vec<f64> = (1..=100).map(f64::from).collect();
         let p = percentiles(&values);
         assert!((p.mean - 50.5).abs() < 1e-9);
-        assert_eq!(p.p50, 50.0);
-        assert_eq!(p.p95, 95.0);
-        assert_eq!(p.p99, 99.0);
+        // Interpolated ranks: p·(n−1) over 1..=100.
+        assert!((p.p50 - 50.5).abs() < 1e-9);
+        assert!((p.p95 - 95.05).abs() < 1e-9);
+        assert!((p.p99 - 99.01).abs() < 1e-9);
     }
 
     #[test]
@@ -324,7 +346,34 @@ mod tests {
         assert_eq!(percentiles(&[]), Percentiles::default());
         let p = percentiles(&[7.0]);
         assert_eq!(p.mean, 7.0);
+        assert_eq!(p.p50, 7.0);
         assert_eq!(p.p99, 7.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate_between_ranks() {
+        // Two samples: every quantile lies on the segment between them.
+        let p = percentiles(&[10.0, 20.0]);
+        assert!((p.p50 - 15.0).abs() < 1e-9);
+        assert!((p.p75 - 17.5).abs() < 1e-9);
+        assert!((p.p95 - 19.5).abs() < 1e-9);
+        assert!((p.p99 - 19.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_odd_length_median_is_exact() {
+        let p = percentiles(&[3.0, 1.0, 2.0]);
+        assert_eq!(p.p50, 2.0);
+        assert!((p.p75 - 2.5).abs() < 1e-9);
+        assert!((p.p99 - 2.98).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_even_length_median_interpolates() {
+        let p = percentiles(&[4.0, 1.0, 3.0, 2.0]);
+        assert!((p.p50 - 2.5).abs() < 1e-9);
+        assert!((p.p75 - 3.25).abs() < 1e-9);
+        assert!((p.p95 - 3.85).abs() < 1e-9);
     }
 
     #[test]
@@ -390,6 +439,9 @@ mod tests {
             on_loan_jct: Percentiles::default(),
             fault: FaultStats::default(),
             records,
+            events: vec![],
+            metrics: vec![],
+            profile: lyra_obs::Profile::default(),
         };
         let ratio = report.hourly_queuing_ratio(60.0);
         assert_eq!(ratio.len(), 2);

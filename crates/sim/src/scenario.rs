@@ -10,7 +10,7 @@
 //! scaling swaps elastic jobs' curves for the 20 %-loss model, and the
 //! checkpoint/elastic-fraction sweeps of Figures 13–16 rewrite job flags.
 
-use crate::engine::{SimConfig, SimError, Simulation};
+use crate::engine::{ObserverConfig, SimConfig, SimError, Simulation};
 use crate::faults::FaultPlan;
 use crate::metrics::SimReport;
 use lyra_cluster::inference::InferenceScheduler;
@@ -332,6 +332,30 @@ pub fn run_scenario(
     jobs: &JobTrace,
     inference: &InferenceTrace,
 ) -> Result<SimReport, SimError> {
+    build_simulation(scenario, jobs, inference).run(&scenario.name)
+}
+
+/// Runs one scenario with an observer attached: the returned report
+/// additionally carries the structured event log (`events`), hourly
+/// metrics snapshots (`metrics`) and the span profile (`profile`).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] on internal inconsistencies; a sink-file
+/// creation failure surfaces as a `SimError` too.
+pub fn run_scenario_observed(
+    scenario: &Scenario,
+    jobs: &JobTrace,
+    inference: &InferenceTrace,
+    observer: ObserverConfig,
+) -> Result<SimReport, SimError> {
+    build_simulation(scenario, jobs, inference)
+        .with_observer(observer)
+        .map_err(|e| SimError(format!("event-log sink: {e}")))?
+        .run(&scenario.name)
+}
+
+fn build_simulation(scenario: &Scenario, jobs: &JobTrace, inference: &InferenceTrace) -> Simulation {
     let cluster = ClusterState::new(scenario.cluster);
     let policy = build_policy(scenario, inference);
     // The inference scheduler is always present — its cluster exists and
@@ -377,7 +401,7 @@ pub fn run_scenario(
     if let Some(plan) = &scenario.faults {
         sim = sim.with_faults(plan.clone());
     }
-    sim.run(&scenario.name)
+    sim
 }
 
 #[cfg(test)]
@@ -486,6 +510,127 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn same_seed_observed_runs_emit_identical_event_logs() {
+        let (jobs, inf) = tiny_traces(10);
+        let mut s = Scenario::basic();
+        s.cluster = tiny_cluster();
+        let a = run_scenario_observed(&s, &jobs, &inf, ObserverConfig::default()).expect("runs");
+        let b = run_scenario_observed(&s, &jobs, &inf, ObserverConfig::default()).expect("runs");
+        assert!(!a.events.is_empty(), "observed run emits events");
+        assert_eq!(a.events, b.events, "same-seed logs are byte-identical");
+        assert_eq!(a.metrics, b.metrics, "same-seed snapshots match");
+        assert!(!a.metrics.is_empty(), "at least the closing snapshot");
+        assert!(
+            a.profile.0.iter().any(|p| p.name == "sim.scheduler_tick"),
+            "engine tick is profiled: {:?}",
+            a.profile.0
+        );
+        assert!(
+            a.profile
+                .0
+                .iter()
+                .any(|p| p.name.starts_with("core.placement")),
+            "placement is profiled: {:?}",
+            a.profile.0
+        );
+    }
+
+    #[test]
+    fn fault_events_in_log_match_fault_stats() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        use lyra_obs::SchedEvent;
+
+        let (mut jobs, inf) = tiny_traces(11);
+        transform::set_elastic_fraction(&mut jobs, 0.5, 4);
+        transform::set_checkpoint_fraction(&mut jobs, 0.5, 5);
+        let mut s = Scenario::basic();
+        s.cluster = tiny_cluster();
+        let horizon_s = 2.0 * 86_400.0;
+        s.faults = Some(FaultPlan::generate(
+            &FaultConfig {
+                server_crash_rate_per_day: 0.5,
+                worker_failure_rate_per_day: 24.0,
+                checkpoint_restore_failure_prob: 0.3,
+                straggler_rate_per_day: 2.0,
+                dropped_tick_prob: 0.05,
+                horizon_s,
+                ..FaultConfig::default()
+            },
+            16,
+            0xFA11,
+        ));
+        let r = run_scenario_observed(&s, &jobs, &inf, ObserverConfig::default()).expect("runs");
+        let log = r.events.join("\n");
+        let parsed = lyra_obs::parse_log(&log).expect("log parses");
+        let count = |kind: &str| {
+            parsed
+                .iter()
+                .filter(
+                    |e| matches!(&e.event, SchedEvent::Fault { kind: k, .. } if k == kind),
+                )
+                .count() as u32
+        };
+        assert!(r.fault.injected > 0, "plan injected faults");
+        assert_eq!(count("injected"), r.fault.injected);
+        assert_eq!(count("server_crash"), r.fault.server_crashes);
+        assert_eq!(count("worker_failure"), r.fault.worker_failures);
+        assert_eq!(count("straggler"), r.fault.stragglers);
+        assert_eq!(count("dropped_tick"), r.fault.dropped_ticks);
+        assert_eq!(count("job_killed"), r.fault.jobs_killed);
+        assert_eq!(count("elastic_absorbed"), r.fault.elastic_absorbed);
+        assert_eq!(count("restart"), r.fault.restarts);
+        assert_eq!(count("checkpoint_restore"), r.fault.checkpoint_restores);
+        assert_eq!(
+            count("checkpoint_restore_failure"),
+            r.fault.checkpoint_restore_failures
+        );
+        let carryovers = parsed
+            .iter()
+            .filter(|e| matches!(e.event, SchedEvent::ReclaimCarryover { .. }))
+            .count() as u32;
+        assert_eq!(carryovers, r.fault.reclaim_carryovers);
+        let misses = parsed
+            .iter()
+            .filter(|e| matches!(e.event, SchedEvent::ReclaimDeadlineMiss { .. }))
+            .count() as u32;
+        assert_eq!(misses, r.fault.reclaim_deadline_violations);
+    }
+
+    #[test]
+    fn observer_overhead_is_bounded() {
+        let (jobs, inf) = tiny_traces(12);
+        let mut s = Scenario::basic();
+        s.cluster = tiny_cluster();
+        // Warm up caches/allocator, then take the best of two runs each
+        // way to damp scheduler noise on shared CI machines.
+        let _ = run_scenario(&s, &jobs, &inf).expect("runs");
+        let time_it = |observed: bool| {
+            let mut best = f64::INFINITY;
+            for _ in 0..2 {
+                let start = std::time::Instant::now();
+                if observed {
+                    run_scenario_observed(&s, &jobs, &inf, ObserverConfig::default())
+                        .expect("runs");
+                } else {
+                    run_scenario(&s, &jobs, &inf).expect("runs");
+                }
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            best
+        };
+        let plain = time_it(false);
+        let observed = time_it(true);
+        // The measured overhead sits well under the 5 % budget on an idle
+        // machine; the assertion uses a deliberately loose CI-safe bound
+        // (3× plus 50 ms of absolute slack) so timer noise on loaded
+        // shared runners cannot flake the suite.
+        assert!(
+            observed <= plain * 3.0 + 0.05,
+            "instrumented run {observed:.4}s vs plain {plain:.4}s"
+        );
     }
 
     #[test]
