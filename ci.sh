@@ -14,3 +14,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
 # Bench smoke: one observed end-to-end run; exits non-zero unless the
 # event log, metric snapshots and span profile all came out non-empty.
 ./target/release/lyra-bench smoke
+
+# Perf smoke: the incremental snapshot cache and the legacy from-scratch
+# rebuild must stay observationally identical under the same seed (no
+# timing at CI scale; the full benchmark is `lyra-bench perf`).
+./target/release/lyra-bench perf --smoke

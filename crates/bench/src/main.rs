@@ -27,6 +27,7 @@ fn usage() -> ! {
         "usage: lyra-bench <id>... [--small|--medium|--full] [--quiet] [--json [dir]]\n\
          \x20      lyra-bench list | plot <file.json>... | smoke [--log <file.jsonl>]\n\
          \x20      lyra-bench explain <job-id> [--log <file.jsonl>]\n\
+         \x20      lyra-bench perf [--smoke]\n\
          ids: {}  (or `all`)",
         experiments::ALL.join(" ")
     );
@@ -93,7 +94,7 @@ fn explain(job: u64, log_path: Option<&str>) -> ! {
 /// directory operand for `--json [dir]`.
 fn is_operand_like(arg: &str) -> bool {
     arg.starts_with("--")
-        || matches!(arg, "all" | "list" | "plot" | "smoke" | "explain")
+        || matches!(arg, "all" | "list" | "plot" | "smoke" | "explain" | "perf")
         || experiments::ALL.contains(&arg)
 }
 
@@ -135,6 +136,10 @@ fn main() {
                     _ => None,
                 };
                 smoke(log_path.as_deref());
+            }
+            "perf" => {
+                let smoke = args.get(i + 1).map(String::as_str) == Some("--smoke");
+                std::process::exit(lyra_bench::perf::run(smoke));
             }
             "explain" => {
                 let job: u64 = args

@@ -1,0 +1,238 @@
+//! `lyra-bench perf`: the scheduler hot-path benchmark.
+//!
+//! Times scheduler epochs (snapshot maintenance + two-phase allocation +
+//! placement) over a trace-scale Basic scenario via the span profiler,
+//! once with the engine's incremental snapshot cache and once with the
+//! legacy from-scratch rebuild, and reports the per-epoch speedup. Both
+//! configurations are first run *observed* under the same seed and must
+//! produce byte-identical event logs and identical reports — the
+//! benchmark refuses to time configurations that diverge.
+//!
+//! `--smoke` runs only the divergence gate at Small (CI) scale; the full
+//! run times at Medium scale and writes `BENCH_scheduler.json`.
+
+use crate::Scale;
+use lyra_obs::{PhaseStat, Profile};
+use lyra_sim::{run_scenario, run_scenario_observed, ObserverConfig, Scenario, SimReport};
+use lyra_trace::{InferenceTrace, JobTrace};
+use serde::Serialize;
+
+/// Span names surfaced in the per-phase comparison table.
+const PHASES: &[&str] = &[
+    "sim.scheduler_tick",
+    "sim.snapshot_refresh",
+    "core.allocation",
+    "core.mckp",
+    "core.placement",
+    "core.placement.gang",
+    "core.placement.flex",
+    "core.reclaim",
+    "cluster.reclaim",
+];
+
+/// Timing of one engine configuration (`BENCH_scheduler.json` schema).
+#[derive(Debug, Serialize)]
+pub struct ModeStats {
+    /// Scheduler epochs executed by the timed run.
+    pub epochs: u64,
+    /// Total wall time inside `sim.scheduler_tick`, seconds.
+    pub total_s: f64,
+    /// Mean wall time per scheduler epoch, milliseconds.
+    pub mean_ms: f64,
+    /// Full span profile of the timed run (`name`/`calls`/`total_s`/
+    /// `self_s` per phase, descending self time).
+    pub phases: Vec<PhaseStat>,
+}
+
+/// The benchmark result written to `BENCH_scheduler.json`.
+#[derive(Debug, Serialize)]
+pub struct PerfReport {
+    /// Trace/cluster scale the timing ran at.
+    pub scale: String,
+    /// Trace seed (same for both configurations).
+    pub seed: u64,
+    /// Jobs in the trace.
+    pub jobs: usize,
+    /// Timing with the incremental snapshot cache.
+    pub incremental: ModeStats,
+    /// Timing with the from-scratch rebuild every epoch.
+    pub from_scratch: ModeStats,
+    /// Mean from-scratch epoch time over mean incremental epoch time.
+    pub speedup: f64,
+    /// The observed same-seed runs produced equal `SimReport`s.
+    pub identical_reports: bool,
+    /// ... and byte-identical event logs.
+    pub identical_event_logs: bool,
+}
+
+fn epoch_stat(profile: &Profile) -> (u64, f64) {
+    profile
+        .0
+        .iter()
+        .find(|p| p.name == "sim.scheduler_tick")
+        .map_or((0, 0.0), |p| (p.calls, p.total_s))
+}
+
+fn mode_stats(profile: Profile) -> ModeStats {
+    let (epochs, total_s) = epoch_stat(&profile);
+    ModeStats {
+        epochs,
+        total_s,
+        mean_ms: if epochs > 0 {
+            1000.0 * total_s / epochs as f64
+        } else {
+            0.0
+        },
+        phases: profile.0,
+    }
+}
+
+/// Runs the scenario with span profiling on (no observer: the event log
+/// and audit trail stay off, exactly like a production run) and returns
+/// the collected profile.
+fn timed_run(scenario: &Scenario, jobs: &JobTrace, inference: &InferenceTrace) -> Profile {
+    lyra_obs::span::set_enabled(true);
+    let _ = lyra_obs::span::take_profile(); // drop any residue
+    run_scenario(scenario, jobs, inference).unwrap_or_else(|e| panic!("timed run failed: {e}"));
+    let profile = lyra_obs::span::take_profile();
+    lyra_obs::span::set_enabled(false);
+    profile
+}
+
+fn observed(scenario: &Scenario, jobs: &JobTrace, inference: &InferenceTrace) -> SimReport {
+    run_scenario_observed(scenario, jobs, inference, ObserverConfig::default())
+        .unwrap_or_else(|e| panic!("observed run failed: {e}"))
+}
+
+fn phase_row(stats: &[PhaseStat], name: &str) -> Option<(u64, f64)> {
+    stats
+        .iter()
+        .find(|p| p.name == name)
+        .map(|p| (p.calls, p.total_s))
+}
+
+/// Runs the benchmark; returns the process exit code. `smoke` restricts
+/// to the Small-scale divergence gate (used by ci.sh).
+pub fn run(smoke: bool) -> i32 {
+    // Full is the paper's configuration (15 days, 443 + 520 servers,
+    // ~50k jobs): the trace-scale regime where the legacy from-scratch
+    // rebuild pays an O(all jobs) scan every epoch.
+    let scale = if smoke { Scale::Small } else { Scale::Full };
+    let seed = 5;
+    let (jobs, inference) = if smoke {
+        scale.traces(seed)
+    } else {
+        // Saturate the cluster: with offered load above capacity the
+        // pending queue stays deep, which is the regime where snapshot
+        // maintenance dominates the scheduler epoch — precisely the hot
+        // path this benchmark guards.
+        let mut trace_config = scale.trace_config(seed);
+        trace_config.target_load = 1.4;
+        (
+            JobTrace::generate(trace_config),
+            InferenceTrace::generate(scale.inference_config(seed ^ 0x5A5A)),
+        )
+    };
+    let mut incremental = Scenario::basic();
+    incremental.cluster = scale.cluster_config();
+    incremental.sim.incremental_snapshot = true;
+    let mut from_scratch = incremental.clone();
+    from_scratch.sim.incremental_snapshot = false;
+
+    // Divergence gate: under the same seed the two engine configurations
+    // must be observationally indistinguishable.
+    let a = observed(&incremental, &jobs, &inference);
+    let b = observed(&from_scratch, &jobs, &inference);
+    let identical_event_logs = a.events == b.events;
+    let identical_reports = a == b;
+    if !identical_event_logs || !identical_reports {
+        eprintln!(
+            "perf: incremental snapshot DIVERGED from the from-scratch rebuild \
+             (identical logs: {identical_event_logs}, identical reports: {identical_reports})"
+        );
+        return 1;
+    }
+    if smoke {
+        println!(
+            "perf smoke: incremental and from-scratch runs identical \
+             ({} jobs, {} events, scale {:?})",
+            a.completed,
+            a.events.len(),
+            scale
+        );
+        return 0;
+    }
+
+    // Warm up the allocator and page cache, then time each configuration.
+    // The modes alternate across repetitions and each keeps its *fastest*
+    // repetition: transient machine noise (frequency scaling, neighbours)
+    // only ever slows a run down, so the minimum is the stable estimate.
+    const REPS: usize = 3;
+    run_scenario(&incremental, &jobs, &inference).expect("warmup run");
+    let mut inc: Option<ModeStats> = None;
+    let mut scr: Option<ModeStats> = None;
+    for _ in 0..REPS {
+        let i = mode_stats(timed_run(&incremental, &jobs, &inference));
+        if inc.as_ref().is_none_or(|best| i.mean_ms < best.mean_ms) {
+            inc = Some(i);
+        }
+        let s = mode_stats(timed_run(&from_scratch, &jobs, &inference));
+        if scr.as_ref().is_none_or(|best| s.mean_ms < best.mean_ms) {
+            scr = Some(s);
+        }
+    }
+    let (inc, scr) = (inc.expect("timed reps"), scr.expect("timed reps"));
+    let speedup = if inc.mean_ms > 0.0 {
+        scr.mean_ms / inc.mean_ms
+    } else {
+        0.0
+    };
+
+    println!(
+        "scheduler-epoch benchmark ({:?}, seed {seed}, {} jobs, {} epochs)\n",
+        scale,
+        jobs.jobs.len(),
+        inc.epochs
+    );
+    println!(
+        "{:<24} {:>10} {:>14} {:>14}",
+        "phase", "calls", "incremental_s", "from_scratch_s"
+    );
+    for name in PHASES {
+        let i = phase_row(&inc.phases, name);
+        let s = phase_row(&scr.phases, name);
+        if i.is_none() && s.is_none() {
+            continue;
+        }
+        println!(
+            "{:<24} {:>10} {:>14.6} {:>14.6}",
+            name,
+            i.or(s).map_or(0, |(c, _)| c),
+            i.map_or(0.0, |(_, t)| t),
+            s.map_or(0.0, |(_, t)| t),
+        );
+    }
+    println!(
+        "\nepoch mean: {:.3} ms incremental vs {:.3} ms from scratch → speedup {speedup:.2}x",
+        inc.mean_ms, scr.mean_ms
+    );
+    if speedup < 2.0 {
+        eprintln!("perf: warning: speedup below the 2x target (timing noise or regression)");
+    }
+
+    let report = PerfReport {
+        scale: format!("{scale:?}").to_lowercase(),
+        seed,
+        jobs: jobs.jobs.len(),
+        incremental: inc,
+        from_scratch: scr,
+        speedup,
+        identical_reports,
+        identical_event_logs,
+    };
+    let path = "BENCH_scheduler.json";
+    let json = serde_json::to_string_pretty(&report).expect("serialise perf report");
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+    0
+}

@@ -105,6 +105,12 @@ pub struct ClusterState {
     servers: BTreeMap<ServerId, Server>,
     whitelist: BTreeSet<ServerId>,
     loaned: BTreeSet<ServerId>,
+    /// Derived index: the loaned servers currently hosting no workers —
+    /// exactly the ones eligible for a prompt return. Kept in lockstep by
+    /// every mutator (checked by [`ClusterState::audit`]) so the
+    /// scheduler's per-epoch surplus check is O(idle) instead of a walk
+    /// over the whole loan ledger.
+    idle_loaned: BTreeSet<ServerId>,
     /// Servers currently crashed: off the whitelist, off the loan ledger,
     /// and ineligible for loans until they recover.
     down: BTreeSet<ServerId>,
@@ -135,8 +141,15 @@ impl ClusterState {
             servers,
             whitelist,
             loaned: BTreeSet::new(),
+            idle_loaned: BTreeSet::new(),
             down: BTreeSet::new(),
         }
+    }
+
+    /// Loaned servers currently hosting no workers, ascending — the ones
+    /// eligible for [`ClusterState::return_servers`] right now. O(idle).
+    pub fn idle_loaned_ids(&self) -> impl Iterator<Item = ServerId> + '_ {
+        self.idle_loaned.iter().copied()
     }
 
     /// The scheduler-facing views of all whitelisted servers.
@@ -211,6 +224,7 @@ impl ClusterState {
         }
         self.whitelist.remove(&id);
         self.loaned.remove(&id);
+        self.idle_loaned.remove(&id);
         self.down.insert(id);
         self.debug_audit();
         Ok(victims)
@@ -299,6 +313,17 @@ impl ClusterState {
                 ));
             }
         }
+        for id in &self.loaned {
+            let empty = self.servers.get(id).is_some_and(|s| s.is_empty());
+            if empty != self.idle_loaned.contains(id) {
+                return violation(format!(
+                    "idle-loan index out of lockstep for {id} (empty: {empty})"
+                ));
+            }
+        }
+        if let Some(id) = self.idle_loaned.difference(&self.loaned).next() {
+            return violation(format!("idle-loan index holds non-loaned {id}"));
+        }
         Ok(())
     }
 
@@ -336,6 +361,8 @@ impl ClusterState {
         for id in &candidates {
             self.whitelist.insert(*id);
             self.loaned.insert(*id);
+            // Freshly loaned servers arrive empty.
+            self.idle_loaned.insert(*id);
             if let Some(s) = self.servers.get_mut(id) {
                 s.pool = PoolKind::OnLoan;
                 s.group = ServerGroup::Unassigned;
@@ -363,6 +390,7 @@ impl ClusterState {
         for id in ids {
             self.whitelist.remove(id);
             self.loaned.remove(id);
+            self.idle_loaned.remove(id);
         }
         self.debug_audit();
         Ok(())
@@ -401,6 +429,8 @@ impl ClusterState {
             if s.pool == PoolKind::OnLoan && s.group == ServerGroup::Unassigned {
                 s.group = group;
             }
+            // No-op unless the server was an idle loaner.
+            self.idle_loaned.remove(id);
         }
         self.debug_audit();
         Ok(())
@@ -431,6 +461,9 @@ impl ClusterState {
             let s = self.servers.get_mut(id).expect("validated above");
             s.release(job, workers * gpus_per_worker)
                 .map_err(ClusterError::Occupancy)?;
+            if s.is_empty() && self.loaned.contains(id) {
+                self.idle_loaned.insert(*id);
+            }
         }
         self.debug_audit();
         Ok(())
@@ -447,6 +480,9 @@ impl ClusterState {
         for (job, _) in &jobs {
             s.evict(*job);
         }
+        if self.loaned.contains(&id) {
+            self.idle_loaned.insert(id);
+        }
         self.debug_audit();
         Ok(jobs)
     }
@@ -459,6 +495,13 @@ impl ClusterState {
             let g = s.evict(job);
             if g > 0 {
                 freed.push((s.id, g));
+            }
+        }
+        for &(sid, _) in &freed {
+            if self.loaned.contains(&sid)
+                && self.servers.get(&sid).is_some_and(|s| s.is_empty())
+            {
+                self.idle_loaned.insert(sid);
             }
         }
         self.debug_audit();

@@ -17,7 +17,7 @@
 //! preempting anyone.
 
 use crate::job::JobId;
-use crate::mckp::{solve_mckp, McKnapsackGroup, McKnapsackItem};
+use crate::mckp::{solve_mckp_with, McKnapsackGroup, McKnapsackItem, MckpScratch};
 use crate::snapshot::Snapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -82,6 +82,10 @@ pub struct AllocationOutcome {
     /// Pending jobs to launch, with their initial worker counts
     /// (base demand plus any phase-2 award), in launch order.
     pub launches: Vec<(JobId, u32)>,
+    /// Index into `snapshot.pending` of each entry of `launches`
+    /// (parallel array), so callers can resolve launch specs in
+    /// O(launches) instead of re-scanning the queue.
+    pub launch_indices: Vec<u32>,
     /// New worker targets for *running* elastic jobs whose allocation
     /// changed: `(job, new total workers)`. Omits unchanged jobs.
     pub resizes: Vec<(JobId, u32)>,
@@ -124,72 +128,129 @@ pub struct AllocationOutcome {
 /// assert_eq!(out.launches, vec![(lyra_core::JobId(1), 2), (lyra_core::JobId(0), 3)]);
 /// ```
 pub fn two_phase_allocate(snapshot: &Snapshot, config: AllocationConfig) -> AllocationOutcome {
+    two_phase_allocate_with(&mut MckpScratch::default(), snapshot, config)
+}
+
+/// [`two_phase_allocate`] over a caller-owned phase-2 DP scratch.
+///
+/// Policies that run every scheduling epoch should hold one
+/// [`MckpScratch`] and pass it here so the knapsack's DP table and choice
+/// matrix are reused across ticks instead of reallocated.
+pub fn two_phase_allocate_with(
+    mckp_scratch: &mut MckpScratch,
+    snapshot: &Snapshot,
+    config: AllocationConfig,
+) -> AllocationOutcome {
     let _timing = lyra_obs::span::span("core.allocation");
     let auditing = lyra_obs::audit::is_enabled();
     // Pool capacity: idle GPUs plus GPUs held by flexible workers of
-    // running elastic jobs (which are up for resizing).
-    let idle = if config.normalize_capacity {
-        snapshot.normalized_free_gpus().floor() as u64
+    // running elastic jobs (which are up for resizing). When normalising,
+    // *both* parts are V100-equivalents: a flexible worker's GPUs are
+    // weighted by the capability of the server they sit on (an on-loan T4
+    // flexible worker must not be counted at full V100 weight — the §5.3
+    // steering case), and the floor is taken once over the sum so the two
+    // parts cannot drift into mixed units.
+    let mut capacity: u64 = if config.normalize_capacity {
+        let idle = snapshot.normalized_free_gpus();
+        let capability_of = |id: crate::snapshot::ServerId| -> f64 {
+            snapshot
+                .servers
+                .iter()
+                .find(|s| s.id == id)
+                .map_or(1.0, |s| s.gpu_type.capability())
+        };
+        let flexible: f64 = snapshot
+            .running
+            .iter()
+            .flat_map(|r| {
+                r.flex_placement.iter().map(move |&(sid, workers)| {
+                    f64::from(workers) * f64::from(r.spec.gpus_per_worker) * capability_of(sid)
+                })
+            })
+            .sum();
+        (idle + flexible).floor() as u64
     } else {
-        u64::from(snapshot.free_gpus())
+        let flexible_pool: u64 = snapshot
+            .running
+            .iter()
+            .map(|r| u64::from(r.flexible_workers) * u64::from(r.spec.gpus_per_worker))
+            .sum();
+        u64::from(snapshot.free_gpus()) + flexible_pool
     };
-    let flexible_pool: u64 = snapshot
-        .running
-        .iter()
-        .map(|r| u64::from(r.flexible_workers) * u64::from(r.spec.gpus_per_worker))
-        .sum();
-    let mut capacity = idle + flexible_pool;
 
     // ---- Phase 1 over the inelastic workload. ----
-    let mut order: Vec<usize> = (0..snapshot.pending.len()).collect();
-    match config.phase1 {
-        Phase1Order::Sjf => order.sort_by(|&a, &b| {
-            let pa = &snapshot.pending[a];
-            let pb = &snapshot.pending[b];
-            pa.est_running_time_s
-                .partial_cmp(&pb.est_running_time_s)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(pa.spec.id.cmp(&pb.spec.id))
-        }),
-        Phase1Order::Las => order.sort_by(|&a, &b| {
-            // Attained service = GPU-time consumed so far, inferred from
-            // the work already completed (work is reference
-            // worker-seconds, i.e. GPU-time up to the per-worker GPU
-            // factor).
-            let attained = |p: &crate::snapshot::PendingJobView| {
-                (p.spec.work() - p.work_left).max(0.0) * f64::from(p.spec.gpus_per_worker)
+    // One sequential pass copies everything the admit loop needs into
+    // compact rows: the queue runs deep under load, and both an indexed
+    // sort comparator and a per-admission spec lookup would chase
+    // ~200-byte-stride pointers into the pending array on every step.
+    // With inline rows the O(q log q) sort and the O(q) admit loop stay
+    // in cache and never touch `snapshot.pending` again.
+    struct Phase1Row {
+        key: f64,
+        id: JobId,
+        idx: u32,
+        base_gpus: u32,
+        w_min: u32,
+    }
+    let mut order: Vec<Phase1Row> = snapshot
+        .pending
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let key = match config.phase1 {
+                Phase1Order::Sjf => p.est_running_time_s,
+                // Attained service = GPU-time consumed so far, inferred
+                // from the work already completed (work is reference
+                // worker-seconds, i.e. GPU-time up to the per-worker GPU
+                // factor).
+                Phase1Order::Las => {
+                    (p.spec.work() - p.work_left).max(0.0) * f64::from(p.spec.gpus_per_worker)
+                }
+                Phase1Order::Fifo => 0.0,
             };
-            let pa = &snapshot.pending[a];
-            let pb = &snapshot.pending[b];
-            attained(pa)
-                .partial_cmp(&attained(pb))
+            Phase1Row {
+                key,
+                id: p.spec.id,
+                idx: i as u32,
+                base_gpus: p.spec.base_gpus(),
+                w_min: p.spec.w_min(),
+            }
+        })
+        .collect();
+    if config.phase1 != Phase1Order::Fifo {
+        order.sort_unstable_by(|a, b| {
+            a.key
+                .partial_cmp(&b.key)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then(pa.spec.id.cmp(&pb.spec.id))
-        }),
-        Phase1Order::Fifo => {}
+                .then(a.id.cmp(&b.id))
+        });
     }
 
     let mut launches: Vec<(JobId, u32)> = Vec::new();
-    let mut launched_set: HashMap<JobId, usize> = HashMap::new();
+    let mut launch_indices: Vec<u32> = Vec::new();
+    // Launched job → (pending index, position in `launches`). The position
+    // lets phase 2 back-patch awards by direct index instead of rescanning
+    // the launch list per award.
+    let mut launched_set: HashMap<JobId, (usize, usize)> = HashMap::new();
     let mut skipped: Vec<JobId> = Vec::new();
     let phase1_capacity = capacity.min(u64::from(u32::MAX)) as u32;
     let mut phase1_audit: Vec<lyra_obs::audit::Phase1Entry> = Vec::new();
-    for idx in order {
-        let p = &snapshot.pending[idx];
-        let need = u64::from(p.spec.base_gpus());
+    for r in &order {
+        let need = u64::from(r.base_gpus);
         let admitted = need <= capacity;
         if admitted {
             capacity -= need;
-            launched_set.insert(p.spec.id, idx);
-            launches.push((p.spec.id, p.spec.w_min()));
+            launched_set.insert(r.id, (r.idx as usize, launches.len()));
+            launches.push((r.id, r.w_min));
+            launch_indices.push(r.idx);
         } else {
-            skipped.push(p.spec.id);
+            skipped.push(r.id);
         }
         if auditing {
             phase1_audit.push(lyra_obs::audit::Phase1Entry {
-                job: p.spec.id.0,
-                est_running_time_s: p.est_running_time_s,
-                base_gpus: p.spec.base_gpus(),
+                job: r.id.0,
+                est_running_time_s: snapshot.pending[r.idx as usize].est_running_time_s,
+                base_gpus: r.base_gpus,
                 admitted,
             });
         }
@@ -207,11 +268,11 @@ pub fn two_phase_allocate(snapshot: &Snapshot, config: AllocationConfig) -> Allo
         // Group sources: launched elastic pending jobs, then running
         // elastic jobs. Keep indices to map the solution back.
         enum Source {
-            Pending(usize),
+            /// Pending index plus the job's position in `launches`.
+            Pending { idx: usize, launch: usize },
             Running(usize),
         }
-        let mut groups: Vec<McKnapsackGroup> = Vec::new();
-        let mut sources: Vec<Source> = Vec::new();
+        let mut paired: Vec<(McKnapsackGroup, Source)> = Vec::new();
 
         let push_group = |id: JobId,
                           w_min: u32,
@@ -220,8 +281,7 @@ pub fn two_phase_allocate(snapshot: &Snapshot, config: AllocationConfig) -> Allo
                           est_rt: f64,
                           curve: &crate::job::ScalingCurve,
                           src: Source,
-                          groups: &mut Vec<McKnapsackGroup>,
-                          sources: &mut Vec<Source>| {
+                          paired: &mut Vec<(McKnapsackGroup, Source)>| {
             if w_max <= w_min || est_rt <= 0.0 {
                 return;
             }
@@ -240,12 +300,11 @@ pub fn two_phase_allocate(snapshot: &Snapshot, config: AllocationConfig) -> Allo
                     }
                 })
                 .collect();
-            groups.push(McKnapsackGroup { key: id.0, items });
-            sources.push(src);
+            paired.push((McKnapsackGroup { key: id.0, items }, src));
         };
 
-        for (id, idx) in &launched_set {
-            let p = &snapshot.pending[*idx];
+        for (id, &(idx, launch)) in &launched_set {
+            let p = &snapshot.pending[idx];
             if p.spec.is_elastic() {
                 push_group(
                     *id,
@@ -254,9 +313,8 @@ pub fn two_phase_allocate(snapshot: &Snapshot, config: AllocationConfig) -> Allo
                     p.spec.gpus_per_worker,
                     p.est_running_time_s,
                     &p.spec.curve,
-                    Source::Pending(*idx),
-                    &mut groups,
-                    &mut sources,
+                    Source::Pending { idx, launch },
+                    &mut paired,
                 );
             }
         }
@@ -273,27 +331,28 @@ pub fn two_phase_allocate(snapshot: &Snapshot, config: AllocationConfig) -> Allo
                     est_rt,
                     &r.spec.curve,
                     Source::Running(ridx),
-                    &mut groups,
-                    &mut sources,
+                    &mut paired,
                 );
             }
         }
 
         // Deterministic group order (HashMap iteration above is not).
-        let mut perm: Vec<usize> = (0..groups.len()).collect();
-        perm.sort_by_key(|&i| groups[i].key);
-        let groups_sorted: Vec<McKnapsackGroup> = perm.iter().map(|&i| groups[i].clone()).collect();
+        // Keys are job ids, hence unique; sorting the pairs moves the
+        // groups rather than cloning their item vectors.
+        paired.sort_by_key(|(g, _)| g.key);
+        let (groups_sorted, sources): (Vec<McKnapsackGroup>, Vec<Source>) =
+            paired.into_iter().unzip();
 
-        // Any feasible solution weighs at most the sum of per-group
-        // maximum weights, so the DP table never needs to be wider — this
-        // keeps cluster-scale epochs cheap when capacity is abundant.
+        // The DP clamps its table width by the per-group max-weight sum
+        // internally; recompute the clamp here only because the audit
+        // records the effective capacity.
         let total_max_weight: u64 = groups_sorted
             .iter()
             .map(|g| u64::from(g.items.iter().map(|i| i.weight).max().unwrap_or(0)))
             .sum();
         let cap_u32 = capacity.min(total_max_weight).min(u64::from(u32::MAX)) as u32;
         let solution = match config.phase2 {
-            Phase2Solver::Mckp => solve_mckp(&groups_sorted, cap_u32),
+            Phase2Solver::Mckp => solve_mckp_with(mckp_scratch, &groups_sorted, cap_u32),
             Phase2Solver::Greedy => solve_greedy(&groups_sorted, cap_u32),
         };
         capacity -= u64::from(solution.total_weight);
@@ -332,16 +391,15 @@ pub fn two_phase_allocate(snapshot: &Snapshot, config: AllocationConfig) -> Allo
                 .unwrap_or(0);
             // Recover extra workers from weight: weight = k × gpus/worker,
             // items[0].weight = gpus/worker.
-            match sources[perm[slot]] {
-                Source::Pending(idx) => {
+            match sources[slot] {
+                Source::Pending { idx, launch } => {
                     let p = &snapshot.pending[idx];
                     if extra > 0 {
-                        let id = p.spec.id;
-                        for l in &mut launches {
-                            if l.0 == id {
-                                l.1 = p.spec.w_min() + extra;
-                            }
-                        }
+                        debug_assert_eq!(
+                            launches[launch].0, p.spec.id,
+                            "phase-2 award must patch its own launch entry"
+                        );
+                        launches[launch].1 = p.spec.w_min() + extra;
                     }
                 }
                 Source::Running(ridx) => {
@@ -358,6 +416,7 @@ pub fn two_phase_allocate(snapshot: &Snapshot, config: AllocationConfig) -> Allo
 
     AllocationOutcome {
         launches,
+        launch_indices,
         resizes,
         skipped,
         leftover_gpus: capacity.min(u64::from(u32::MAX)) as u32,
@@ -395,7 +454,9 @@ fn solve_greedy(groups: &[McKnapsackGroup], capacity: u32) -> crate::mckp::MckpS
         let Some((g, _)) = best else { break };
         let next = chosen[g].map_or(0, |i| i + 1);
         let prev_w = chosen[g].map_or(0, |i| groups[g].items[i].weight);
-        used += u64::from(groups[g].items[next].weight - prev_w);
+        // Guard like the scan above: a non-monotone group (next item
+        // lighter than the current one) must not underflow the budget.
+        used += u64::from(groups[g].items[next].weight.saturating_sub(prev_w));
         chosen[g] = Some(next);
     }
     let total_value = chosen
@@ -583,6 +644,109 @@ mod tests {
         // Without normalisation it fits.
         let out = two_phase_allocate(&snap(servers, pending), AllocationConfig::default());
         assert_eq!(out.launches.len(), 1);
+    }
+
+    #[test]
+    fn normalization_discounts_t4_flexible_workers() {
+        // Regression: the flexible pool must be V100-normalized like the
+        // idle pool. A running elastic job parks 6 flexible workers on an
+        // on-loan T4 server; with 2 idle T4 GPUs the true pool is
+        // (2 + 6) × 1/3 = 2.67 → 2 GPUs, so a 4-GPU job must be skipped.
+        // The old code summed the flexible part raw (6 full GPUs) and
+        // admitted it.
+        let mut servers = vec![
+            ServerView::idle(0, PoolKind::Training, GpuType::V100, 8),
+            ServerView::idle(1, PoolKind::OnLoan, GpuType::T4, 8),
+        ];
+        servers[0].free_gpus = 6; // 2 held by the running job's base workers
+        servers[1].free_gpus = 2; // 6 held by its flexible workers
+        let running = RunningJobView {
+            spec: JobSpec::elastic(0, 0.0, 2, 8, 1, 100.0),
+            workers: 8,
+            work_left: 300.0,
+            placement: vec![(ServerId(0), 2), (ServerId(1), 6)],
+            flexible_workers: 6,
+            flex_placement: vec![(ServerId(1), 6)],
+        };
+        // Make the V100 server fully busy so only T4 capacity remains.
+        servers[0].free_gpus = 0;
+        let pending = vec![JobSpec::inelastic(1, 0.0, 4, 1, 10.0)];
+        let config = AllocationConfig {
+            elastic_phase: false, // isolate the capacity accounting
+            normalize_capacity: true,
+            ..AllocationConfig::default()
+        };
+        let snapshot = Snapshot {
+            time_s: 0.0,
+            servers: servers.clone(),
+            pending: pending.clone().into_iter().map(PendingJobView::fresh).collect(),
+            running: vec![running.clone()],
+        };
+        let out = two_phase_allocate(&snapshot, config);
+        assert!(out.launches.is_empty(), "4-GPU job must not fit in 2.67 V100-equivalents");
+        assert_eq!(out.skipped, vec![JobId(1)]);
+        assert_eq!(out.leftover_gpus, 2, "leftover is normalized too");
+        // Without normalisation a GPU is a GPU: 2 idle + 6 flexible = 8.
+        let snapshot = Snapshot {
+            time_s: 0.0,
+            servers,
+            pending: pending.into_iter().map(PendingJobView::fresh).collect(),
+            running: vec![running],
+        };
+        let out = two_phase_allocate(
+            &snapshot,
+            AllocationConfig {
+                elastic_phase: false,
+                ..AllocationConfig::default()
+            },
+        );
+        assert_eq!(out.launches, vec![(JobId(1), 4)]);
+    }
+
+    #[test]
+    fn greedy_handles_non_monotone_group_weights() {
+        // Regression: the apply step used an unguarded subtraction and
+        // underflowed (debug) / wrapped (release) when a later item was
+        // lighter than the current one.
+        let groups = vec![McKnapsackGroup {
+            key: 0,
+            items: vec![
+                McKnapsackItem { weight: 5, value: 10.0 },
+                McKnapsackItem { weight: 2, value: 15.0 },
+            ],
+        }];
+        let sol = solve_greedy(&groups, 10);
+        assert!(sol.total_weight <= 10);
+        assert!(sol.total_value >= 10.0);
+    }
+
+    proptest::proptest! {
+        /// Greedy never beats the DP, never panics and never overpacks —
+        /// on arbitrary (including non-monotone-weight) groups.
+        #[test]
+        fn greedy_bounded_by_dp_on_arbitrary_groups(
+            groups in proptest::collection::vec(
+                proptest::collection::vec((0u32..10, -10.0f64..50.0), 1..5),
+                0..5,
+            ),
+            capacity in 0u32..30,
+        ) {
+            let groups: Vec<McKnapsackGroup> = groups
+                .into_iter()
+                .enumerate()
+                .map(|(k, items)| McKnapsackGroup {
+                    key: k as u64,
+                    items: items
+                        .into_iter()
+                        .map(|(w, v)| McKnapsackItem { weight: w, value: v })
+                        .collect(),
+                })
+                .collect();
+            let greedy = solve_greedy(&groups, capacity);
+            let dp = crate::mckp::solve_mckp(&groups, capacity);
+            proptest::prop_assert!(greedy.total_value <= dp.total_value + 1e-9);
+            proptest::prop_assert!(greedy.total_weight <= capacity);
+        }
     }
 
     #[test]

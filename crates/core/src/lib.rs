@@ -40,14 +40,16 @@ pub mod reclaim;
 pub mod snapshot;
 pub mod tuning;
 
-pub use allocation::{two_phase_allocate, AllocationConfig, AllocationOutcome};
+pub use allocation::{
+    two_phase_allocate, two_phase_allocate_with, AllocationConfig, AllocationOutcome,
+};
 pub use analysis::{evaluate_two_job_split, optimal_two_job_allocation, TwoJobOutcome};
 pub use gpu::{GpuSpec, GpuType};
 pub use job::{Elasticity, JobClass, JobId, JobSpec, ScalingCurve};
-pub use mckp::{solve_mckp, McKnapsackGroup, McKnapsackItem, MckpSolution};
+pub use mckp::{solve_mckp, solve_mckp_with, McKnapsackGroup, McKnapsackItem, MckpScratch, MckpSolution};
 pub use placement::{
-    place_best_effort, place_gang, place_workers, PlacementConfig, PlacementOutcome,
-    PlacementRequest, WorkerRole,
+    place_best_effort, place_gang, place_gang_with, place_workers, place_workers_with,
+    PlacementConfig, PlacementOutcome, PlacementRequest, PlacementScratch, WorkerRole,
 };
 pub use reclaim::{
     reclaim_exhaustive_optimal, reclaim_random, reclaim_scf, reclaim_servers, CostModel,

@@ -45,12 +45,33 @@ pub struct MckpSolution {
     pub chosen: Vec<Option<usize>>,
 }
 
+/// Reusable buffers for [`solve_mckp_with`].
+///
+/// The DP table, its double buffer and the (flattened) choice matrix are
+/// the solver's only allocations; a policy that carries a scratch across
+/// scheduling epochs amortises them to zero once the high-water capacity
+/// has been seen. The scratch holds no state between calls — every call
+/// fully reinitialises the region it uses — so one scratch may serve any
+/// sequence of instances.
+#[derive(Debug, Clone, Default)]
+pub struct MckpScratch {
+    /// `dp[c]`: best value using the groups processed so far with ≤ c GPUs.
+    dp: Vec<f64>,
+    /// Double buffer for the per-group relaxation.
+    next: Vec<f64>,
+    /// Flattened `groups × (cap + 1)` choice matrix; `u32::MAX` = no item.
+    choice: Vec<u32>,
+}
+
 /// Solves the multiple-choice knapsack by dynamic programming.
 ///
 /// Items with zero weight and positive value are taken greedily; items with
 /// non-positive value are never chosen (taking nothing from the group
 /// dominates them). Runs in `O(capacity · Σ|items|)` time and
 /// `O(groups · capacity)` space for choice reconstruction.
+///
+/// Allocates fresh buffers per call; hot paths should hold a
+/// [`MckpScratch`] and call [`solve_mckp_with`] instead.
 ///
 /// # Examples
 ///
@@ -78,19 +99,42 @@ pub struct MckpSolution {
 /// assert_eq!(sol.chosen, vec![Some(0), Some(1)]);
 /// ```
 pub fn solve_mckp(groups: &[McKnapsackGroup], capacity: u32) -> MckpSolution {
-    let _timing = lyra_obs::span::span("core.mckp");
-    let cap = capacity as usize;
-    // `dp[c]`: best value using the groups processed so far with ≤ c GPUs.
-    let mut dp = vec![0.0_f64; cap + 1];
-    // `choice[g][c]`: item chosen by group g when the DP table for prefix
-    // g+1 holds capacity c. u32::MAX encodes "no item".
-    const NONE: u32 = u32::MAX;
-    let mut choice = vec![vec![NONE; cap + 1]; groups.len()];
+    solve_mckp_with(&mut MckpScratch::default(), groups, capacity)
+}
 
-    let mut next = vec![0.0_f64; cap + 1];
+/// [`solve_mckp`] over caller-owned scratch buffers.
+///
+/// The effective DP width is clamped by the sum of per-group maximum
+/// weights: any feasible solution weighs at most that much, so a wider
+/// table cannot change the optimum — this keeps cluster-scale epochs cheap
+/// when idle capacity dwarfs the elastic demand.
+pub fn solve_mckp_with(
+    scratch: &mut MckpScratch,
+    groups: &[McKnapsackGroup],
+    capacity: u32,
+) -> MckpSolution {
+    let _timing = lyra_obs::span::span("core.mckp");
+    let total_max_weight: u64 = groups
+        .iter()
+        .map(|g| u64::from(g.items.iter().map(|i| i.weight).max().unwrap_or(0)))
+        .sum();
+    let cap = u64::from(capacity).min(total_max_weight) as usize;
+    const NONE: u32 = u32::MAX;
+    let width = cap + 1;
+    let MckpScratch { dp, next, choice } = scratch;
+    dp.clear();
+    dp.resize(width, 0.0);
+    next.clear();
+    next.resize(width, 0.0);
+    choice.clear();
+    choice.resize(groups.len() * width, NONE);
+
     for (g, group) in groups.iter().enumerate() {
+        // `choice_row[c]`: item chosen by group g when the DP table for
+        // prefix g+1 holds capacity c.
+        let choice_row = &mut choice[g * width..(g + 1) * width];
         // Taking nothing from the group is always allowed.
-        next.copy_from_slice(&dp);
+        next.copy_from_slice(dp);
         for (i, item) in group.items.iter().enumerate() {
             if item.value <= 0.0 {
                 continue;
@@ -103,11 +147,11 @@ pub fn solve_mckp(groups: &[McKnapsackGroup], capacity: u32) -> MckpSolution {
                 let cand = dp[c - w] + item.value;
                 if cand > next[c] {
                     next[c] = cand;
-                    choice[g][c] = i as u32;
+                    choice_row[c] = i as u32;
                 }
             }
         }
-        std::mem::swap(&mut dp, &mut next);
+        std::mem::swap(dp, next);
     }
 
     // The DP value is monotone in capacity, so the optimum sits at `cap`.
@@ -115,7 +159,7 @@ pub fn solve_mckp(groups: &[McKnapsackGroup], capacity: u32) -> MckpSolution {
     let mut chosen = vec![None; groups.len()];
     let mut c = cap;
     for g in (0..groups.len()).rev() {
-        let pick = choice[g][c];
+        let pick = choice[g * width + c];
         if pick != NONE {
             let i = pick as usize;
             chosen[g] = Some(i);

@@ -91,6 +91,21 @@ impl PlacementOutcome {
     }
 }
 
+/// Reusable buffers for the placement hot path.
+///
+/// Gang placement needs a scratch copy of the server state (to stay atomic
+/// on failure) and auditing needs a candidate-fit list; both are
+/// per-epoch allocations unless the caller carries this scratch across
+/// calls. Holds no state between calls — each call fully reinitialises
+/// what it uses.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementScratch {
+    /// Scratch server state for atomic gang placement.
+    servers: Vec<ServerView>,
+    /// Candidate-fit list `(server id, free GPUs)` for decision audits.
+    fits: Vec<(u32, u32)>,
+}
+
 /// Which pools a request may use, in preference order, and the on-loan
 /// group it belongs to.
 fn pool_preference(
@@ -224,10 +239,38 @@ pub fn place_gang(
     group: ServerGroup,
     config: PlacementConfig,
 ) -> Option<Assignment> {
+    place_gang_into(&mut Vec::new(), servers, pool, count, gpus_per_worker, group, config)
+}
+
+/// [`place_gang`] over a caller-owned scratch, so the atomic-on-failure
+/// server copy reuses one allocation across scheduling epochs.
+pub fn place_gang_with(
+    scratch: &mut PlacementScratch,
+    servers: &mut Vec<ServerView>,
+    pool: PoolKind,
+    count: u32,
+    gpus_per_worker: u32,
+    group: ServerGroup,
+    config: PlacementConfig,
+) -> Option<Assignment> {
+    place_gang_into(&mut scratch.servers, servers, pool, count, gpus_per_worker, group, config)
+}
+
+/// Gang placement core: clones `servers` into `gang_scratch`, places
+/// there, and swaps the scratch in only on success.
+fn place_gang_into(
+    gang_scratch: &mut Vec<ServerView>,
+    servers: &mut Vec<ServerView>,
+    pool: PoolKind,
+    count: u32,
+    gpus_per_worker: u32,
+    group: ServerGroup,
+    config: PlacementConfig,
+) -> Option<Assignment> {
     let _timing = lyra_obs::span::span("core.placement.gang");
-    let mut scratch = servers.clone();
-    let assignment = place_in_pool(&mut scratch, pool, count, gpus_per_worker, group, config)?;
-    *servers = scratch;
+    gang_scratch.clone_from(servers);
+    let assignment = place_in_pool(gang_scratch, pool, count, gpus_per_worker, group, config)?;
+    std::mem::swap(servers, gang_scratch);
     Some(assignment)
 }
 
@@ -312,8 +355,23 @@ pub fn place_workers(
     requests: &[PlacementRequest],
     config: PlacementConfig,
 ) -> PlacementOutcome {
+    place_workers_with(&mut PlacementScratch::default(), servers, requests, config)
+}
+
+/// [`place_workers`] over a caller-owned [`PlacementScratch`], reusing the
+/// gang-placement server copy and the audit candidate list across calls.
+pub fn place_workers_with(
+    scratch: &mut PlacementScratch,
+    servers: &mut Vec<ServerView>,
+    requests: &[PlacementRequest],
+    config: PlacementConfig,
+) -> PlacementOutcome {
     let _timing = lyra_obs::span::span("core.placement");
     let auditing = lyra_obs::audit::is_enabled();
+    let PlacementScratch {
+        servers: gang_scratch,
+        fits: candidates,
+    } = scratch;
     // BFD: largest per-worker GPU demand first; stable by job id.
     let mut order: Vec<usize> = (0..requests.len()).collect();
     order.sort_by(|&a, &b| {
@@ -332,16 +390,16 @@ pub fn place_workers(
         let (pools, group) = pool_preference(req, config);
         // Candidate fits (and their best-fit costs) before this request
         // mutates the scratch state, for the decision audit.
-        let candidates = if auditing {
-            candidate_fits(servers, &pools, req.gpus_per_worker, group, config)
-        } else {
-            Vec::new()
-        };
+        candidates.clear();
+        if auditing {
+            candidate_fits_into(candidates, servers, &pools, req.gpus_per_worker, group, config);
+        }
         let gang = matches!(req.role, WorkerRole::Inelastic | WorkerRole::ElasticBase);
         if gang {
             // All workers in one pool, first preference that fits.
             let placed = pools.iter().find_map(|pool| {
-                place_gang(
+                place_gang_into(
+                    gang_scratch,
                     servers,
                     *pool,
                     req.workers,
@@ -356,7 +414,7 @@ pub fn place_workers(
                     req.role,
                     req.gpus_per_worker,
                     placed.as_ref(),
-                    &candidates,
+                    candidates,
                 );
             }
             match placed {
@@ -381,7 +439,7 @@ pub fn place_workers(
                     req.role,
                     req.gpus_per_worker,
                     placed.as_ref(),
-                    &candidates,
+                    candidates,
                 );
             }
             if !assignment.is_empty() {
@@ -403,19 +461,35 @@ pub(crate) fn candidate_fits(
     group: ServerGroup,
     config: PlacementConfig,
 ) -> Vec<(u32, u32)> {
-    let mut fits: Vec<(u32, u32)> = Vec::new();
-    for pool in pools {
-        let mut in_pool: Vec<(u32, u32)> = servers
-            .iter()
-            .filter(|s| {
-                s.pool == *pool && s.free_gpus >= demand && group_compatible(s, group, config)
-            })
-            .map(|s| (s.id.0, s.free_gpus))
-            .collect();
-        in_pool.sort_by_key(|&(id, free)| (free, id));
-        fits.extend(in_pool);
-    }
+    let mut fits = Vec::new();
+    candidate_fits_into(&mut fits, servers, pools, demand, group, config);
     fits
+}
+
+/// [`candidate_fits`] into a caller-owned buffer (cleared first): each
+/// pool's slice is appended then sorted in place, so the result order is
+/// identical to the allocating variant without a per-pool temporary.
+pub(crate) fn candidate_fits_into(
+    fits: &mut Vec<(u32, u32)>,
+    servers: &[ServerView],
+    pools: &[PoolKind],
+    demand: u32,
+    group: ServerGroup,
+    config: PlacementConfig,
+) {
+    fits.clear();
+    for pool in pools {
+        let start = fits.len();
+        fits.extend(
+            servers
+                .iter()
+                .filter(|s| {
+                    s.pool == *pool && s.free_gpus >= demand && group_compatible(s, group, config)
+                })
+                .map(|s| (s.id.0, s.free_gpus)),
+        );
+        fits[start..].sort_by_key(|&(id, free)| (free, id));
+    }
 }
 
 /// Cap on rejected alternatives kept per placement audit record.

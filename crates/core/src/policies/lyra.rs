@@ -3,14 +3,15 @@
 //! of heterogeneous jobs (§6).
 
 use super::{assignment_workers, scale_in_removal, JobScheduler};
-use crate::allocation::{two_phase_allocate, AllocationConfig};
+use crate::allocation::{two_phase_allocate_with, AllocationConfig};
 use crate::gpu::GpuType;
 use crate::job::{JobId, JobSpec};
+use crate::mckp::MckpScratch;
 use crate::placement::{
-    audit_placement, candidate_fits, place_best_effort, place_gang, PlacementConfig, WorkerRole,
+    audit_placement, candidate_fits, place_best_effort, place_gang_with, PlacementConfig,
+    PlacementScratch, WorkerRole,
 };
 use crate::snapshot::{Action, PoolKind, ServerGroup, ServerView, Snapshot};
-use std::collections::HashMap;
 
 /// Configuration of the Lyra policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,17 +39,32 @@ impl LyraConfig {
     }
 }
 
+/// Reusable solver buffers carried across scheduling epochs. Pure scratch:
+/// no call-to-call state, so cloning a scheduler or starting fresh changes
+/// nothing but allocation traffic.
+#[derive(Debug, Clone, Default)]
+struct SchedScratch {
+    /// Phase-2 knapsack DP table + choice matrix.
+    mckp: MckpScratch,
+    /// Gang-placement server copy + audit candidate list.
+    placement: PlacementScratch,
+}
+
 /// The Lyra job scheduler.
 #[derive(Debug, Clone, Default)]
 pub struct LyraScheduler {
     /// Policy configuration.
     pub config: LyraConfig,
+    scratch: SchedScratch,
 }
 
 impl LyraScheduler {
     /// Creates the scheduler with the given configuration.
     pub fn new(config: LyraConfig) -> Self {
-        LyraScheduler { config }
+        LyraScheduler {
+            config,
+            scratch: SchedScratch::default(),
+        }
     }
 }
 
@@ -97,7 +113,7 @@ impl LyraScheduler {
     /// Places one launch decision, returning the actions (launch plus an
     /// optional flexible scale-out) or `None` when the gang does not fit.
     fn place_launch(
-        &self,
+        &mut self,
         servers: &mut Vec<ServerView>,
         spec: &JobSpec,
         target_workers: u32,
@@ -132,7 +148,8 @@ impl LyraScheduler {
             } else {
                 base_workers
             };
-            if let Some(a) = place_gang(
+            if let Some(a) = place_gang_with(
+                &mut self.scratch.placement,
                 servers,
                 pool,
                 count,
@@ -210,15 +227,19 @@ impl LyraScheduler {
 
     /// Runs allocation + placement over one snapshot slice, mutating the
     /// scratch servers.
-    fn schedule_slice(&self, snapshot: &Snapshot, servers: &mut Vec<ServerView>) -> Vec<Action> {
-        let outcome = two_phase_allocate(snapshot, self.config.allocation);
+    fn schedule_slice(&mut self, snapshot: &Snapshot, servers: &mut Vec<ServerView>) -> Vec<Action> {
+        let outcome =
+            two_phase_allocate_with(&mut self.scratch.mckp, snapshot, self.config.allocation);
         let mut actions: Vec<Action> = Vec::new();
 
         // Scale-ins first: they free capacity the launches were promised.
-        let targets: HashMap<JobId, u32> = outcome.resizes.iter().copied().collect();
+        // `resizes` is id-sorted and short; `running` is long and also
+        // id-ordered — resolving each resize against it emits actions in
+        // the same order as a walk over every running job, without paying
+        // an O(running) probe loop every epoch.
         let mut scale_outs: Vec<(JobId, u32)> = Vec::new();
-        for r in &snapshot.running {
-            let Some(&target) = targets.get(&r.spec.id) else {
+        for &(id, target) in &outcome.resizes {
+            let Some(r) = snapshot.running.iter().find(|r| r.spec.id == id) else {
                 continue;
             };
             if target < r.workers {
@@ -235,20 +256,27 @@ impl LyraScheduler {
             }
         }
 
-        // Launches in BFD order (largest per-worker demand first).
-        let specs: HashMap<JobId, &JobSpec> = snapshot
-            .pending
+        // Launches in BFD order (largest per-worker demand first). Specs
+        // come straight from the allocator's pending indices — launches
+        // are few even when the queue is deep, and this runs every
+        // scheduler epoch, so no pass over the whole queue.
+        let mut launches: Vec<(&JobSpec, u32)> = outcome
+            .launches
             .iter()
-            .map(|p| (p.spec.id, &p.spec))
+            .zip(&outcome.launch_indices)
+            .map(|(&(id, target), &idx)| {
+                let spec = &snapshot.pending[idx as usize].spec;
+                debug_assert_eq!(spec.id, id, "launch index out of step with launch list");
+                (spec, target)
+            })
             .collect();
-        let mut launches = outcome.launches.clone();
         launches.sort_by(|a, b| {
-            let ga = specs[&a.0].gpus_per_worker;
-            let gb = specs[&b.0].gpus_per_worker;
-            gb.cmp(&ga).then(a.0.cmp(&b.0))
+            b.0.gpus_per_worker
+                .cmp(&a.0.gpus_per_worker)
+                .then(a.0.id.cmp(&b.0.id))
         });
-        for (id, target) in launches {
-            if let Some(mut acts) = self.place_launch(servers, specs[&id], target) {
+        for (spec, target) in launches {
+            if let Some(mut acts) = self.place_launch(servers, spec, target) {
                 actions.append(&mut acts);
             }
         }
@@ -288,6 +316,15 @@ impl JobScheduler for LyraScheduler {
 
     fn schedule(&mut self, snapshot: &Snapshot) -> Vec<Action> {
         let mut servers = snapshot.servers.clone();
+
+        // Fast path: with no heterogeneous jobs anywhere, the "main" slice
+        // below is the whole snapshot and the second pass is empty — skip
+        // cloning every pending/running view just to filter nothing out.
+        let any_hetero = snapshot.pending.iter().any(|p| p.spec.hetero_capable)
+            || snapshot.running.iter().any(|r| r.spec.hetero_capable);
+        if !any_hetero {
+            return self.schedule_slice(snapshot, &mut servers);
+        }
 
         // Heterogeneous jobs get the lowest priority: they are scheduled in
         // a second pass over whatever the first pass left (§6).

@@ -96,6 +96,12 @@ pub struct SimConfig {
     /// Deadline for a carried-forward reclaim demand; missing it is
     /// counted as a reclaim-deadline violation in the report.
     pub reclaim_deadline_s: f64,
+    /// Maintain the scheduler snapshot incrementally across epochs
+    /// (dirty-tracking the jobs and servers each event touched) instead
+    /// of rebuilding it from scratch every tick. Scheduling decisions
+    /// are identical either way; `false` keeps the from-scratch path as
+    /// the perf baseline and CI divergence gate.
+    pub incremental_snapshot: bool,
 }
 
 impl Default for SimConfig {
@@ -115,6 +121,7 @@ impl Default for SimConfig {
             checkpoint_interval_work: 600.0,
             reclaim_retry_backoff_s: 300.0,
             reclaim_deadline_s: 1_800.0,
+            incremental_snapshot: true,
         }
     }
 }
@@ -311,6 +318,37 @@ struct ReclaimCarry {
     backoff_s: f64,
 }
 
+/// The incrementally-maintained scheduler snapshot.
+///
+/// Rebuilding the full [`Snapshot`] every epoch is the dominant
+/// scheduler-tick cost at trace scale: it clones every pending spec,
+/// every running placement and every server view even when the epoch
+/// changed nothing. Instead the engine keeps one snapshot alive across
+/// ticks and patches exactly what each event touched:
+///
+/// * `snap.pending` mirrors `Simulation::queue` in lockstep — entries
+///   are inserted/removed at the same position as the queue index they
+///   mirror, and a pending job's view fields are static while queued.
+/// * `dirty_servers` marks occupancy changes (allocate/release/evict);
+///   `structural` marks whitelist changes (loan/return/crash/recover),
+///   which invalidate positions and force a server-view rebuild.
+/// * `dirty_running` marks job indices whose running-view membership or
+///   shape changed; remaining work drains continuously, so it is
+///   refreshed for *every* running view each epoch.
+#[derive(Debug, Default)]
+struct SnapshotCache {
+    snap: Snapshot,
+    /// The cache has been fully built at least once.
+    primed: bool,
+    /// The whitelist changed: server views must be rebuilt wholesale.
+    structural: bool,
+    /// Servers whose occupancy (or group label) changed since the last
+    /// refresh.
+    dirty_servers: std::collections::BTreeSet<ServerId>,
+    /// Job indices whose running-view membership or shape changed.
+    dirty_running: std::collections::BTreeSet<usize>,
+}
+
 /// The discrete-event simulation.
 pub struct Simulation {
     /// Engine parameters.
@@ -353,11 +391,43 @@ pub struct Simulation {
     /// The next orchestrator tick was marked lost by a fault.
     drop_next_orch_tick: bool,
     reclaim_carry: Option<ReclaimCarry>,
+    /// The snapshot maintained incrementally across scheduler epochs
+    /// (unused when `config.incremental_snapshot` is off).
+    cache: SnapshotCache,
+    /// The next scheduler epoch validates its snapshot (debug builds):
+    /// armed at the invariant-auditor cadence instead of every tick.
+    validate_snapshot: bool,
+    /// Σ base GPUs over the pending queue, kept in lockstep by
+    /// `enqueue`/`dequeue` so the per-epoch loan-demand check needn't
+    /// walk the queue (it runs deep under load).
+    pending_gpus: u64,
+    /// Like `pending_gpus`, restricted to fungible jobs and weighted by
+    /// the T4 worker multiplier for inelastic ones.
+    pending_fungible_gpus: u64,
+    /// Indices of jobs currently in `JobState::Running`, maintained at
+    /// the four state transitions, so per-epoch scans skip the full jobs
+    /// array (which grows with the whole trace).
+    running_jobs: std::collections::BTreeSet<usize>,
     /// Attached observability (event log + metrics + audit); `None`
     /// keeps the hot path free of instrumentation.
     observer: Option<Observer>,
     /// Per-phase span profile collected at the end of an observed run.
     profile: lyra_obs::Profile,
+}
+
+/// GPUs a pending job contributes to loan-eligible demand: zero unless
+/// fungible, and weighted by the T4 worker multiplier for inelastic jobs
+/// (which must replicate their reference capacity worker-for-worker).
+fn fungible_demand_gpus(spec: &JobSpec) -> u64 {
+    if !spec.fungible {
+        return 0;
+    }
+    let mult = if spec.is_elastic() {
+        1
+    } else {
+        GpuType::T4.worker_multiplier(spec.reference_gpu)
+    };
+    u64::from(spec.base_gpus() * mult)
 }
 
 impl Simulation {
@@ -409,6 +479,11 @@ impl Simulation {
             slowdown: BTreeMap::new(),
             drop_next_orch_tick: false,
             reclaim_carry: None,
+            cache: SnapshotCache::default(),
+            validate_snapshot: true,
+            pending_gpus: 0,
+            pending_fungible_gpus: 0,
+            running_jobs: std::collections::BTreeSet::new(),
             observer: None,
             profile: lyra_obs::Profile::default(),
         };
@@ -665,7 +740,65 @@ impl Simulation {
             })
             .unwrap_or_else(|p| p);
         self.queue.insert(pos, idx);
+        self.pending_gpus += u64::from(self.jobs[idx].spec.base_gpus());
+        self.pending_fungible_gpus += fungible_demand_gpus(&self.jobs[idx].spec);
         self.jobs[idx].enqueued_at_s = self.now_s.max(self.jobs[idx].spec.submit_time_s);
+        if self.config.incremental_snapshot {
+            // Mirror the queue insert. A pending view is static while
+            // queued (work_left and preemptions only change before a job
+            // re-enters the queue), so it is computed once here.
+            let j = &self.jobs[idx];
+            let est_full = self
+                .estimator
+                .estimate(j.spec.id, j.spec.base_running_time());
+            let work = j.spec.work().max(f64::MIN_POSITIVE);
+            self.cache.snap.pending.insert(
+                pos,
+                PendingJobView {
+                    spec: j.spec.clone(),
+                    est_running_time_s: est_full * (j.work_left / work),
+                    work_left: j.work_left,
+                    preemptions: j.record.preemptions,
+                },
+            );
+        }
+    }
+
+    /// Removes the launched job `idx` from the queue (and its mirrored
+    /// pending view).
+    fn dequeue(&mut self, idx: usize) {
+        if let Some(pos) = self.queue.iter().position(|&i| i == idx) {
+            self.queue.remove(pos);
+            self.pending_gpus -= u64::from(self.jobs[idx].spec.base_gpus());
+            self.pending_fungible_gpus -= fungible_demand_gpus(&self.jobs[idx].spec);
+            if self.config.incremental_snapshot {
+                self.cache.snap.pending.remove(pos);
+            }
+        }
+    }
+
+    /// Marks the servers of an assignment occupancy-dirty.
+    fn mark_servers_dirty(&mut self, assignment: &[(ServerId, u32)]) {
+        if self.config.incremental_snapshot {
+            for (sid, _) in assignment {
+                self.cache.dirty_servers.insert(*sid);
+            }
+        }
+    }
+
+    /// Marks a job's running view as membership/shape-dirty.
+    fn mark_running_dirty(&mut self, idx: usize) {
+        if self.config.incremental_snapshot {
+            self.cache.dirty_running.insert(idx);
+        }
+    }
+
+    /// Marks the server whitelist as changed: positions in the cached
+    /// server views are invalid, so the next refresh rebuilds them.
+    fn mark_structural(&mut self) {
+        if self.config.incremental_snapshot {
+            self.cache.structural = true;
+        }
     }
 
     fn build_snapshot(&self) -> Snapshot {
@@ -699,18 +832,99 @@ impl Simulation {
                 flex_placement: j.flex_placement.clone(),
             })
             .collect();
-        let snapshot = Snapshot {
+        Snapshot {
             time_s: self.now_s,
             servers: self.cluster.server_views(),
             pending,
             running,
-        };
-        debug_assert!(
-            snapshot.validate().is_ok(),
-            "inconsistent snapshot: {:?}",
-            snapshot.validate()
-        );
-        snapshot
+        }
+    }
+
+    /// Brings the incrementally-maintained snapshot up to `now`. See
+    /// [`SnapshotCache`] for the dirty-tracking contract.
+    fn refresh_snapshot(&mut self) {
+        let _timing = lyra_obs::span::span("sim.snapshot_refresh");
+        let now = self.now_s;
+        let cache = &mut self.cache;
+        let first = !cache.primed;
+        if first || cache.structural {
+            cache.snap.servers.clear();
+            cache.snap.servers.extend(self.cluster.server_views());
+        } else {
+            // Server views are whitelist-ordered (ascending ids), so an
+            // unchanged whitelist means dirty servers patch in place.
+            for &sid in &cache.dirty_servers {
+                if let Ok(i) = cache.snap.servers.binary_search_by_key(&sid, |v| v.id) {
+                    if let Some(s) = self.cluster.server(sid) {
+                        cache.snap.servers[i] = s.view();
+                    }
+                }
+            }
+        }
+        cache.structural = false;
+        cache.dirty_servers.clear();
+        if first {
+            cache.snap.running.clear();
+            cache.snap.running.extend(
+                self.jobs
+                    .iter()
+                    .filter(|j| j.state == JobState::Running && j.spec.is_elastic())
+                    .map(|j| RunningJobView {
+                        spec: j.spec.clone(),
+                        workers: j.workers,
+                        work_left: j.work_left,
+                        placement: j.placement.clone(),
+                        flexible_workers: j.flexible_workers,
+                        flex_placement: j.flex_placement.clone(),
+                    }),
+            );
+        } else {
+            // Running views are job-id-ordered (trace ids are dense and
+            // ascend with the jobs vec), so membership reconciles by
+            // binary search.
+            for &idx in &cache.dirty_running {
+                let j = &self.jobs[idx];
+                let wanted = j.state == JobState::Running && j.spec.is_elastic();
+                match cache
+                    .snap
+                    .running
+                    .binary_search_by_key(&j.spec.id, |r| r.spec.id)
+                {
+                    Ok(i) if wanted => {
+                        let r = &mut cache.snap.running[i];
+                        r.workers = j.workers;
+                        r.flexible_workers = j.flexible_workers;
+                        r.placement.clone_from(&j.placement);
+                        r.flex_placement.clone_from(&j.flex_placement);
+                    }
+                    Ok(i) => {
+                        cache.snap.running.remove(i);
+                    }
+                    Err(i) if wanted => {
+                        cache.snap.running.insert(
+                            i,
+                            RunningJobView {
+                                spec: j.spec.clone(),
+                                workers: j.workers,
+                                work_left: j.work_left,
+                                placement: j.placement.clone(),
+                                flexible_workers: j.flexible_workers,
+                                flex_placement: j.flex_placement.clone(),
+                            },
+                        );
+                    }
+                    Err(_) => {}
+                }
+            }
+        }
+        cache.dirty_running.clear();
+        cache.primed = true;
+        // Remaining work drains continuously between events: refresh it
+        // for every running view, not just the dirty ones.
+        for r in &mut cache.snap.running {
+            r.work_left = self.jobs[r.spec.id.0 as usize].work_left_at(now);
+        }
+        cache.snap.time_s = now;
     }
 
     fn merge_assignment(into: &mut Vec<(ServerId, u32)>, add: &[(ServerId, u32)]) {
@@ -755,7 +969,9 @@ impl Simulation {
                 self.cluster
                     .allocate(*job, placement, gpw, ServerGroup::Base)
                     .map_err(|e| SimError(e.to_string()))?;
-                self.queue.retain(|&i| i != idx);
+                self.dequeue(idx);
+                self.mark_servers_dirty(placement);
+                self.mark_running_dirty(idx);
                 for (sid, w) in placement {
                     self.rm.submit(RmOp::LaunchContainers {
                         job: *job,
@@ -764,6 +980,7 @@ impl Simulation {
                     });
                 }
                 let now = self.now_s;
+                self.running_jobs.insert(idx);
                 let j = &mut self.jobs[idx];
                 j.state = JobState::Running;
                 j.workers = *workers;
@@ -825,6 +1042,8 @@ impl Simulation {
                 self.cluster
                     .allocate(*job, placement, gpw, group)
                     .map_err(|e| SimError(e.to_string()))?;
+                self.mark_servers_dirty(placement);
+                self.mark_running_dirty(idx);
                 for (sid, w) in placement {
                     self.rm.submit(RmOp::LaunchContainers {
                         job: *job,
@@ -887,6 +1106,8 @@ impl Simulation {
                 self.cluster
                     .release(*job, removal, gpw)
                     .map_err(|e| SimError(e.to_string()))?;
+                self.mark_servers_dirty(removal);
+                self.mark_running_dirty(idx);
                 for (sid, w) in removal {
                     self.rm.submit(RmOp::KillContainers {
                         job: *job,
@@ -986,6 +1207,8 @@ impl Simulation {
             None => pause,
         };
         j.stall(now, pause);
+        self.mark_servers_dirty(&[(server, workers)]);
+        self.mark_running_dirty(idx);
         self.scaling_ops += 1;
         self.jobs[idx].rate = self.compute_rate(&self.jobs[idx]);
         self.reschedule_finish(idx);
@@ -1019,6 +1242,8 @@ impl Simulation {
             if j.state != JobState::Running {
                 return Ok(());
             }
+            self.running_jobs.remove(&idx);
+            let j = &mut self.jobs[idx];
             j.sync(now);
             j.state = JobState::Pending;
             j.workers = 0;
@@ -1045,6 +1270,7 @@ impl Simulation {
                 j.resume_overhead_s = overhead;
             }
         }
+        self.mark_running_dirty(idx);
         self.enqueue(idx);
         if self.observer.is_some() {
             let checkpointed = self.jobs[idx].spec.checkpointing;
@@ -1094,6 +1320,7 @@ impl Simulation {
                     .cluster
                     .crash_server(sid)
                     .map_err(|e| SimError(e.to_string()))?;
+                self.mark_structural();
                 self.rm.submit(RmOp::MarkServerDown(sid));
                 self.slowdown.remove(&sid);
                 self.fault_stats.server_crashes += 1;
@@ -1257,6 +1484,8 @@ impl Simulation {
             None => default_pause,
         };
         j.stall(now, pause);
+        self.mark_servers_dirty(&[(server, workers)]);
+        self.mark_running_dirty(idx);
         self.fault_stats.elastic_absorbed += 1;
         self.scaling_ops += 1;
         self.jobs[idx].rate = self.compute_rate(&self.jobs[idx]);
@@ -1277,7 +1506,8 @@ impl Simulation {
     /// cluster already dropped.
     fn kill_job_for_fault(&mut self, idx: usize, crashed: Option<ServerId>) -> Result<(), SimError> {
         let job = self.jobs[idx].spec.id;
-        for (sid, w) in self.jobs[idx].placement.clone() {
+        let placement = self.jobs[idx].placement.clone();
+        for &(sid, w) in &placement {
             if Some(sid) == crashed {
                 continue;
             }
@@ -1288,6 +1518,8 @@ impl Simulation {
             });
         }
         self.cluster.evict_job(job);
+        self.mark_servers_dirty(&placement);
+        self.mark_running_dirty(idx);
         let now = self.now_s;
         let overhead = self.config.preemption_overhead_s;
         let restore_prob = self
@@ -1296,6 +1528,7 @@ impl Simulation {
             .map_or(0.0, |p| p.checkpoint_restore_failure_prob);
         let restore_failed = self.jobs[idx].spec.checkpointing
             && self.fault_rng.gen_bool(restore_prob.clamp(0.0, 1.0));
+        self.running_jobs.remove(&idx);
         let j = &mut self.jobs[idx];
         j.sync(now);
         let done_before = j.spec.work() - j.work_left;
@@ -1410,8 +1643,35 @@ impl Simulation {
     /// Runs one scheduling epoch; returns the number of launches.
     fn handle_scheduler_tick(&mut self) -> Result<usize, SimError> {
         let _timing = lyra_obs::span::span("sim.scheduler_tick");
-        let snapshot = self.build_snapshot();
-        let actions = self.policy.schedule(&snapshot);
+        // Snapshot validation runs at the invariant-auditor cadence
+        // (start of run, after orchestrator ticks and faults), not every
+        // epoch: between auditor events only the dirty-tracked paths
+        // touch the snapshot, and those are covered by the equivalence
+        // assertion below under `cfg(test)`.
+        let validate_due = self.validate_snapshot;
+        self.validate_snapshot = false;
+        let actions = if self.config.incremental_snapshot {
+            self.refresh_snapshot();
+            #[cfg(test)]
+            assert_eq!(
+                self.cache.snap,
+                self.build_snapshot(),
+                "incremental snapshot diverged from a from-scratch rebuild at t={}",
+                self.now_s
+            );
+            if cfg!(debug_assertions) && validate_due {
+                let v = self.cache.snap.validate();
+                assert!(v.is_ok(), "inconsistent snapshot: {v:?}");
+            }
+            self.policy.schedule(&self.cache.snap)
+        } else {
+            let snapshot = self.build_snapshot();
+            if cfg!(debug_assertions) && validate_due {
+                let v = snapshot.validate();
+                assert!(v.is_ok(), "inconsistent snapshot: {v:?}");
+            }
+            self.policy.schedule(&snapshot)
+        };
         // Phase-1 / MCKP / placement decisions were just recorded by the
         // policy; surface them before the actions they explain.
         self.drain_audit();
@@ -1432,30 +1692,23 @@ impl Simulation {
     /// Servers worth borrowing right now: whole servers of *unmet*
     /// loan-eligible demand — queued fungible work beyond what the free
     /// training capacity will absorb anyway, plus elastic scale-out room.
+    ///
+    /// Runs every scheduler epoch while loans are live, so the queue
+    /// sums come from counters maintained at enqueue/dequeue and the
+    /// scan covers only running jobs, not the whole trace.
     fn loan_demand_servers(&self) -> u32 {
+        #[cfg(debug_assertions)]
+        self.debug_check_demand_counters();
         let gpus_per_server = self.cluster.config.gpus_per_server.max(1);
         let free_training = u64::from(self.cluster.gpu_usage(PoolKind::Training).1)
             - u64::from(self.cluster.gpu_usage(PoolKind::Training).0);
-        let mut pending_all: u64 = 0;
-        let mut pending_fungible: u64 = 0;
-        for &i in &self.queue {
-            let j = &self.jobs[i];
-            pending_all += u64::from(j.spec.base_gpus());
-            if j.spec.fungible {
-                let mult = if j.spec.is_elastic() {
-                    1
-                } else {
-                    GpuType::T4.worker_multiplier(j.spec.reference_gpu)
-                };
-                pending_fungible += u64::from(j.spec.base_gpus() * mult);
-            }
-        }
         // Training absorbs what it can; only the remainder justifies a
         // loan, capped by what is actually fungible.
-        let unmet = pending_all.saturating_sub(free_training);
-        let mut demand_gpus = unmet.min(pending_fungible);
-        for j in &self.jobs {
-            if j.state == JobState::Running && j.spec.is_elastic() && j.spec.fungible {
+        let unmet = self.pending_gpus.saturating_sub(free_training);
+        let mut demand_gpus = unmet.min(self.pending_fungible_gpus);
+        for &i in &self.running_jobs {
+            let j = &self.jobs[i];
+            if j.spec.is_elastic() && j.spec.fungible {
                 let room = j.spec.w_max().saturating_sub(j.workers);
                 demand_gpus += u64::from(room * j.spec.gpus_per_worker);
             }
@@ -1466,6 +1719,34 @@ impl Simulation {
         } else {
             0
         }
+    }
+
+    /// Debug-build cross-check: the loan-demand counters and the
+    /// running-job index must equal a from-scratch recomputation.
+    #[cfg(debug_assertions)]
+    fn debug_check_demand_counters(&self) {
+        let mut all: u64 = 0;
+        let mut fungible: u64 = 0;
+        for &i in &self.queue {
+            all += u64::from(self.jobs[i].spec.base_gpus());
+            fungible += fungible_demand_gpus(&self.jobs[i].spec);
+        }
+        assert_eq!(
+            (all, fungible),
+            (self.pending_gpus, self.pending_fungible_gpus),
+            "pending loan-demand counters drifted from the queue"
+        );
+        let running: std::collections::BTreeSet<usize> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.state == JobState::Running)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(
+            running, self.running_jobs,
+            "running-job index drifted from job states"
+        );
     }
 
     fn handle_orchestrator_tick(&mut self) -> Result<(), SimError> {
@@ -1511,6 +1792,7 @@ impl Simulation {
                             self.rm.submit(RmOp::AddToWhitelist(*sid));
                         }
                         if !ids.is_empty() {
+                            self.mark_structural();
                             self.loan_ops += 1;
                             if self.observer.is_some() {
                                 let servers = ids.iter().map(|s| s.0).collect();
@@ -1538,6 +1820,9 @@ impl Simulation {
                 let d = orchestrator
                     .execute_reclaim(&mut self.cluster, demand)
                     .map_err(|e| SimError(e.to_string()))?;
+                // A reclaim may return servers, evict jobs and relabel
+                // groups in one stroke: rebuild rather than track.
+                self.mark_structural();
                 // Surface the reclaim cost-search audit before the
                 // follow-on scale-ins and preemptions.
                 self.drain_audit();
@@ -1610,24 +1895,24 @@ impl Simulation {
         if self.config.loan_all_offered || self.orchestrator.is_none() {
             return Ok(());
         }
-        let wanted = self.loan_demand_servers();
+        // Only *idle* loaned servers can be returned; the cluster keeps
+        // them indexed, so under load (every loaner busy) this exits in
+        // O(1) and the O(queue + jobs) demand walk below never runs on
+        // the scheduler-epoch hot path.
+        let idle: Vec<_> = self.cluster.idle_loaned_ids().collect();
+        if idle.is_empty() {
+            return Ok(());
+        }
         let loaned = self.cluster.loaned_count();
+        let wanted = self.loan_demand_servers();
         if loaned > wanted {
-            let mut surplus = loaned - wanted;
-            let mut to_return = Vec::new();
-            for sid in self.cluster.loaned_ids() {
-                if surplus == 0 {
-                    break;
-                }
-                if self.cluster.server(sid).is_some_and(|s| s.is_empty()) {
-                    to_return.push(sid);
-                    surplus -= 1;
-                }
-            }
+            let surplus = (loaned - wanted) as usize;
+            let to_return: Vec<_> = idle.into_iter().take(surplus).collect();
             if !to_return.is_empty() {
                 self.cluster
                     .return_servers(&to_return)
                     .map_err(|e| SimError(e.to_string()))?;
+                self.mark_structural();
             }
         }
         Ok(())
@@ -1643,7 +1928,14 @@ impl Simulation {
             "finish event with {} work left",
             self.jobs[idx].work_left
         );
+        if self.config.incremental_snapshot {
+            for (sid, _) in &self.jobs[idx].placement {
+                self.cache.dirty_servers.insert(*sid);
+            }
+            self.cache.dirty_running.insert(idx);
+        }
         self.cluster.evict_job(self.jobs[idx].spec.id);
+        self.running_jobs.remove(&idx);
         let j = &mut self.jobs[idx];
         j.state = JobState::Done;
         j.work_left = 0.0;
@@ -1743,6 +2035,7 @@ impl Simulation {
                         if self.cluster.audit().is_err() {
                             self.fault_stats.audit_violations += 1;
                         }
+                        self.validate_snapshot = true;
                     }
                     if self.completed < n_jobs {
                         self.push_event(
@@ -1756,9 +2049,11 @@ impl Simulation {
                     if self.cluster.audit().is_err() {
                         self.fault_stats.audit_violations += 1;
                     }
+                    self.validate_snapshot = true;
                 }
                 EventKind::ServerRecover(sid) => {
                     if self.cluster.recover_server(sid).is_ok() {
+                        self.mark_structural();
                         self.rm.submit(RmOp::MarkServerUp(sid));
                     }
                 }

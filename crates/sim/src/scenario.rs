@@ -687,4 +687,55 @@ mod tests {
             .iter()
             .all(|j| j.curve == ScalingCurve::PerWorkerLoss { loss: 0.2 }));
     }
+
+    // Satellite invariant of the incremental-snapshot overhaul: after an
+    // arbitrary event sequence (arrivals, launches, scaling, loaning,
+    // reclaims, crashes, worker failures, stragglers, dropped ticks) the
+    // incrementally-maintained snapshot must drive the exact same run as
+    // rebuilding from scratch every epoch. The engine's `cfg(test)`
+    // per-epoch assertion additionally checks snapshot equality at every
+    // single tick of the incremental run.
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 8,
+            ..proptest::prelude::ProptestConfig::default()
+        })]
+        #[test]
+        fn incremental_snapshot_reproduces_from_scratch_runs(
+            seed in 0u64..1024,
+            elastic_fraction in 0.0f64..1.0,
+            checkpoint_fraction in 0.0f64..1.0,
+            faulty in proptest::bool::ANY,
+        ) {
+            use crate::faults::{FaultConfig, FaultPlan};
+
+            let (mut jobs, inf) = tiny_traces(seed);
+            transform::set_elastic_fraction(&mut jobs, elastic_fraction, seed ^ 1);
+            transform::set_checkpoint_fraction(&mut jobs, checkpoint_fraction, seed ^ 2);
+            let mut s = Scenario::basic();
+            s.cluster = tiny_cluster();
+            if faulty {
+                s.faults = Some(FaultPlan::generate(
+                    &FaultConfig {
+                        server_crash_rate_per_day: 1.0,
+                        worker_failure_rate_per_day: 12.0,
+                        checkpoint_restore_failure_prob: 0.3,
+                        straggler_rate_per_day: 2.0,
+                        dropped_tick_prob: 0.05,
+                        horizon_s: 2.0 * 86_400.0,
+                        ..FaultConfig::default()
+                    },
+                    8,
+                    seed ^ 0xFA11,
+                ));
+            }
+            let mut incremental = s.clone();
+            incremental.sim.incremental_snapshot = true;
+            let mut from_scratch = s;
+            from_scratch.sim.incremental_snapshot = false;
+            let a = run_scenario(&incremental, &jobs, &inf).expect("incremental runs");
+            let b = run_scenario(&from_scratch, &jobs, &inf).expect("from-scratch runs");
+            proptest::prop_assert_eq!(a, b);
+        }
+    }
 }
