@@ -1,15 +1,33 @@
 #!/usr/bin/env sh
-# Tier-1 gate: build, test, lint, docs, smoke. Run from the repo root.
+# Tier-1 gate: build, test, lint, docs, smoke, oracles. Run from the
+# repo root.
 set -eu
 
 cargo build --release --workspace
-cargo test -q --workspace
+
+# Workspace tests, with a total-count summary at the end.
+test_log=$(mktemp)
+cargo test -q --workspace 2>&1 | tee "$test_log"
+total_passed=$(grep -o '[0-9]* passed' "$test_log" | awk '{s += $1} END {print s + 0}')
+rm -f "$test_log"
+
+# Every #[ignore]d test must carry a TODO(issue#) marker on the same
+# line, so disabled tests stay visibly tracked instead of rotting.
+untracked=$(grep -rn '#\[ignore' crates/*/src crates/*/tests 2>/dev/null \
+  | grep -v 'TODO(issue' || true)
+if [ -n "$untracked" ]; then
+  echo "ci: #[ignore]d test(s) without a TODO(issue#) marker:" >&2
+  echo "$untracked" >&2
+  exit 1
+fi
+
 cargo clippy --all-targets -- -D warnings
 
 # First-party rustdoc must build clean (vendored stand-ins are exempt).
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
   -p lyra -p lyra-core -p lyra-cluster -p lyra-sim -p lyra-trace \
-  -p lyra-predictor -p lyra-elastic -p lyra-obs -p lyra-bench
+  -p lyra-predictor -p lyra-elastic -p lyra-obs -p lyra-bench \
+  -p lyra-oracle
 
 # Bench smoke: one observed end-to-end run; exits non-zero unless the
 # event log, metric snapshots and span profile all came out non-empty.
@@ -19,3 +37,16 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
 # rebuild must stay observationally identical under the same seed (no
 # timing at CI scale; the full benchmark is `lyra-bench perf`).
 ./target/release/lyra-bench perf --smoke
+
+# Golden-trace gate: the pinned scenarios must reproduce the committed
+# JSONL logs byte-for-byte (each case runs twice, so nondeterminism
+# fails here too). `lyra-bench golden --bless` regenerates them after
+# an intended behavioural change.
+./target/release/lyra-bench golden
+
+# Mutation smoke: flip one scheduler constant (phase-2 MCKP DP → greedy
+# ablation) and prove the golden gate AND a differential oracle both
+# fire — the gate's own test.
+./target/release/lyra-bench golden --mutate
+
+echo "ci: all gates passed (${total_passed} tests)"

@@ -1,0 +1,69 @@
+//! `lyra-bench golden`: the golden-trace regression gate CLI.
+//!
+//! * `golden` — rerun every pinned case (twice each) and compare its
+//!   JSONL event log byte-for-byte against the committed files under
+//!   `tests/golden/`; exit non-zero on any diff.
+//! * `golden --bless` — regenerate the committed logs (after an
+//!   *intended* behavioural change; review the diff before committing).
+//! * `golden --mutate` — mutation smoke: flip the phase-2 solver
+//!   constant and assert the gate AND a differential oracle both fire.
+//!
+//! The actual comparison logic lives in `lyra_oracle::golden` so the
+//! test suite (`crates/oracle/tests/golden.rs`) and CI share one
+//! implementation with this CLI.
+
+use lyra_oracle::golden;
+
+/// Runs the requested golden-gate mode and returns the process exit
+/// code (0 = gate clean / smoke proved the gate fires).
+pub fn run(bless: bool, mutate: bool) -> i32 {
+    let dir = golden::default_dir();
+    if bless {
+        return match golden::bless(&dir) {
+            Ok(written) => {
+                for w in &written {
+                    println!("golden: blessed {w}");
+                }
+                println!("golden: {} case(s) blessed; review and commit", written.len());
+                0
+            }
+            Err(e) => {
+                eprintln!("golden: bless failed: {e}");
+                1
+            }
+        };
+    }
+    if mutate {
+        return match golden::mutation_smoke(&dir) {
+            Ok(()) => {
+                println!(
+                    "golden: mutation smoke passed (gate + differential oracle both fire \
+                     under the perturbed phase-2 solver)"
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("golden: mutation smoke FAILED: {e}");
+                1
+            }
+        };
+    }
+    let diffs = golden::compare(&dir);
+    if diffs.is_empty() {
+        println!(
+            "golden: {} case(s) match the committed logs in {}",
+            golden::cases().len(),
+            dir.display()
+        );
+        0
+    } else {
+        for d in &diffs {
+            eprintln!("golden: {} DIVERGED: {}", d.name, d.detail);
+        }
+        eprintln!(
+            "golden: {} case(s) diverged; if intended, rerun with --bless and commit",
+            diffs.len()
+        );
+        1
+    }
+}

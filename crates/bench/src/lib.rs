@@ -10,6 +10,7 @@
 //! pass `--full` for the paper-scale 15-day, 50k-job configuration.
 
 pub mod experiments;
+pub mod golden;
 pub mod perf;
 pub mod plot;
 pub mod tables;

@@ -28,6 +28,7 @@ fn usage() -> ! {
          \x20      lyra-bench list | plot <file.json>... | smoke [--log <file.jsonl>]\n\
          \x20      lyra-bench explain <job-id> [--log <file.jsonl>]\n\
          \x20      lyra-bench perf [--smoke]\n\
+         \x20      lyra-bench golden [--bless|--mutate]\n\
          ids: {}  (or `all`)",
         experiments::ALL.join(" ")
     );
@@ -94,7 +95,7 @@ fn explain(job: u64, log_path: Option<&str>) -> ! {
 /// directory operand for `--json [dir]`.
 fn is_operand_like(arg: &str) -> bool {
     arg.starts_with("--")
-        || matches!(arg, "all" | "list" | "plot" | "smoke" | "explain" | "perf")
+        || matches!(arg, "all" | "list" | "plot" | "smoke" | "explain" | "perf" | "golden")
         || experiments::ALL.contains(&arg)
 }
 
@@ -140,6 +141,15 @@ fn main() {
             "perf" => {
                 let smoke = args.get(i + 1).map(String::as_str) == Some("--smoke");
                 std::process::exit(lyra_bench::perf::run(smoke));
+            }
+            "golden" => {
+                let (bless, mutate) = match args.get(i + 1).map(String::as_str) {
+                    Some("--bless") => (true, false),
+                    Some("--mutate") => (false, true),
+                    None => (false, false),
+                    Some(_) => usage(),
+                };
+                std::process::exit(lyra_bench::golden::run(bless, mutate));
             }
             "explain" => {
                 let job: u64 = args

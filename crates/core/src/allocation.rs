@@ -423,6 +423,17 @@ pub fn two_phase_allocate_with(
     }
 }
 
+/// The greedy phase-2 ablation solver, exposed verbatim for the
+/// differential oracles in `lyra-oracle` (`test-oracles` feature only —
+/// production callers go through `two_phase_allocate_with`).
+#[cfg(feature = "test-oracles")]
+pub fn greedy_phase2_for_oracles(
+    groups: &[McKnapsackGroup],
+    capacity: u32,
+) -> crate::mckp::MckpSolution {
+    solve_greedy(groups, capacity)
+}
+
 /// Greedy phase-2 ablation: repeatedly take the upgrade step (to the next
 /// item within a group) with the best marginal value per GPU. Optimal for
 /// concave value curves, suboptimal in general — the point of comparison

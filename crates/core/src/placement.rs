@@ -106,6 +106,29 @@ pub struct PlacementScratch {
     fits: Vec<(u32, u32)>,
 }
 
+/// The pool-preference order and on-loan group of a request, exposed
+/// for the placement-feasibility oracle in `lyra-oracle` (`test-oracles`
+/// feature only).
+#[cfg(feature = "test-oracles")]
+pub fn pool_preference_for_oracles(
+    req: &PlacementRequest,
+    config: PlacementConfig,
+) -> (Vec<PoolKind>, ServerGroup) {
+    pool_preference(req, config)
+}
+
+/// The server/group compatibility filter, exposed for the
+/// placement-feasibility oracle in `lyra-oracle` (`test-oracles`
+/// feature only).
+#[cfg(feature = "test-oracles")]
+pub fn group_compatible_for_oracles(
+    server: &ServerView,
+    group: ServerGroup,
+    config: PlacementConfig,
+) -> bool {
+    group_compatible(server, group, config)
+}
+
 /// Which pools a request may use, in preference order, and the on-loan
 /// group it belongs to.
 fn pool_preference(

@@ -1,0 +1,242 @@
+//! Proptest strategies for the small instances the oracles are
+//! tractable on (≤ 6 jobs / ≤ 8 servers).
+//!
+//! Every strategy draws a handful of primitive values and finishes the
+//! construction with a seeded [`StdRng`], so instances are fully
+//! determined by the proptest case index — the same discipline the sim
+//! uses for traces (`lyra_sim::generators`).
+
+use lyra_core::reclaim::{JobFootprint, ReclaimServerView};
+use lyra_core::snapshot::ServerGroup;
+use lyra_core::{
+    GpuType, JobId, McKnapsackGroup, McKnapsackItem, PlacementConfig, PoolKind, ReclaimRequest,
+    ScalingCurve, ServerId, ServerView,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::placement::GangInstance;
+
+/// Arbitrary-shaped MCKP instances: up to 6 groups of up to 5 items,
+/// weights 1–11, values 0–50, capacity 0–23. No structure is imposed —
+/// this is the space the DP must be exact on.
+pub fn arbitrary_mckp() -> impl Strategy<Value = (Vec<McKnapsackGroup>, u32)> {
+    (
+        proptest::collection::vec(
+            proptest::collection::vec((1u32..12, 0.0f64..50.0), 1..6),
+            0..6,
+        ),
+        0u32..24,
+    )
+        .prop_map(|(raw, capacity)| {
+            let groups = raw
+                .into_iter()
+                .enumerate()
+                .map(|(key, items)| McKnapsackGroup {
+                    key: key as u64,
+                    items: items
+                        .into_iter()
+                        .map(|(weight, value)| McKnapsackItem { weight, value })
+                        .collect(),
+                })
+                .collect();
+            (groups, capacity)
+        })
+}
+
+/// Production-shaped *concave* MCKP instances, mirroring how
+/// `two_phase_allocate` builds phase-2 groups from linear-scaling
+/// elastic jobs: item `k` has weight `k · gpus_per_worker` and value
+/// `est_rt · (1 − s(w_min)/s(w_min + k))`.
+///
+/// The guarantees [`crate::mckp::check_greedy_bound`] relies on hold by
+/// construction: marginal weights are a constant `gpus_per_worker ∈
+/// {1, 2}` (≤ the capacity, which is ≥ 8) and linear speedup makes
+/// marginal values nonincreasing.
+pub fn concave_mckp() -> impl Strategy<Value = (Vec<McKnapsackGroup>, u32)> {
+    (
+        proptest::collection::vec(
+            // (w_min, extra workers, gpw ∈ {1,2}, estimated runtime)
+            (1u32..4, 1u32..6, 1u32..3, 60.0f64..10_000.0),
+            1..7,
+        ),
+        8u32..33,
+    )
+        .prop_map(|(raw, capacity)| {
+            let curve = ScalingCurve::Linear;
+            let groups = raw
+                .into_iter()
+                .enumerate()
+                .map(|(key, (w_min, extra, gpw, est_rt))| {
+                    let s_base = curve.speedup(w_min);
+                    let items = (1..=extra)
+                        .map(|k| McKnapsackItem {
+                            weight: k * gpw,
+                            value: est_rt * (1.0 - s_base / curve.speedup(w_min + k)),
+                        })
+                        .collect();
+                    McKnapsackGroup {
+                        key: key as u64,
+                        items,
+                    }
+                })
+                .collect();
+            (groups, capacity)
+        })
+}
+
+/// Reclaim instances: up to 8 candidate on-loan servers of 8 GPUs, up
+/// to 6 jobs each spanning one or two servers, and a need that is
+/// occasionally infeasible (> candidate count) to exercise the
+/// shortfall path.
+pub fn reclaim_instance() -> impl Strategy<Value = ReclaimRequest> {
+    (1usize..9, 0usize..7, 0usize..10, 0u64..1_000_000).prop_map(
+        |(n_servers, n_jobs, need_raw, seed)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let total_gpus = 8u32;
+            let mut servers: Vec<ReclaimServerView> = (0..n_servers)
+                .map(|i| ReclaimServerView {
+                    id: ServerId(i as u32),
+                    total_gpus,
+                    jobs: Vec::new(),
+                })
+                .collect();
+            let mut used = vec![0u32; n_servers];
+            let mut jobs = Vec::new();
+            for j in 0..n_jobs {
+                let id = JobId(j as u64);
+                let span = 1 + rng.gen_range(0..2usize.min(n_servers));
+                let gpus_per_server = rng.gen_range(1..5u32);
+                let first = rng.gen_range(0..n_servers);
+                let mut placed_servers = 0u32;
+                let mut placed_gpus = 0u32;
+                for k in 0..span {
+                    let s = (first + k) % n_servers;
+                    if used[s] + gpus_per_server <= total_gpus {
+                        servers[s].jobs.push((id, gpus_per_server));
+                        used[s] += gpus_per_server;
+                        placed_servers += 1;
+                        placed_gpus += gpus_per_server;
+                    }
+                }
+                if placed_servers > 0 {
+                    jobs.push(JobFootprint {
+                        id,
+                        total_servers: placed_servers,
+                        total_gpus: placed_gpus,
+                    });
+                }
+            }
+            ReclaimRequest {
+                servers,
+                jobs,
+                need: need_raw.min(n_servers + 1),
+            }
+        },
+    )
+}
+
+/// Gang-placement instances: up to 8 servers across both pools with
+/// random occupancy and group labels, and a request of up to 6 workers
+/// targeting either pool under either placement configuration.
+pub fn gang_instance() -> impl Strategy<Value = GangInstance> {
+    (
+        1usize..9,
+        1u32..7,
+        1u32..5,
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        0u64..1_000_000,
+    )
+        .prop_map(
+            |(n_servers, count, gpus_per_worker, on_loan, flexible, special, seed)| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let servers = (0..n_servers)
+                    .map(|i| {
+                        let pool = if rng.gen_range(0..2) == 0 {
+                            PoolKind::Training
+                        } else {
+                            PoolKind::OnLoan
+                        };
+                        let group = match rng.gen_range(0..3) {
+                            0 => ServerGroup::Unassigned,
+                            1 => ServerGroup::Base,
+                            _ => ServerGroup::Flexible,
+                        };
+                        let total_gpus = 8;
+                        ServerView {
+                            id: ServerId(i as u32),
+                            pool,
+                            gpu_type: GpuType::V100,
+                            total_gpus,
+                            free_gpus: rng.gen_range(0..total_gpus + 1),
+                            group,
+                        }
+                    })
+                    .collect();
+                GangInstance {
+                    servers,
+                    pool: if on_loan {
+                        PoolKind::OnLoan
+                    } else {
+                        PoolKind::Training
+                    },
+                    count,
+                    gpus_per_worker,
+                    group: if flexible {
+                        ServerGroup::Flexible
+                    } else {
+                        ServerGroup::Base
+                    },
+                    config: PlacementConfig {
+                        special_elastic_treatment: special,
+                    },
+                }
+            },
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_stay_within_oracle_bounds() {
+        let mut rng = proptest::rng_for_case(0);
+        for case in 0..64u32 {
+            let mut rng2 = proptest::rng_for_case(case);
+            let (groups, _) = arbitrary_mckp().generate(&mut rng2);
+            assert!(groups.len() <= 6 && groups.iter().all(|g| g.items.len() <= 6));
+            let req = reclaim_instance().generate(&mut rng);
+            assert!(req.servers.len() <= 8 && req.jobs.len() <= 6);
+            req.validate().expect("generated reclaim requests validate");
+            let gang = gang_instance().generate(&mut rng);
+            assert!(gang.servers.len() <= 8 && gang.count <= 6);
+        }
+    }
+
+    #[test]
+    fn concave_instances_have_uniform_steps_and_decreasing_marginals() {
+        let mut rng = proptest::rng_for_case(7);
+        for _ in 0..64 {
+            let (groups, capacity) = concave_mckp().generate(&mut rng);
+            for g in &groups {
+                let mut prev_w = 0;
+                let mut prev_v = 0.0;
+                let mut last_dv = f64::INFINITY;
+                let step = g.items[0].weight;
+                assert!(step <= capacity, "every step must fit the capacity");
+                for item in &g.items {
+                    assert_eq!(item.weight - prev_w, step, "uniform marginal weight");
+                    let dv = item.value - prev_v;
+                    assert!(dv <= last_dv + 1e-9, "marginal values nonincreasing");
+                    last_dv = dv;
+                    prev_w = item.weight;
+                    prev_v = item.value;
+                }
+            }
+        }
+    }
+}

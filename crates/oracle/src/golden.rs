@@ -1,0 +1,230 @@
+//! The golden-trace regression gate.
+//!
+//! A handful of pinned tiny scenarios run under full observation; their
+//! complete JSONL event logs are committed under `tests/golden/` and
+//! compared byte-for-byte. Any behavioural change to the scheduler —
+//! intended or not — shows up as a diff; intended changes are blessed
+//! with `lyra-bench golden --bless`.
+//!
+//! The gate also proves its own teeth: [`mutation_smoke`] flips one
+//! scheduler constant (the phase-2 solver, MCKP DP → greedy ablation)
+//! and asserts both the gate and a differential oracle actually fail.
+
+use lyra_sim::scenario::generators;
+use lyra_sim::{
+    run_scenario_observed, transform, FaultConfig, FaultPlan, ObserverConfig, PolicyKind, Scenario,
+};
+use lyra_trace::{InferenceTrace, JobTrace};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The committed golden-log directory (`tests/golden/` at the repo
+/// root).
+pub fn default_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// One pinned golden scenario: a name (the file stem under
+/// `tests/golden/`) plus everything needed to rerun it exactly.
+pub struct GoldenCase {
+    /// File stem of the committed log.
+    pub name: &'static str,
+    /// The pinned scenario.
+    pub scenario: Scenario,
+    /// The pinned job trace.
+    pub jobs: JobTrace,
+    /// The pinned inference trace.
+    pub inference: InferenceTrace,
+}
+
+impl GoldenCase {
+    /// Runs the scenario under full observation and returns its JSONL
+    /// event log.
+    pub fn event_log(&self) -> Result<Vec<String>, String> {
+        let report = run_scenario_observed(
+            &self.scenario,
+            &self.jobs,
+            &self.inference,
+            ObserverConfig::default(),
+        )
+        .map_err(|e| format!("{}: {e}", self.name))?;
+        Ok(report.events)
+    }
+
+    /// The on-disk path of this case's committed log inside `dir`.
+    pub fn path(&self, dir: &Path) -> PathBuf {
+        dir.join(format!("{}.jsonl", self.name))
+    }
+}
+
+/// The pinned cases. Deliberately small (a day of 64-GPU trace on an
+/// 8+8 cluster, seconds to run) but chosen to cover the paths a
+/// scheduler change can plausibly move: the plain Lyra configuration,
+/// an elastic-heavy workload where phase 2 does real work, and a
+/// faulted run exercising crash/restart and reclaim-carryover paths.
+pub fn cases() -> Vec<GoldenCase> {
+    let (jobs_basic, inf_basic) = generators::tiny_traces(7);
+    let (mut jobs_elastic, inf_elastic) = generators::tiny_traces(11);
+    transform::set_elastic_fraction(&mut jobs_elastic, 0.9, 11);
+    let (jobs_faulty, inf_faulty) = generators::tiny_traces(13);
+    let mut faulty = generators::tiny_basic(13);
+    faulty.faults = Some(FaultPlan::generate(
+        &FaultConfig::moderate(2.0 * 86_400.0),
+        16,
+        13,
+    ));
+    vec![
+        GoldenCase {
+            name: "tiny-basic",
+            scenario: generators::tiny_basic(7),
+            jobs: jobs_basic,
+            inference: inf_basic,
+        },
+        GoldenCase {
+            name: "tiny-elastic",
+            scenario: generators::tiny_basic(11),
+            jobs: jobs_elastic,
+            inference: inf_elastic,
+        },
+        GoldenCase {
+            name: "tiny-faulty",
+            scenario: faulty,
+            jobs: jobs_faulty,
+            inference: inf_faulty,
+        },
+    ]
+}
+
+/// The mutation-smoke perturbation: flips the phase-2 solver constant
+/// from the exact MCKP DP to the greedy ablation
+/// (`Phase2Solver::Mckp` → `Phase2Solver::Greedy`).
+pub fn mutate(scenario: &mut Scenario) {
+    scenario.policy = PolicyKind::LyraGreedyPhase2;
+}
+
+/// A mismatch between a fresh run and its committed golden log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenDiff {
+    /// Case name.
+    pub name: String,
+    /// Human-readable description of the first divergence.
+    pub detail: String,
+}
+
+fn render(lines: &[String]) -> String {
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+fn first_divergence(expected: &str, got: &str) -> String {
+    for (i, (e, g)) in expected.lines().zip(got.lines()).enumerate() {
+        if e != g {
+            return format!("first diff at line {}: committed `{e}` vs fresh `{g}`", i + 1);
+        }
+    }
+    format!(
+        "line counts differ: committed {} vs fresh {}",
+        expected.lines().count(),
+        got.lines().count()
+    )
+}
+
+/// Compares every case against the committed logs in `dir`, byte for
+/// byte. Each case is run **twice** so run-to-run nondeterminism is
+/// reported as its own diff rather than slipping through as flaky
+/// passes. Returns the (possibly empty) list of mismatches; I/O
+/// problems (including a missing file) are reported as diffs too, so a
+/// half-blessed directory fails closed.
+pub fn compare(dir: &Path) -> Vec<GoldenDiff> {
+    let mut diffs = Vec::new();
+    for case in cases() {
+        let fresh = match (case.event_log(), case.event_log()) {
+            (Ok(a), Ok(b)) => {
+                if a != b {
+                    diffs.push(GoldenDiff {
+                        name: case.name.to_string(),
+                        detail: "two consecutive runs diverged (nondeterminism)".into(),
+                    });
+                    continue;
+                }
+                render(&a)
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                diffs.push(GoldenDiff {
+                    name: case.name.to_string(),
+                    detail: format!("run failed: {e}"),
+                });
+                continue;
+            }
+        };
+        match fs::read_to_string(case.path(dir)) {
+            Ok(committed) => {
+                if committed != fresh {
+                    diffs.push(GoldenDiff {
+                        name: case.name.to_string(),
+                        detail: first_divergence(&committed, &fresh),
+                    });
+                }
+            }
+            Err(e) => diffs.push(GoldenDiff {
+                name: case.name.to_string(),
+                detail: format!(
+                    "cannot read {} ({e}); run `lyra-bench golden --bless`",
+                    case.path(dir).display()
+                ),
+            }),
+        }
+    }
+    diffs
+}
+
+/// Regenerates every committed log in `dir` (creating it if needed).
+/// Returns the written file names.
+pub fn bless(dir: &Path) -> Result<Vec<String>, String> {
+    fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut written = Vec::new();
+    for case in cases() {
+        let log = case.event_log()?;
+        let path = case.path(dir);
+        fs::write(&path, render(&log)).map_err(|e| format!("{}: {e}", path.display()))?;
+        written.push(format!("{} ({} events)", path.display(), log.len()));
+    }
+    Ok(written)
+}
+
+/// The full mutation smoke: under the flipped scheduler constant the
+/// golden gate must fire on at least one case AND the phase-2
+/// exactness oracle must fail on its trap instance. Returns `Err`
+/// naming whatever did *not* fire — a passing mutation smoke is the
+/// proof that the gate has teeth.
+pub fn mutation_smoke(dir: &Path) -> Result<(), String> {
+    let mut fired = Vec::new();
+    for mut case in cases() {
+        mutate(&mut case.scenario);
+        let log = case.event_log()?;
+        let committed = fs::read_to_string(case.path(dir))
+            .map_err(|e| format!("{} ({e}); bless first", case.path(dir).display()))?;
+        if committed != render(&log) {
+            fired.push(case.name);
+        }
+    }
+    if fired.is_empty() {
+        return Err(
+            "golden gate did not fire on any case under the mutated phase-2 solver".into(),
+        );
+    }
+    let (groups, capacity) = crate::mckp::greedy_trap();
+    if crate::mckp::check_phase2_solver_exact(
+        &lyra_core::allocation::greedy_phase2_for_oracles,
+        &groups,
+        capacity,
+    )
+    .is_ok()
+    {
+        return Err("phase-2 exactness oracle did not fail under the greedy mutation".into());
+    }
+    Ok(())
+}

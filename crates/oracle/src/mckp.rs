@@ -1,0 +1,251 @@
+//! Exhaustive MCKP solving and differential checks for phase 2 (§5.2).
+//!
+//! The production DP in `lyra_core::mckp` is pseudo-polynomial and
+//! *exact*; the greedy ablation is the paper's point of comparison with
+//! a provable bound on concave instances. Both claims are checked here
+//! against plain exponential enumeration.
+
+use lyra_core::{solve_mckp, McKnapsackGroup, MckpSolution};
+
+/// Absolute tolerance for comparing summed floating-point values.
+pub const VALUE_EPS: f64 = 1e-6;
+
+/// Exhaustively solves an MCKP instance by enumerating every per-group
+/// choice (including "take nothing"). Exponential — small instances
+/// only (≤ 6 groups of ≤ 6 items).
+///
+/// Ties on value prefer the lighter solution, then the earlier choice
+/// vector in lexicographic order, so the result is deterministic.
+pub fn solve_mckp_exhaustive(groups: &[McKnapsackGroup], capacity: u32) -> MckpSolution {
+    fn rec(
+        groups: &[McKnapsackGroup],
+        g: usize,
+        capacity: u64,
+        used: u64,
+        value: f64,
+        chosen: &mut Vec<Option<usize>>,
+        best: &mut (f64, u64, Vec<Option<usize>>),
+    ) {
+        if g == groups.len() {
+            if value > best.0 + VALUE_EPS || ((value - best.0).abs() <= VALUE_EPS && used < best.1)
+            {
+                *best = (value, used, chosen.clone());
+            }
+            return;
+        }
+        chosen.push(None);
+        rec(groups, g + 1, capacity, used, value, chosen, best);
+        chosen.pop();
+        for (i, item) in groups[g].items.iter().enumerate() {
+            let w = used + u64::from(item.weight);
+            if w > capacity {
+                continue;
+            }
+            chosen.push(Some(i));
+            rec(groups, g + 1, capacity, w, value + item.value, chosen, best);
+            chosen.pop();
+        }
+    }
+    let mut best = (0.0, 0u64, vec![None; groups.len()]);
+    let mut chosen = Vec::with_capacity(groups.len());
+    rec(
+        groups,
+        0,
+        u64::from(capacity),
+        0,
+        0.0,
+        &mut chosen,
+        &mut best,
+    );
+    let (total_value, total_weight, chosen) = best;
+    MckpSolution {
+        total_value,
+        total_weight: total_weight.min(u64::from(u32::MAX)) as u32,
+        chosen,
+    }
+}
+
+/// Validates a solution's internal consistency against its instance:
+/// choice vector shape, item indices, weight within capacity, and the
+/// reported totals matching the chosen items.
+pub fn validate_solution(
+    groups: &[McKnapsackGroup],
+    capacity: u32,
+    sol: &MckpSolution,
+) -> Result<(), String> {
+    if sol.chosen.len() != groups.len() {
+        return Err(format!(
+            "choice vector has {} entries for {} groups",
+            sol.chosen.len(),
+            groups.len()
+        ));
+    }
+    let mut weight: u64 = 0;
+    let mut value: f64 = 0.0;
+    for (g, choice) in sol.chosen.iter().enumerate() {
+        if let Some(i) = choice {
+            let item = groups[g]
+                .items
+                .get(*i)
+                .ok_or_else(|| format!("group {g} chose out-of-range item {i}"))?;
+            weight += u64::from(item.weight);
+            value += item.value;
+        }
+    }
+    if weight > u64::from(capacity) {
+        return Err(format!("chosen weight {weight} exceeds capacity {capacity}"));
+    }
+    if weight != u64::from(sol.total_weight) {
+        return Err(format!(
+            "reported weight {} but chosen items weigh {weight}",
+            sol.total_weight
+        ));
+    }
+    if (value - sol.total_value).abs() > VALUE_EPS {
+        return Err(format!(
+            "reported value {} but chosen items sum to {value}",
+            sol.total_value
+        ));
+    }
+    Ok(())
+}
+
+/// Differential check that a phase-2 solver is *exact*: its solution
+/// must be internally consistent and match the exhaustive optimum's
+/// value. The production DP must pass on every instance; the greedy
+/// ablation fails it on [`greedy_trap`] — which is what the mutation
+/// smoke asserts.
+pub fn check_phase2_solver_exact(
+    solver: &dyn Fn(&[McKnapsackGroup], u32) -> MckpSolution,
+    groups: &[McKnapsackGroup],
+    capacity: u32,
+) -> Result<(), String> {
+    let got = solver(groups, capacity);
+    validate_solution(groups, capacity, &got)?;
+    let opt = solve_mckp_exhaustive(groups, capacity);
+    if (got.total_value - opt.total_value).abs() > VALUE_EPS {
+        return Err(format!(
+            "solver value {} != exhaustive optimum {}",
+            got.total_value, opt.total_value
+        ));
+    }
+    Ok(())
+}
+
+/// [`check_phase2_solver_exact`] applied to the production DP.
+pub fn check_dp_exact(groups: &[McKnapsackGroup], capacity: u32) -> Result<(), String> {
+    check_phase2_solver_exact(&|g, c| solve_mckp(g, c), groups, capacity)
+}
+
+/// The largest single upgrade step (marginal value of moving one item
+/// deeper into a group, from "nothing" for the first item) across the
+/// instance — the additive term in the greedy guarantee.
+pub fn best_single_step(groups: &[McKnapsackGroup]) -> f64 {
+    let mut best: f64 = 0.0;
+    for group in groups {
+        let mut prev = 0.0;
+        for item in &group.items {
+            best = best.max(item.value - prev);
+            prev = item.value;
+        }
+    }
+    best
+}
+
+/// Checks the greedy phase-2 ablation against its approximation
+/// guarantee on *production-shaped* instances.
+///
+/// Preconditions (guaranteed by [`crate::gen::concave_mckp`], which
+/// mirrors how `two_phase_allocate` builds groups from linear-scaling
+/// elastic jobs): within each group, marginal weights are a constant
+/// `gpus_per_worker ≤ capacity` and marginal values are nonincreasing.
+/// Under those, density-ordered upgrades are taken in order and the
+/// classic fractional-knapsack argument gives
+///
+/// `OPT ≤ greedy + best_single_step`, hence
+/// `2 · max(greedy, best_single_step) ≥ OPT`.
+///
+/// The check also asserts `greedy ≤ OPT` (a heuristic must never beat
+/// an exact optimum) on all instances.
+pub fn check_greedy_bound(groups: &[McKnapsackGroup], capacity: u32) -> Result<(), String> {
+    let greedy = lyra_core::allocation::greedy_phase2_for_oracles(groups, capacity);
+    validate_solution(groups, capacity, &greedy)?;
+    let opt = solve_mckp_exhaustive(groups, capacity);
+    if greedy.total_value > opt.total_value + VALUE_EPS {
+        return Err(format!(
+            "greedy {} beat the exhaustive optimum {}",
+            greedy.total_value, opt.total_value
+        ));
+    }
+    let single = best_single_step(groups);
+    if 2.0 * greedy.total_value.max(single) + VALUE_EPS < opt.total_value {
+        return Err(format!(
+            "greedy guarantee violated: 2·max({}, {}) < optimum {}",
+            greedy.total_value, single, opt.total_value
+        ));
+    }
+    Ok(())
+}
+
+/// A fixed instance where the greedy ablation is provably suboptimal:
+/// a high-density small step blocks a large step worth 9× more.
+/// Greedy scores 11, the optimum 100 — any exactness check run against
+/// the greedy solver on this instance must fail.
+pub fn greedy_trap() -> (Vec<McKnapsackGroup>, u32) {
+    let groups = vec![
+        McKnapsackGroup {
+            key: 0,
+            items: vec![lyra_core::McKnapsackItem {
+                weight: 10,
+                value: 100.0,
+            }],
+        },
+        McKnapsackGroup {
+            key: 1,
+            items: vec![lyra_core::McKnapsackItem {
+                weight: 1,
+                value: 11.0,
+            }],
+        },
+    ];
+    (groups, 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_on_pinned_instance() {
+        let (groups, cap) = greedy_trap();
+        let opt = solve_mckp_exhaustive(&groups, cap);
+        assert_eq!(opt.total_value, 100.0);
+        assert_eq!(opt.chosen, vec![Some(0), None]);
+        validate_solution(&groups, cap, &opt).unwrap();
+    }
+
+    #[test]
+    fn dp_is_exact_on_the_trap() {
+        let (groups, cap) = greedy_trap();
+        check_dp_exact(&groups, cap).unwrap();
+    }
+
+    #[test]
+    fn greedy_fails_exactness_on_the_trap() {
+        let (groups, cap) = greedy_trap();
+        let err = check_phase2_solver_exact(
+            &lyra_core::allocation::greedy_phase2_for_oracles,
+            &groups,
+            cap,
+        );
+        assert!(err.is_err(), "greedy must be suboptimal on the trap");
+    }
+
+    #[test]
+    fn empty_instance_is_trivial() {
+        let opt = solve_mckp_exhaustive(&[], 10);
+        assert_eq!(opt.total_value, 0.0);
+        assert!(opt.chosen.is_empty());
+        check_dp_exact(&[], 0).unwrap();
+    }
+}

@@ -1,0 +1,257 @@
+//! Exhaustive gang-placement feasibility vs the production BFD path
+//! (§5.3).
+//!
+//! The production `place_gang` is best-fit-decreasing and atomic. The
+//! oracle here answers the only question that matters for correctness
+//! — *could* this gang fit at all? — by trying every worker→server
+//! assignment, independent of any fit heuristic or visit order.
+
+use lyra_core::placement::group_compatible_for_oracles;
+use lyra_core::snapshot::ServerGroup;
+use lyra_core::{place_gang, PlacementConfig, PoolKind, ServerView};
+
+/// One gang-placement instance: the cluster state plus a request for
+/// `count` workers of `gpus_per_worker` GPUs each in `pool`.
+#[derive(Debug, Clone)]
+pub struct GangInstance {
+    /// Cluster servers (any pools; the request targets one).
+    pub servers: Vec<ServerView>,
+    /// Pool the gang must land in.
+    pub pool: PoolKind,
+    /// Workers in the gang.
+    pub count: u32,
+    /// GPUs per worker.
+    pub gpus_per_worker: u32,
+    /// On-loan server group of the request.
+    pub group: ServerGroup,
+    /// Placement configuration under test.
+    pub config: PlacementConfig,
+}
+
+/// Whether the gang can fit at all: recursive search over every
+/// assignment of workers to servers, tracking per-server state the way
+/// the placement rules specify it. Exponential in the worker count —
+/// small instances only (≤ 8 servers / ≤ 6 workers).
+///
+/// The eligibility model mirrors §5.3's rules exactly:
+///
+/// * a worker fits on a server of the target pool with enough free
+///   GPUs that is *group-compatible*, **or** on one that is completely
+///   empty (the fresh-server rule — an empty server may be drafted
+///   regardless of a stale group label, but only while it stays empty);
+/// * placing on an `Unassigned` on-loan server claims it for the
+///   request's group, so it stays usable by the rest of the gang;
+/// * a stale-labelled empty server stops being eligible after its first
+///   worker (it is no longer empty and still incompatible).
+pub fn gang_feasible_exhaustive(inst: &GangInstance) -> bool {
+    #[derive(Clone, Copy)]
+    struct Srv {
+        free: u32,
+        /// No GPUs in use (the fresh-server rule applies).
+        empty: bool,
+        /// Group-compatible with the request (stays true once claimed:
+        /// `Unassigned` servers are relabelled to the request's group).
+        compatible: bool,
+    }
+    fn rec(servers: &mut [Srv], left: u32, gpw: u32) -> bool {
+        if left == 0 {
+            return true;
+        }
+        for i in 0..servers.len() {
+            let s = servers[i];
+            if s.free >= gpw && (s.compatible || s.empty) {
+                servers[i].free = s.free - gpw;
+                servers[i].empty = false;
+                if rec(servers, left - 1, gpw) {
+                    servers[i] = s;
+                    return true;
+                }
+                servers[i] = s;
+            }
+        }
+        false
+    }
+    let mut servers: Vec<Srv> = inst
+        .servers
+        .iter()
+        .filter(|s| s.pool == inst.pool)
+        .map(|s| Srv {
+            free: s.free_gpus,
+            empty: s.is_empty(),
+            compatible: group_compatible_for_oracles(s, inst.group, inst.config),
+        })
+        .collect();
+    if inst.gpus_per_worker == 0 {
+        return inst.count == 0 || servers.iter().any(|s| s.compatible || s.empty);
+    }
+    rec(&mut servers, inst.count, inst.gpus_per_worker)
+}
+
+/// Differential check of `place_gang` against the exhaustive oracle:
+///
+/// * a feasible gang is never rejected, an infeasible one never placed;
+/// * on success the assignment is well-formed (right GPU total, only
+///   compatible servers of the right pool, per-server capacity
+///   respected) and untouched servers are left byte-identical;
+/// * on failure the server state is untouched (atomicity).
+pub fn check_gang_placement(inst: &GangInstance) -> Result<(), String> {
+    let feasible = gang_feasible_exhaustive(inst);
+    let mut working = inst.servers.clone();
+    let placed = place_gang(
+        &mut working,
+        inst.pool,
+        inst.count,
+        inst.gpus_per_worker,
+        inst.group,
+        inst.config,
+    );
+    match placed {
+        None => {
+            if feasible {
+                return Err(format!(
+                    "BFD rejected a feasible gang: {} × {} GPUs in {:?}",
+                    inst.count, inst.gpus_per_worker, inst.pool
+                ));
+            }
+            if working != inst.servers {
+                return Err("failed placement mutated the server state".into());
+            }
+        }
+        Some(assignment) => {
+            if !feasible {
+                return Err(format!(
+                    "BFD placed a gang the exhaustive search proves infeasible: {} × {} GPUs",
+                    inst.count, inst.gpus_per_worker
+                ));
+            }
+            let total: u32 = assignment.iter().map(|(_, w)| w).sum();
+            if total != inst.count {
+                return Err(format!(
+                    "assignment totals {total} workers, expected {}",
+                    inst.count
+                ));
+            }
+            for (sid, workers) in &assignment {
+                let gpus = workers * inst.gpus_per_worker;
+                let before = inst
+                    .servers
+                    .iter()
+                    .find(|s| s.id == *sid)
+                    .ok_or_else(|| format!("assignment names unknown server {sid:?}"))?;
+                if before.pool != inst.pool {
+                    return Err(format!("worker landed outside {:?}", inst.pool));
+                }
+                if !group_compatible_for_oracles(before, inst.group, inst.config)
+                    && !before.is_empty()
+                {
+                    return Err(format!(
+                        "worker landed on a non-empty group-incompatible {sid:?}"
+                    ));
+                }
+                if before.free_gpus < gpus {
+                    return Err(format!("server {sid:?} over-committed by {gpus} GPUs"));
+                }
+                let after = working.iter().find(|s| s.id == *sid).unwrap();
+                if after.free_gpus != before.free_gpus - gpus {
+                    return Err(format!("server {sid:?} free-GPU accounting drifted"));
+                }
+            }
+            for before in &inst.servers {
+                if assignment.iter().any(|(sid, _)| *sid == before.id) {
+                    continue;
+                }
+                let after = working.iter().find(|s| s.id == before.id).unwrap();
+                if after != before {
+                    return Err(format!(
+                        "server {:?} changed without receiving a worker",
+                        before.id
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lyra_core::ServerId;
+
+    fn server(id: u32, pool: PoolKind, free: u32, group: ServerGroup) -> ServerView {
+        ServerView {
+            id: ServerId(id),
+            pool,
+            gpu_type: lyra_core::GpuType::V100,
+            total_gpus: 8,
+            free_gpus: free,
+            group,
+        }
+    }
+
+    fn inst(servers: Vec<ServerView>, count: u32, gpw: u32) -> GangInstance {
+        GangInstance {
+            servers,
+            pool: PoolKind::Training,
+            count,
+            gpus_per_worker: gpw,
+            group: ServerGroup::Base,
+            config: PlacementConfig::default(),
+        }
+    }
+
+    #[test]
+    fn counting_matches_intuition() {
+        let servers = vec![
+            server(0, PoolKind::Training, 3, ServerGroup::Unassigned),
+            server(1, PoolKind::Training, 5, ServerGroup::Unassigned),
+        ];
+        // 2-GPU workers: floor(3/2) + floor(5/2) = 3 fit, 4 do not.
+        assert!(gang_feasible_exhaustive(&inst(servers.clone(), 3, 2)));
+        assert!(!gang_feasible_exhaustive(&inst(servers.clone(), 4, 2)));
+        check_gang_placement(&inst(servers.clone(), 3, 2)).unwrap();
+        check_gang_placement(&inst(servers, 4, 2)).unwrap();
+    }
+
+    #[test]
+    fn wrong_pool_is_invisible() {
+        let servers = vec![server(0, PoolKind::OnLoan, 8, ServerGroup::Unassigned)];
+        assert!(!gang_feasible_exhaustive(&inst(servers.clone(), 1, 1)));
+        check_gang_placement(&inst(servers, 1, 1)).unwrap();
+    }
+
+    #[test]
+    fn stale_group_labels_follow_the_fresh_server_rule() {
+        // Empty but labelled Flexible: the fresh-server rule lets a
+        // Base gang draft it — but only for one worker, because after
+        // that it is non-empty and still incompatible.
+        let mut i = inst(
+            vec![server(0, PoolKind::OnLoan, 8, ServerGroup::Flexible)],
+            1,
+            1,
+        );
+        i.pool = PoolKind::OnLoan;
+        i.group = ServerGroup::Base;
+        assert!(gang_feasible_exhaustive(&i));
+        check_gang_placement(&i).unwrap();
+        i.count = 2;
+        assert!(!gang_feasible_exhaustive(&i));
+        check_gang_placement(&i).unwrap();
+        // A *non-empty* incompatible server is invisible outright.
+        let mut j = inst(
+            vec![server(0, PoolKind::OnLoan, 7, ServerGroup::Flexible)],
+            1,
+            1,
+        );
+        j.pool = PoolKind::OnLoan;
+        j.group = ServerGroup::Base;
+        assert!(!gang_feasible_exhaustive(&j));
+        check_gang_placement(&j).unwrap();
+        // Without the special treatment the group split disappears.
+        j.config = PlacementConfig {
+            special_elastic_treatment: false,
+        };
+        assert!(gang_feasible_exhaustive(&j));
+        check_gang_placement(&j).unwrap();
+    }
+}

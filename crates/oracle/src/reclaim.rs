@@ -1,0 +1,168 @@
+//! Lyra's greedy reclaiming checked against the exhaustive optimum
+//! (§4, §7.3).
+//!
+//! `reclaim_exhaustive_optimal` already lives in `lyra_core` (it is the
+//! paper's own optimality study); this module turns it into a
+//! differential oracle: on every small instance the production
+//! heuristic must produce a *sound* outcome that never beats the
+//! optimum and agrees with it on feasibility.
+
+use lyra_core::{
+    reclaim_exhaustive_optimal, reclaim_servers, CostModel, ReclaimOutcome, ReclaimRequest,
+};
+use std::collections::HashSet;
+
+/// Validates that an outcome is sound for its request: returned servers
+/// are distinct candidates whose surviving jobs are all preempted,
+/// preempted jobs exist, and `returned + shortfall` covers the need.
+pub fn validate_outcome(req: &ReclaimRequest, out: &ReclaimOutcome) -> Result<(), String> {
+    let mut seen = HashSet::new();
+    let preempted: HashSet<_> = out.preempted.iter().copied().collect();
+    for sid in &out.returned {
+        if !seen.insert(*sid) {
+            return Err(format!("server {sid:?} returned twice"));
+        }
+        let server = req
+            .servers
+            .iter()
+            .find(|s| s.id == *sid)
+            .ok_or_else(|| format!("returned non-candidate server {sid:?}"))?;
+        for (job, _) in &server.jobs {
+            if !preempted.contains(job) {
+                return Err(format!(
+                    "returned {sid:?} still hosts live job {job:?}"
+                ));
+            }
+        }
+    }
+    for job in &preempted {
+        if !req.jobs.iter().any(|f| f.id == *job) {
+            return Err(format!("preempted unknown job {job:?}"));
+        }
+    }
+    if out.returned.len() + out.shortfall < req.need {
+        return Err(format!(
+            "returned {} + shortfall {} does not cover need {}",
+            out.returned.len(),
+            out.shortfall,
+            req.need
+        ));
+    }
+    Ok(())
+}
+
+/// Differential check of the production greedy reclaiming against the
+/// exhaustive minimum-preemption optimum:
+///
+/// * the heuristic's outcome must be sound ([`validate_outcome`]);
+/// * when the need is feasible the heuristic must meet it in full, and
+///   must not preempt *fewer* jobs than the proven minimum (nor, at the
+///   same preemption count, produce less collateral than the optimum's
+///   minimum — either would mean the "optimal" search is wrong);
+/// * when even preempting every job cannot vacate the need, the
+///   heuristic must report a shortfall rather than invent servers.
+pub fn check_reclaim_optimality(req: &ReclaimRequest, model: CostModel) -> Result<(), String> {
+    req.validate()?;
+    let heuristic = reclaim_servers(req, model);
+    validate_outcome(req, &heuristic)?;
+    match reclaim_exhaustive_optimal(req) {
+        Some(opt) => {
+            validate_outcome(req, &opt)?;
+            if heuristic.shortfall != 0 {
+                return Err(format!(
+                    "heuristic reported shortfall {} on a feasible need of {}",
+                    heuristic.shortfall, req.need
+                ));
+            }
+            if heuristic.returned.len() != req.need {
+                return Err(format!(
+                    "heuristic returned {} servers for a need of {}",
+                    heuristic.returned.len(),
+                    req.need
+                ));
+            }
+            if heuristic.preempted.len() < opt.preempted.len() {
+                return Err(format!(
+                    "heuristic preempted {} jobs, beating the proven minimum {}",
+                    heuristic.preempted.len(),
+                    opt.preempted.len()
+                ));
+            }
+            if heuristic.preempted.len() == opt.preempted.len()
+                && heuristic.collateral_gpus < opt.collateral_gpus
+            {
+                return Err(format!(
+                    "heuristic collateral {} beats the optimum's {} at equal preemptions",
+                    heuristic.collateral_gpus, opt.collateral_gpus
+                ));
+            }
+        }
+        None => {
+            if req.need > 0 && heuristic.shortfall == 0 {
+                return Err(format!(
+                    "heuristic claims to satisfy an infeasible need of {}",
+                    req.need
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lyra_core::reclaim::{JobFootprint, ReclaimServerView};
+    use lyra_core::{JobId, ServerId};
+
+    fn req() -> ReclaimRequest {
+        // Two servers; job 0 spans both, job 1 sits on server 1 alone.
+        ReclaimRequest {
+            servers: vec![
+                ReclaimServerView {
+                    id: ServerId(0),
+                    total_gpus: 8,
+                    jobs: vec![(JobId(0), 4)],
+                },
+                ReclaimServerView {
+                    id: ServerId(1),
+                    total_gpus: 8,
+                    jobs: vec![(JobId(0), 2), (JobId(1), 6)],
+                },
+            ],
+            jobs: vec![
+                JobFootprint {
+                    id: JobId(0),
+                    total_servers: 2,
+                    total_gpus: 6,
+                },
+                JobFootprint {
+                    id: JobId(1),
+                    total_servers: 1,
+                    total_gpus: 6,
+                },
+            ],
+            need: 1,
+        }
+    }
+
+    #[test]
+    fn heuristic_agrees_with_optimal_on_pinned_instance() {
+        for model in [
+            CostModel::ServerFraction,
+            CostModel::GpuFraction,
+            CostModel::JobCount,
+        ] {
+            check_reclaim_optimality(&req(), model).unwrap();
+        }
+    }
+
+    #[test]
+    fn infeasible_need_reports_shortfall() {
+        let mut r = req();
+        r.need = 3; // only two candidate servers exist
+        check_reclaim_optimality(&r, CostModel::ServerFraction).unwrap();
+        let out = reclaim_servers(&r, CostModel::ServerFraction);
+        assert_eq!(out.shortfall, 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! Differential oracle suite: the production DP/greedy/BFD paths
+//! checked against brute-force ground truth on proptest-generated
+//! small instances (≤ 6 jobs / ≤ 8 servers).
+
+use lyra_core::CostModel;
+use lyra_oracle::{gen, mckp, placement, reclaim};
+use proptest::prelude::*;
+
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig { cases: 96, ..Default::default() })]
+
+    /// The production MCKP DP is exact on arbitrary small instances.
+    #[test]
+    fn dp_is_exact(instance in gen::arbitrary_mckp()) {
+        let (groups, capacity) = instance;
+        prop_assert_eq!(mckp::check_dp_exact(&groups, capacity), Ok(()));
+    }
+
+    /// …and on production-shaped concave instances too.
+    #[test]
+    fn dp_is_exact_on_concave_instances(instance in gen::concave_mckp()) {
+        let (groups, capacity) = instance;
+        prop_assert_eq!(mckp::check_dp_exact(&groups, capacity), Ok(()));
+    }
+
+    /// The greedy ablation never beats the optimum and meets its
+    /// 1/2-guarantee on the concave instances phase 2 actually builds.
+    #[test]
+    fn greedy_meets_its_guarantee(instance in gen::concave_mckp()) {
+        let (groups, capacity) = instance;
+        prop_assert_eq!(mckp::check_greedy_bound(&groups, capacity), Ok(()));
+    }
+
+    /// BFD gang placement accepts exactly the feasible gangs, keeps its
+    /// accounting straight, and stays atomic on failure.
+    #[test]
+    fn placement_matches_exhaustive_feasibility(inst in gen::gang_instance()) {
+        prop_assert_eq!(placement::check_gang_placement(&inst), Ok(()));
+    }
+
+    /// Lyra's greedy reclaiming is sound and never beats the exhaustive
+    /// minimum-preemption optimum, under every cost model.
+    #[test]
+    fn reclaim_never_beats_the_optimum(req in gen::reclaim_instance()) {
+        for model in [CostModel::ServerFraction, CostModel::GpuFraction, CostModel::JobCount] {
+            prop_assert_eq!(reclaim::check_reclaim_optimality(&req, model), Ok(()));
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! The golden-trace gate as a test: every pinned case must match its
+//! committed log byte-for-byte (each case is run twice, so run-to-run
+//! nondeterminism also fails here). `lyra-bench golden --bless`
+//! regenerates the logs after an intended behavioural change.
+
+use lyra_oracle::golden;
+
+#[test]
+fn committed_golden_logs_match() {
+    let diffs = golden::compare(&golden::default_dir());
+    assert!(
+        diffs.is_empty(),
+        "golden gate fired:\n{}",
+        diffs
+            .iter()
+            .map(|d| format!("  {}: {}", d.name, d.detail))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,40 @@
+//! No NaN ever escapes into `SimReport` JSON: every report a
+//! simulation can produce — including the degenerate empty-trace run —
+//! passes the non-finite-field audit and serialises cleanly.
+
+use lyra_sim::scenario::generators::{tiny_basic, tiny_traces};
+use lyra_sim::{run_scenario, FaultConfig, FaultPlan};
+
+#[test]
+fn empty_trace_report_has_no_non_finite_fields() {
+    let scenario = tiny_basic(1);
+    let (mut jobs, inference) = tiny_traces(1);
+    jobs.jobs.clear();
+    let report = run_scenario(&scenario, &jobs, &inference).expect("empty run");
+    assert_eq!(report.submitted, 0);
+    assert_eq!(report.non_finite_fields(), Vec::<String>::new());
+    serde_json::to_string(&report).expect("empty report serialises");
+}
+
+#[test]
+fn tiny_run_reports_have_no_non_finite_fields() {
+    for seed in [1u64, 7, 13] {
+        let mut scenario = tiny_basic(seed);
+        if seed == 13 {
+            scenario.faults = Some(FaultPlan::generate(
+                &FaultConfig::moderate(2.0 * 86_400.0),
+                16,
+                seed,
+            ));
+        }
+        let (jobs, inference) = tiny_traces(seed);
+        let report = run_scenario(&scenario, &jobs, &inference).expect("run");
+        assert_eq!(
+            report.non_finite_fields(),
+            Vec::<String>::new(),
+            "seed {seed}: non-finite values leaked into the report"
+        );
+        let json = serde_json::to_string(&report).expect("report serialises");
+        assert!(!json.is_empty());
+    }
+}

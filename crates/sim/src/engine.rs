@@ -23,7 +23,7 @@
 //!   decision; checkpointing jobs keep their progress and pay the
 //!   overhead, others restart from scratch (§4's conservative default).
 
-use crate::faults::{FaultKind, FaultPlan};
+use crate::faults::{CarryTransition, FaultKind, FaultPlan, ReclaimLedger};
 use crate::metrics::{percentiles, FaultStats, JobRecord, ReclaimRecord, SimReport, UsageIntegral};
 use lyra_cluster::inference::{InferenceScheduler, LoanInstruction};
 use lyra_cluster::manager::{ResourceManager, RmOp};
@@ -303,21 +303,6 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// A reclaim demand that could not be satisfied at its tick: carried
-/// forward and retried with exponential backoff until met, resolved
-/// externally, or expired (a counted deadline violation).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct ReclaimCarry {
-    /// Servers still owed to the inference cluster.
-    servers: u32,
-    /// Absolute time the debt expires.
-    deadline_s: f64,
-    /// Earliest tick the demand is retried.
-    next_retry_s: f64,
-    /// Current backoff step (doubles per failed retry).
-    backoff_s: f64,
-}
-
 /// The incrementally-maintained scheduler snapshot.
 ///
 /// Rebuilding the full [`Snapshot`] every epoch is the dominant
@@ -390,7 +375,9 @@ pub struct Simulation {
     slowdown: BTreeMap<ServerId, f64>,
     /// The next orchestrator tick was marked lost by a fault.
     drop_next_orch_tick: bool,
-    reclaim_carry: Option<ReclaimCarry>,
+    /// Carried-forward reclaim debt (deadline + backoff state machine,
+    /// see [`crate::faults::ReclaimLedger`]).
+    reclaim_ledger: ReclaimLedger,
     /// The snapshot maintained incrementally across scheduler epochs
     /// (unused when `config.incremental_snapshot` is off).
     cache: SnapshotCache,
@@ -478,7 +465,7 @@ impl Simulation {
             fault_stats: FaultStats::default(),
             slowdown: BTreeMap::new(),
             drop_next_orch_tick: false,
-            reclaim_carry: None,
+            reclaim_ledger: ReclaimLedger::new(),
             cache: SnapshotCache::default(),
             validate_snapshot: true,
             pending_gpus: 0,
@@ -1609,34 +1596,24 @@ impl Simulation {
     /// remainder with doubled backoff, and a met demand clears the debt
     /// it folded in.
     fn note_reclaim_shortfall(&mut self, unmet: u32, retried_carry: bool) {
-        let now = self.now_s;
-        if unmet == 0 {
-            if retried_carry {
-                self.reclaim_carry = None;
-            }
-            return;
-        }
-        match &mut self.reclaim_carry {
-            Some(carry) => {
-                carry.servers = unmet;
-                carry.backoff_s *= 2.0;
-                carry.next_retry_s = now + carry.backoff_s;
-            }
-            None => {
-                let deadline_s = now + self.config.reclaim_deadline_s;
-                self.reclaim_carry = Some(ReclaimCarry {
-                    servers: unmet,
-                    deadline_s,
-                    next_retry_s: now + self.config.reclaim_retry_backoff_s,
-                    backoff_s: self.config.reclaim_retry_backoff_s,
-                });
-                self.fault_stats.reclaim_carryovers += 1;
-                self.emit(SchedEvent::ReclaimCarryover {
-                    servers: unmet,
-                    deadline_s,
-                });
-                self.count("cluster.reclaim.carryovers");
-            }
+        let transition = self.reclaim_ledger.note_shortfall(
+            self.now_s,
+            unmet,
+            retried_carry,
+            self.config.reclaim_retry_backoff_s,
+            self.config.reclaim_deadline_s,
+        );
+        if transition == CarryTransition::Opened {
+            let deadline_s = self
+                .reclaim_ledger
+                .carry()
+                .map_or(self.now_s, |c| c.deadline_s);
+            self.fault_stats.reclaim_carryovers += 1;
+            self.emit(SchedEvent::ReclaimCarryover {
+                servers: unmet,
+                deadline_s,
+            });
+            self.count("cluster.reclaim.carryovers");
         }
     }
 
@@ -1760,14 +1737,10 @@ impl Simulation {
         }
         // A carried reclaim debt that outlived its deadline is a
         // violation: record it and stop retrying.
-        if let Some(carry) = &self.reclaim_carry {
-            if self.now_s > carry.deadline_s {
-                let owed = carry.servers;
-                self.fault_stats.reclaim_deadline_violations += 1;
-                self.reclaim_carry = None;
-                self.emit(SchedEvent::ReclaimDeadlineMiss { servers: owed });
-                self.count("cluster.reclaim.deadline_misses");
-            }
+        if let Some(owed) = self.reclaim_ledger.take_expired(self.now_s) {
+            self.fault_stats.reclaim_deadline_violations += 1;
+            self.emit(SchedEvent::ReclaimDeadlineMiss { servers: owed });
+            self.count("cluster.reclaim.deadline_misses");
         }
         match instruction {
             LoanInstruction::Loan(offered) => {
@@ -1779,7 +1752,7 @@ impl Simulation {
                 };
                 // Inference is offering servers again: any pending reclaim
                 // debt has been resolved on its side.
-                self.reclaim_carry = None;
+                self.reclaim_ledger.clear();
                 if take > 0 {
                     let Some(orchestrator) = self.orchestrator.as_mut() else {
                         return Ok(());
@@ -1806,14 +1779,7 @@ impl Simulation {
             LoanInstruction::Reclaim(n) => {
                 // Fold a carried-forward debt into the demand once its
                 // retry backoff has elapsed.
-                let mut demand = n;
-                let mut retried_carry = false;
-                if let Some(carry) = &self.reclaim_carry {
-                    if self.now_s >= carry.next_retry_s {
-                        demand = demand.max(carry.servers);
-                        retried_carry = true;
-                    }
-                }
+                let (demand, retried_carry) = self.reclaim_ledger.fold_into(self.now_s, n);
                 let Some(orchestrator) = self.orchestrator.as_mut() else {
                     return Ok(());
                 };
@@ -1881,7 +1847,7 @@ impl Simulation {
             LoanInstruction::Hold => {
                 // No outstanding reclaim pressure from the inference side:
                 // a pending debt is moot.
-                self.reclaim_carry = None;
+                self.reclaim_ledger.clear();
             }
         }
         self.return_surplus_idle_loans()?;

@@ -244,6 +244,141 @@ impl FaultPlan {
     }
 }
 
+/// A reclaim demand that could not be satisfied at its tick: carried
+/// forward and retried with exponential backoff until met, resolved
+/// externally, or expired (a counted deadline violation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReclaimCarry {
+    /// Servers still owed to the inference cluster.
+    pub servers: u32,
+    /// Absolute time the debt expires.
+    pub deadline_s: f64,
+    /// Earliest tick the demand is retried.
+    pub next_retry_s: f64,
+    /// Current backoff step (doubles per failed retry).
+    pub backoff_s: f64,
+}
+
+/// What booking a reclaim shortfall did to the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CarryTransition {
+    /// A new debt was opened: the caller should count a carryover and
+    /// emit the carryover event.
+    Opened,
+    /// An existing debt shrank to the remainder and doubled its backoff.
+    Retried,
+    /// A met retried demand cleared the debt it had folded in.
+    Cleared,
+    /// Nothing changed (no shortfall and no retried debt outstanding).
+    Unchanged,
+}
+
+/// The deadline + backoff state machine for carried-forward reclaim
+/// debt (the graceful-degradation path of §4: inference demanded
+/// servers back and the training side could not free enough).
+///
+/// The engine drives it at orchestrator-tick cadence:
+///
+/// 1. [`take_expired`](ReclaimLedger::take_expired) first — a debt past
+///    its deadline is reported *exactly once* as a violation, then
+///    dropped (no further retries).
+/// 2. On a `Reclaim(n)` instruction, [`fold_into`](ReclaimLedger::fold_into)
+///    raises the fresh demand to cover the carried debt once the retry
+///    backoff has elapsed.
+/// 3. After the reclaim executes, [`note_shortfall`](ReclaimLedger::note_shortfall)
+///    books the unmet remainder: new debts get a deadline and an
+///    initial backoff, retried debts shrink to the remainder with a
+///    doubled backoff, and a fully met retried demand clears the debt.
+/// 4. A `Loan` or `Hold` instruction means the inference side no longer
+///    wants the servers: [`clear`](ReclaimLedger::clear).
+///
+/// The ledger is pure state (no clock, no event sink), so the paths are
+/// directly unit-testable; the engine owns event emission and counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ReclaimLedger {
+    carry: Option<ReclaimCarry>,
+}
+
+impl ReclaimLedger {
+    /// An empty ledger with no outstanding debt.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The outstanding debt, if any.
+    pub fn carry(&self) -> Option<&ReclaimCarry> {
+        self.carry.as_ref()
+    }
+
+    /// Drops any outstanding debt (the inference side resolved it:
+    /// it is offering servers again, or holding).
+    pub fn clear(&mut self) {
+        self.carry = None;
+    }
+
+    /// Expires a debt whose deadline has passed: returns the owed
+    /// server count and clears the debt, so a deadline miss is reported
+    /// exactly once no matter how many ticks follow.
+    pub fn take_expired(&mut self, now_s: f64) -> Option<u32> {
+        match self.carry {
+            Some(c) if now_s > c.deadline_s => {
+                self.carry = None;
+                Some(c.servers)
+            }
+            _ => None,
+        }
+    }
+
+    /// Folds the carried debt into a fresh reclaim `demand` once its
+    /// retry time has arrived. Returns the (possibly raised) demand and
+    /// whether a carry was retried — a met demand uses the flag to know
+    /// there is a debt to clear.
+    pub fn fold_into(&self, now_s: f64, demand: u32) -> (u32, bool) {
+        match self.carry {
+            Some(c) if now_s >= c.next_retry_s => (demand.max(c.servers), true),
+            _ => (demand, false),
+        }
+    }
+
+    /// Books the unmet remainder of a reclaim demand. `retried_carry`
+    /// is the flag returned by [`fold_into`](ReclaimLedger::fold_into);
+    /// `retry_backoff_s` and `deadline_after_s` are the engine's
+    /// configured initial backoff and debt lifetime.
+    pub fn note_shortfall(
+        &mut self,
+        now_s: f64,
+        unmet: u32,
+        retried_carry: bool,
+        retry_backoff_s: f64,
+        deadline_after_s: f64,
+    ) -> CarryTransition {
+        if unmet == 0 {
+            if retried_carry && self.carry.is_some() {
+                self.carry = None;
+                return CarryTransition::Cleared;
+            }
+            return CarryTransition::Unchanged;
+        }
+        match &mut self.carry {
+            Some(carry) => {
+                carry.servers = unmet;
+                carry.backoff_s *= 2.0;
+                carry.next_retry_s = now_s + carry.backoff_s;
+                CarryTransition::Retried
+            }
+            None => {
+                self.carry = Some(ReclaimCarry {
+                    servers: unmet,
+                    deadline_s: now_s + deadline_after_s,
+                    next_retry_s: now_s + retry_backoff_s,
+                    backoff_s: retry_backoff_s,
+                });
+                CarryTransition::Opened
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,5 +453,116 @@ mod tests {
         let plan = FaultPlan::generate(&FaultConfig::default(), 100, 9);
         assert!(plan.is_empty());
         assert!(FaultPlan::none().is_empty());
+    }
+
+    // --- ReclaimLedger: deadline + backoff state machine ---
+
+    const BACKOFF: f64 = 300.0;
+    const DEADLINE: f64 = 1_800.0;
+
+    #[test]
+    fn shortfall_opens_one_debt_with_deadline_and_backoff() {
+        let mut ledger = ReclaimLedger::new();
+        assert!(ledger.carry().is_none());
+        let t = ledger.note_shortfall(100.0, 3, false, BACKOFF, DEADLINE);
+        assert_eq!(t, CarryTransition::Opened);
+        let carry = ledger.carry().unwrap();
+        assert_eq!(carry.servers, 3);
+        assert_eq!(carry.deadline_s, 100.0 + DEADLINE);
+        assert_eq!(carry.next_retry_s, 100.0 + BACKOFF);
+        assert_eq!(carry.backoff_s, BACKOFF);
+    }
+
+    #[test]
+    fn deadline_miss_fires_exactly_once() {
+        let mut ledger = ReclaimLedger::new();
+        ledger.note_shortfall(0.0, 4, false, BACKOFF, DEADLINE);
+        // Not yet expired: the deadline itself is still within budget.
+        assert_eq!(ledger.take_expired(DEADLINE), None);
+        // One tick past the deadline: the miss fires with the owed count…
+        assert_eq!(ledger.take_expired(DEADLINE + 1.0), Some(4));
+        // …and never again, even as time keeps advancing.
+        assert_eq!(ledger.take_expired(DEADLINE + 2.0), None);
+        assert_eq!(ledger.take_expired(1e12), None);
+        assert!(ledger.carry().is_none());
+    }
+
+    #[test]
+    fn backoff_never_underflows_at_tick_zero() {
+        // Degenerate config: zero initial backoff, debt opened at t=0.
+        let mut ledger = ReclaimLedger::new();
+        ledger.note_shortfall(0.0, 2, false, 0.0, 0.0);
+        let carry = *ledger.carry().unwrap();
+        assert!(carry.next_retry_s >= 0.0 && carry.backoff_s >= 0.0);
+        // Retry is immediately due and folds the debt in.
+        assert_eq!(ledger.fold_into(0.0, 0), (2, true));
+        // A failed retry at t=0 doubles a zero backoff to zero — still
+        // non-negative, never NaN, never behind the clock.
+        ledger.note_shortfall(0.0, 2, true, 0.0, 0.0);
+        let carry = *ledger.carry().unwrap();
+        assert!(carry.backoff_s >= 0.0 && carry.backoff_s.is_finite());
+        assert!(carry.next_retry_s >= 0.0 && carry.next_retry_s.is_finite());
+        // The regular config at tick 0 defers the first retry by the
+        // full initial backoff.
+        let mut ledger = ReclaimLedger::new();
+        ledger.note_shortfall(0.0, 1, false, BACKOFF, DEADLINE);
+        assert_eq!(ledger.fold_into(0.0, 5), (5, false));
+        assert_eq!(ledger.fold_into(BACKOFF, 5), (5, true));
+    }
+
+    #[test]
+    fn failed_retries_double_backoff_and_keep_the_deadline() {
+        let mut ledger = ReclaimLedger::new();
+        ledger.note_shortfall(0.0, 6, false, BACKOFF, DEADLINE);
+        let deadline = ledger.carry().unwrap().deadline_s;
+        // First retry due at t=300 returns only part of the debt.
+        let (demand, retried) = ledger.fold_into(300.0, 1);
+        assert_eq!((demand, retried), (6, true));
+        assert_eq!(
+            ledger.note_shortfall(300.0, 2, retried, BACKOFF, DEADLINE),
+            CarryTransition::Retried
+        );
+        let carry = *ledger.carry().unwrap();
+        assert_eq!(carry.servers, 2, "debt shrinks to the remainder");
+        assert_eq!(carry.backoff_s, 2.0 * BACKOFF);
+        assert_eq!(carry.next_retry_s, 300.0 + 2.0 * BACKOFF);
+        assert_eq!(carry.deadline_s, deadline, "retries never extend the deadline");
+        // Before the doubled backoff elapses the debt is not folded in.
+        assert_eq!(ledger.fold_into(600.0, 0), (0, false));
+        assert_eq!(ledger.fold_into(900.0, 0), (2, true));
+    }
+
+    #[test]
+    fn met_retried_demand_clears_the_debt() {
+        let mut ledger = ReclaimLedger::new();
+        ledger.note_shortfall(0.0, 2, false, BACKOFF, DEADLINE);
+        let (_, retried) = ledger.fold_into(BACKOFF, 0);
+        assert!(retried);
+        assert_eq!(
+            ledger.note_shortfall(BACKOFF, 0, retried, BACKOFF, DEADLINE),
+            CarryTransition::Cleared
+        );
+        assert!(ledger.carry().is_none());
+        // With no debt outstanding, a fully met demand is a no-op.
+        assert_eq!(
+            ledger.note_shortfall(BACKOFF, 0, false, BACKOFF, DEADLINE),
+            CarryTransition::Unchanged
+        );
+    }
+
+    #[test]
+    fn loan_or_hold_clears_and_a_new_debt_reopens() {
+        let mut ledger = ReclaimLedger::new();
+        ledger.note_shortfall(0.0, 5, false, BACKOFF, DEADLINE);
+        ledger.clear();
+        assert!(ledger.carry().is_none());
+        assert_eq!(ledger.take_expired(1e9), None, "cleared debts never expire");
+        // A fresh shortfall later opens a brand-new debt (fresh deadline,
+        // fresh backoff) and counts as a new carryover.
+        let t = ledger.note_shortfall(5_000.0, 1, false, BACKOFF, DEADLINE);
+        assert_eq!(t, CarryTransition::Opened);
+        let carry = ledger.carry().unwrap();
+        assert_eq!(carry.deadline_s, 5_000.0 + DEADLINE);
+        assert_eq!(carry.backoff_s, BACKOFF);
     }
 }

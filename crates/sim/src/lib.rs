@@ -32,8 +32,10 @@ pub mod metrics;
 pub mod scenario;
 
 pub use engine::{ObserverConfig, SimConfig, SimError, Simulation};
-pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan};
+pub use faults::{
+    CarryTransition, FaultConfig, FaultEvent, FaultKind, FaultPlan, ReclaimCarry, ReclaimLedger,
+};
 pub use metrics::{
     percentiles, FaultStats, JobRecord, Percentiles, ReclaimRecord, SimReport, UsageIntegral,
 };
-pub use scenario::{run_scenario, run_scenario_observed, transform, PolicyKind, Scenario};
+pub use scenario::{generators, run_scenario, run_scenario_observed, transform, PolicyKind, Scenario};

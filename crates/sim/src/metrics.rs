@@ -300,6 +300,71 @@ pub struct SimReport {
 }
 
 impl SimReport {
+    /// Names of every non-finite (NaN or ±∞) float field in the report,
+    /// recursing into percentile blocks, hourly series and per-job
+    /// records. Serialisers turn non-finite floats into `null`, which
+    /// silently poisons downstream analysis — the test suite asserts
+    /// this list is empty for every report a simulation can produce.
+    pub fn non_finite_fields(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        fn check(bad: &mut Vec<String>, name: &str, v: f64) {
+            if !v.is_finite() {
+                bad.push(format!("{name} = {v}"));
+            }
+        }
+        fn pcts(bad: &mut Vec<String>, name: &str, p: &Percentiles) {
+            for (field, v) in [
+                ("mean", p.mean),
+                ("p50", p.p50),
+                ("p75", p.p75),
+                ("p95", p.p95),
+                ("p99", p.p99),
+            ] {
+                if !v.is_finite() {
+                    bad.push(format!("{name}.{field} = {v}"));
+                }
+            }
+        }
+        pcts(&mut bad, "queuing", &self.queuing);
+        pcts(&mut bad, "jct", &self.jct);
+        pcts(&mut bad, "on_loan_queuing", &self.on_loan_queuing);
+        pcts(&mut bad, "on_loan_jct", &self.on_loan_jct);
+        check(&mut bad, "training_usage", self.training_usage);
+        check(&mut bad, "overall_usage", self.overall_usage);
+        check(&mut bad, "on_loan_usage", self.on_loan_usage);
+        check(&mut bad, "on_loan_server_usage", self.on_loan_server_usage);
+        check(&mut bad, "preemption_ratio", self.preemption_ratio);
+        check(&mut bad, "collateral_damage", self.collateral_damage);
+        check(&mut bad, "flex_satisfied", self.flex_satisfied);
+        check(&mut bad, "control_plane_latency_s", self.control_plane_latency_s);
+        check(&mut bad, "fault.work_lost_s", self.fault.work_lost_s);
+        for (name, series) in [
+            ("hourly_overall_usage", &self.hourly_overall_usage),
+            ("hourly_on_loan_usage", &self.hourly_on_loan_usage),
+            (
+                "hourly_on_loan_server_usage",
+                &self.hourly_on_loan_server_usage,
+            ),
+        ] {
+            for (i, v) in series.iter().enumerate() {
+                check(&mut bad, &format!("{name}[{i}]"), *v);
+            }
+        }
+        for r in &self.records {
+            check(&mut bad, &format!("records[{:?}].submit_s", r.id), r.submit_s);
+            check(&mut bad, &format!("records[{:?}].queue_s", r.id), r.queue_s);
+            for (field, v) in [
+                ("first_start_s", r.first_start_s),
+                ("complete_s", r.complete_s),
+            ] {
+                if let Some(v) = v {
+                    check(&mut bad, &format!("records[{:?}].{field}", r.id), v);
+                }
+            }
+        }
+        bad
+    }
+
     /// Fraction of jobs submitted in each hour that had to queue — the
     /// Figure 2 series. A job "queues" when its first start is more than
     /// `tolerance_s` after submission.
@@ -397,6 +462,73 @@ mod tests {
     }
 
     #[test]
+    fn usage_integral_empty_is_all_zeros() {
+        let u = UsageIntegral::new();
+        assert_eq!(u.utilization(), 0.0);
+        assert!(u.hourly_utilization().is_empty());
+        assert_eq!(u.busy_gpu_s, 0.0);
+        assert_eq!(u.capacity_gpu_s, 0.0);
+    }
+
+    #[test]
+    fn usage_integral_single_sample() {
+        let mut u = UsageIntegral::new();
+        u.advance(600.0, 2.0, 8.0);
+        assert_eq!(u.hourly.len(), 1);
+        assert!((u.utilization() - 0.25).abs() < 1e-12);
+        assert_eq!(u.hourly_utilization(), vec![0.25]);
+    }
+
+    #[test]
+    fn usage_integral_zero_capacity_hour_yields_zero_not_nan() {
+        let mut u = UsageIntegral::new();
+        u.advance(3600.0, 0.0, 0.0); // hour 0: no capacity at all
+        u.advance(7200.0, 4.0, 8.0);
+        let hourly = u.hourly_utilization();
+        assert_eq!(hourly.len(), 2);
+        assert_eq!(hourly[0], 0.0);
+        assert!(hourly.iter().all(|v| v.is_finite()));
+        assert!(u.utilization().is_finite());
+    }
+
+    #[test]
+    fn hourly_queuing_ratio_empty_records() {
+        let report = blank_report(vec![]);
+        assert!(report.hourly_queuing_ratio(60.0).is_empty());
+    }
+
+    #[test]
+    fn hourly_queuing_ratio_single_record() {
+        let mut r = JobRecord::new(JobId(0), 30.0);
+        r.first_start_s = Some(35.0);
+        let report = blank_report(vec![r]);
+        assert_eq!(report.hourly_queuing_ratio(60.0), vec![0.0]);
+    }
+
+    #[test]
+    fn non_finite_audit_is_clean_on_a_blank_report() {
+        assert!(blank_report(vec![]).non_finite_fields().is_empty());
+    }
+
+    #[test]
+    fn non_finite_audit_names_the_poisoned_fields() {
+        let mut report = blank_report(vec![JobRecord::new(JobId(3), 10.0)]);
+        report.jct.p99 = f64::NAN;
+        report.hourly_overall_usage = vec![1.0, f64::INFINITY];
+        report.records[0].queue_s = f64::NAN;
+        let bad = report.non_finite_fields();
+        assert_eq!(bad.len(), 3);
+        assert!(bad.iter().any(|b| b.starts_with("jct.p99")));
+        assert!(bad.iter().any(|b| b.starts_with("hourly_overall_usage[1]")));
+        assert!(bad.iter().any(|b| b.contains("queue_s")));
+        // This is exactly what the audit protects against: serialisers
+        // turn non-finite floats into `null`, silently breaking every
+        // downstream consumer of the JSON.
+        let json = serde_json::to_string(&report.jct).unwrap();
+        assert!(json.contains("null"));
+    }
+
+    #[test]
     fn job_record_jct() {
         let mut r = JobRecord::new(JobId(1), 100.0);
         assert_eq!(r.jct_s(), None);
@@ -414,7 +546,16 @@ mod tests {
         let mut never = JobRecord::new(JobId(2), 4000.0); // hour 1, never ran
         never.first_start_s = None;
         records.push(never);
-        let report = SimReport {
+        let report = blank_report(records);
+        let ratio = report.hourly_queuing_ratio(60.0);
+        assert_eq!(ratio.len(), 2);
+        assert!((ratio[0] - 0.5).abs() < 1e-9);
+        assert_eq!(ratio[1], 1.0);
+    }
+
+    /// An all-zeros report around the given records.
+    fn blank_report(records: Vec<JobRecord>) -> SimReport {
+        SimReport {
             name: "t".into(),
             queuing: Percentiles::default(),
             jct: Percentiles::default(),
@@ -427,7 +568,7 @@ mod tests {
             collateral_damage: 0.0,
             flex_satisfied: 0.0,
             completed: 0,
-            submitted: 3,
+            submitted: records.len(),
             loan_ops: 0,
             reclaim_ops: 0,
             scaling_ops: 0,
@@ -442,10 +583,6 @@ mod tests {
             events: vec![],
             metrics: vec![],
             profile: lyra_obs::Profile::default(),
-        };
-        let ratio = report.hourly_queuing_ratio(60.0);
-        assert_eq!(ratio.len(), 2);
-        assert!((ratio[0] - 0.5).abs() < 1e-9);
-        assert_eq!(ratio[1], 1.0);
+        }
     }
 }

@@ -381,7 +381,13 @@ fn build_simulation(scenario: &Scenario, jobs: &JobTrace, inference: &InferenceT
         .map(|reclaim| Orchestrator::new(reclaim, scenario.seed));
     let inference_sched = Some(inf);
     let estimator = RuntimeEstimator::new(scenario.estimator);
-    let specs: Vec<JobSpec> = jobs.jobs.clone();
+    // The engine indexes jobs by vector position and requires ids to be
+    // dense (`Arrival(i)` ↔ `jobs[i]`), so canonicalise here: trace
+    // vector order is not a semantic input, only `(submit_time, id)`
+    // is. A stable no-op for generated traces, which are already
+    // id-ordered.
+    let mut specs: Vec<JobSpec> = jobs.jobs.clone();
+    specs.sort_by_key(|s| s.id);
     let mut sim_config = scenario.sim;
     if sim_config.usage_horizon_s <= 0.0 {
         sim_config.usage_horizon_s = f64::from(jobs.config.days) * 86_400.0;
@@ -404,12 +410,22 @@ fn build_simulation(scenario: &Scenario, jobs: &JobTrace, inference: &InferenceT
     sim
 }
 
-#[cfg(test)]
-mod tests {
+/// Small deterministic scenario inputs shared by the unit tests, the
+/// metamorphic property suite in `lyra-oracle`, and the golden-trace
+/// gate in `lyra-bench`.
+///
+/// Everything here is a pure function of its seed, so a property
+/// harness can enumerate instances without pulling in a strategy
+/// library, and a pinned `(generator, seed)` pair names a scenario
+/// exactly.
+pub mod generators {
     use super::*;
     use lyra_trace::{InferenceTraceConfig, TraceConfig};
 
-    fn tiny_traces(seed: u64) -> (JobTrace, InferenceTrace) {
+    /// A one-day, 64-GPU job trace paired with a matching two-day
+    /// inference trace: big enough to exercise loans, reclaims and
+    /// elastic scaling, small enough to simulate in milliseconds.
+    pub fn tiny_traces(seed: u64) -> (JobTrace, InferenceTrace) {
         let jobs = JobTrace::generate(TraceConfig {
             days: 1,
             training_gpus: 64,
@@ -427,13 +443,29 @@ mod tests {
         (jobs, inf)
     }
 
-    fn tiny_cluster() -> ClusterConfig {
+    /// The 8+8 server, 8-GPU cluster the tiny traces are sized for.
+    pub fn tiny_cluster() -> ClusterConfig {
         ClusterConfig {
             training_servers: 8,
             inference_servers: 8,
             gpus_per_server: 8,
         }
     }
+
+    /// [`Scenario::basic`] shrunk onto the tiny cluster with the given
+    /// seed — the default subject for whole-simulation properties.
+    pub fn tiny_basic(seed: u64) -> Scenario {
+        let mut s = Scenario::basic();
+        s.cluster = tiny_cluster();
+        s.seed = seed;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use generators::{tiny_cluster, tiny_traces};
 
     #[test]
     fn baseline_runs_to_completion() {
