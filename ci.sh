@@ -5,9 +5,17 @@ set -eu
 
 cargo build --release --workspace
 
-# Workspace tests, with a total-count summary at the end.
+# Workspace tests, with a total-count summary at the end. No pipeline
+# here: plain sh has no pipefail, so `cargo test | tee` would report
+# tee's exit status and a failing suite would slip through the gate.
 test_log=$(mktemp)
-cargo test -q --workspace 2>&1 | tee "$test_log"
+if ! cargo test -q --workspace >"$test_log" 2>&1; then
+  cat "$test_log"
+  rm -f "$test_log"
+  echo "ci: workspace tests failed" >&2
+  exit 1
+fi
+cat "$test_log"
 total_passed=$(grep -o '[0-9]* passed' "$test_log" | awk '{s += $1} END {print s + 0}')
 rm -f "$test_log"
 

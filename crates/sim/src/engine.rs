@@ -423,6 +423,13 @@ impl Simulation {
     ///
     /// `inference` enables capacity loaning; `None` simulates a fixed
     /// training cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the job ids are not exactly `0..n` in
+    /// order: the engine indexes `jobs[id]` by vector position, so a
+    /// duplicate id would silently alias two jobs onto one slot and a
+    /// gapped id would index out of bounds.
     pub fn new(
         config: SimConfig,
         cluster: ClusterState,
@@ -431,7 +438,7 @@ impl Simulation {
         inference: Option<InferenceScheduler>,
         estimator: RuntimeEstimator,
         specs: Vec<JobSpec>,
-    ) -> Self {
+    ) -> Result<Self, SimError> {
         let inference_total_gpus = inference
             .as_ref()
             .map(|i| f64::from(i.total_servers * i.gpus_per_server))
@@ -474,8 +481,14 @@ impl Simulation {
             observer: None,
             profile: lyra_obs::Profile::default(),
         };
+        let n = specs.len();
         for (i, spec) in specs.into_iter().enumerate() {
-            debug_assert_eq!(spec.id.0 as usize, i, "trace ids must be dense");
+            if spec.id.0 as usize != i {
+                return Err(SimError(format!(
+                    "trace ids must be exactly 0..{n} in order: position {i} holds {id}",
+                    id = spec.id,
+                )));
+            }
             let t = spec.submit_time_s;
             sim.jobs.push(SimJob::new(spec));
             sim.push_event(t, EventKind::Arrival(i));
@@ -484,7 +497,7 @@ impl Simulation {
         if sim.orchestrator.is_some() {
             sim.push_event(0.0, EventKind::OrchestratorTick);
         }
-        sim
+        Ok(sim)
     }
 
     /// Attaches a fault plan: every scheduled fault becomes a

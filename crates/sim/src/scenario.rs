@@ -320,19 +320,20 @@ fn build_policy(scenario: &Scenario, inference: &InferenceTrace) -> Box<dyn JobS
 
 /// Runs one scenario over the given traces.
 ///
-/// The job trace must have dense, submission-ordered ids (as produced by
-/// `lyra-trace`). The inference trace is only consulted when the scenario
-/// enables loaning.
+/// The job trace must have dense ids `0..n` (as produced by
+/// `lyra-trace`); vector order does not matter. The inference trace is
+/// only consulted when the scenario enables loaning.
 ///
 /// # Errors
 ///
-/// Propagates [`SimError`] on internal inconsistencies.
+/// Propagates [`SimError`] on internal inconsistencies, including a job
+/// trace with duplicate or gapped ids.
 pub fn run_scenario(
     scenario: &Scenario,
     jobs: &JobTrace,
     inference: &InferenceTrace,
 ) -> Result<SimReport, SimError> {
-    build_simulation(scenario, jobs, inference).run(&scenario.name)
+    build_simulation(scenario, jobs, inference)?.run(&scenario.name)
 }
 
 /// Runs one scenario with an observer attached: the returned report
@@ -349,13 +350,17 @@ pub fn run_scenario_observed(
     inference: &InferenceTrace,
     observer: ObserverConfig,
 ) -> Result<SimReport, SimError> {
-    build_simulation(scenario, jobs, inference)
+    build_simulation(scenario, jobs, inference)?
         .with_observer(observer)
         .map_err(|e| SimError(format!("event-log sink: {e}")))?
         .run(&scenario.name)
 }
 
-fn build_simulation(scenario: &Scenario, jobs: &JobTrace, inference: &InferenceTrace) -> Simulation {
+fn build_simulation(
+    scenario: &Scenario,
+    jobs: &JobTrace,
+    inference: &InferenceTrace,
+) -> Result<Simulation, SimError> {
     let cluster = ClusterState::new(scenario.cluster);
     let policy = build_policy(scenario, inference);
     // The inference scheduler is always present — its cluster exists and
@@ -403,11 +408,11 @@ fn build_simulation(scenario: &Scenario, jobs: &JobTrace, inference: &InferenceT
         inference_sched,
         estimator,
         specs,
-    );
+    )?;
     if let Some(plan) = &scenario.faults {
         sim = sim.with_faults(plan.clone());
     }
-    sim
+    Ok(sim)
 }
 
 /// Small deterministic scenario inputs shared by the unit tests, the
@@ -495,6 +500,39 @@ mod tests {
             rl.queuing.mean,
             rb.queuing.mean
         );
+    }
+
+    #[test]
+    fn malformed_trace_ids_error_instead_of_aliasing() {
+        let (jobs, inf) = tiny_traces(1);
+        let mut s = Scenario::baseline();
+        s.cluster = tiny_cluster();
+
+        // Duplicate id: two jobs would silently share one engine slot.
+        let mut dup = jobs.clone();
+        dup.jobs[1].id = dup.jobs[0].id;
+        let err = run_scenario(&s, &dup, &inf).expect_err("duplicate ids must be rejected");
+        assert!(err.to_string().contains("trace ids"), "{err}");
+
+        // Gapped id: would index out of bounds at arrival time.
+        let mut gap = jobs.clone();
+        let last = gap.jobs.len() - 1;
+        gap.jobs[last].id.0 += 1;
+        let err = run_scenario(&s, &gap, &inf).expect_err("gapped ids must be rejected");
+        assert!(err.to_string().contains("trace ids"), "{err}");
+    }
+
+    #[test]
+    fn trace_vector_order_is_not_semantic() {
+        // Dense ids in any vector order canonicalise to the same run.
+        let (jobs, inf) = tiny_traces(5);
+        let mut s = Scenario::baseline();
+        s.cluster = tiny_cluster();
+        let mut shuffled = jobs.clone();
+        shuffled.jobs.reverse();
+        let a = run_scenario(&s, &jobs, &inf).expect("ordered runs");
+        let b = run_scenario(&s, &shuffled, &inf).expect("reversed runs");
+        assert_eq!(a, b);
     }
 
     #[test]
