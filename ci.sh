@@ -38,8 +38,19 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
   -p lyra-oracle
 
 # Bench smoke: one observed end-to-end run; exits non-zero unless the
-# event log, metric snapshots and span profile all came out non-empty.
-./target/release/lyra-bench smoke
+# event log, metric snapshots, span profile and delay attribution all
+# came out non-empty and the exported Chrome trace passes the
+# trace_event schema check. The saved log then drives the attribution
+# and export tooling end-to-end.
+smoke_dir=$(mktemp -d)
+./target/release/lyra-bench smoke --log "$smoke_dir/smoke.jsonl"
+./target/release/lyra-bench events --filter job=0,kind=JobStart \
+  --log "$smoke_dir/smoke.jsonl" >/dev/null
+./target/release/lyra-bench attribute --top 5 --log "$smoke_dir/smoke.jsonl"
+./target/release/lyra-bench attribute 0 --log "$smoke_dir/smoke.jsonl" >/dev/null
+./target/release/lyra-bench export-trace --log "$smoke_dir/smoke.jsonl" \
+  --out "$smoke_dir/smoke.trace.json"
+rm -rf "$smoke_dir"
 
 # Perf smoke: the incremental snapshot cache and the legacy from-scratch
 # rebuild must stay observationally identical under the same seed (no

@@ -27,6 +27,9 @@ fn usage() -> ! {
         "usage: lyra-bench <id>... [--small|--medium|--full] [--quiet] [--json [dir]]\n\
          \x20      lyra-bench list | plot <file.json>... | smoke [--log <file.jsonl>]\n\
          \x20      lyra-bench explain <job-id> [--log <file.jsonl>]\n\
+         \x20      lyra-bench attribute <job-id>|--top <n> [--log <file.jsonl>]\n\
+         \x20      lyra-bench export-trace [--log <file.jsonl>] [--out <file.json>]\n\
+         \x20      lyra-bench events --filter job=<id>,kind=<kind> [--log <file.jsonl>]\n\
          \x20      lyra-bench perf [--smoke]\n\
          \x20      lyra-bench golden [--bless|--mutate]\n\
          ids: {}  (or `all`)",
@@ -54,8 +57,10 @@ fn observed_small_run(sink: Option<&str>) -> lyra_sim::SimReport {
 /// `smoke [--log <file>]`: one observed end-to-end run with every
 /// observability pillar checked — used by ci.sh as the bench smoke
 /// test. Exits non-zero if the run produced no events, no metric
-/// snapshots or no span profile. With `--log`, also writes the JSONL
-/// event log to `file` (feed it to `explain <job-id> --log <file>`).
+/// snapshots, no span profile or no delay attribution, or if the
+/// exported Chrome trace fails the `trace_event` schema check. With
+/// `--log`, also writes the JSONL event log to `file` (feed it to
+/// `explain`/`attribute`/`export-trace`/`events --log <file>`).
 fn smoke(log_path: Option<&str>) -> ! {
     let report = observed_small_run(log_path);
     println!(
@@ -66,10 +71,22 @@ fn smoke(log_path: Option<&str>) -> ! {
         report.profile.0.len()
     );
     print!("{}", report.profile.render());
+    print!("{}", report.attribution.render_table());
+    let events = lyra_obs::parse_log(&report.events.join("\n"))
+        .unwrap_or_else(|e| panic!("smoke: event log does not parse: {e}"));
+    let trace = lyra_obs::export_chrome_trace(&events);
+    let stats = lyra_obs::validate_chrome_trace(&trace)
+        .unwrap_or_else(|e| panic!("smoke: exported Chrome trace is malformed: {e}"));
+    println!(
+        "smoke: chrome trace ok ({} events, {} tracks, {} span pairs)",
+        stats.events, stats.tracks, stats.span_pairs
+    );
     let ok = report.completed > 0
         && !report.events.is_empty()
         && !report.metrics.is_empty()
-        && !report.profile.0.is_empty();
+        && !report.profile.0.is_empty()
+        && report.attribution.jobs > 0
+        && stats.span_pairs > 0;
     if !ok {
         eprintln!("smoke: missing observability output");
         std::process::exit(1);
@@ -77,17 +94,105 @@ fn smoke(log_path: Option<&str>) -> ! {
     std::process::exit(0);
 }
 
-/// `explain <job-id>`: narrate the causal chain for one job from a
-/// recorded event log, or from a fresh small observed run.
-fn explain(job: u64, log_path: Option<&str>) -> ! {
-    let jsonl = match log_path {
+/// The JSONL event log named by `--log`, or a fresh small observed run.
+fn load_log(log_path: Option<&str>) -> String {
+    match log_path {
         Some(path) => {
             std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"))
         }
         None => observed_small_run(None).events.join("\n"),
-    };
+    }
+}
+
+/// `explain <job-id>`: narrate the causal chain for one job from a
+/// recorded event log, or from a fresh small observed run.
+fn explain(job: u64, log_path: Option<&str>) -> ! {
+    let jsonl = load_log(log_path);
     let events = lyra_obs::parse_log(&jsonl).unwrap_or_else(|e| panic!("parse event log: {e}"));
     print!("{}", lyra_obs::explain_job(&events, job));
+    std::process::exit(0);
+}
+
+/// `attribute <job-id>` / `attribute --top <n>`: the per-job JCT
+/// decomposition (ranked causes + timeline) or the cluster-wide ranking
+/// by time lost, derived by replaying the event log.
+fn attribute(job: Option<u64>, top: Option<usize>, log_path: Option<&str>) -> ! {
+    let jsonl = load_log(log_path);
+    let events = lyra_obs::parse_log(&jsonl).unwrap_or_else(|e| panic!("parse event log: {e}"));
+    let attrs = lyra_obs::attribute_log(&events);
+    match (job, top) {
+        (Some(id), _) => {
+            let Some(attr) = attrs.iter().find(|a| a.job == id) else {
+                eprintln!("attribute: job {id} does not appear in the event log");
+                std::process::exit(1);
+            };
+            print!("{}", lyra_obs::render_job(attr, 40));
+        }
+        (None, Some(n)) => {
+            print!("{}", lyra_obs::render_top(&attrs, n));
+            print!("{}", lyra_obs::summarize(&attrs).render_table());
+        }
+        (None, None) => usage(),
+    }
+    std::process::exit(0);
+}
+
+/// `export-trace`: write the event log as Chrome/Perfetto `trace_event`
+/// JSON (open in `chrome://tracing` or <https://ui.perfetto.dev>). The
+/// exported file is schema-validated before the command reports success.
+fn export_trace(log_path: Option<&str>, out: &str) -> ! {
+    let jsonl = load_log(log_path);
+    let events = lyra_obs::parse_log(&jsonl).unwrap_or_else(|e| panic!("parse event log: {e}"));
+    let trace = lyra_obs::export_chrome_trace(&events);
+    let stats = lyra_obs::validate_chrome_trace(&trace)
+        .unwrap_or_else(|e| panic!("exported trace failed validation: {e}"));
+    std::fs::write(out, &trace).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!(
+        "wrote {out}: {} events, {} tracks, {} span pairs",
+        stats.events, stats.tracks, stats.span_pairs
+    );
+    std::process::exit(0);
+}
+
+/// `events --filter job=<id>,kind=<kind>`: slice a JSONL event log,
+/// printing the raw lines that match every criterion (a job filter
+/// matches any event touching that job, audit records included).
+fn events_cmd(filter: &str, log_path: Option<&str>) -> ! {
+    let mut job: Option<u64> = None;
+    let mut kind: Option<String> = None;
+    for part in filter.split(',').filter(|p| !p.is_empty()) {
+        match part.split_once('=') {
+            Some(("job", v)) => {
+                job = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("events: bad job id in filter: {v}");
+                    std::process::exit(2);
+                }));
+            }
+            Some(("kind", v)) => kind = Some(v.to_string()),
+            _ => {
+                eprintln!("events: bad filter term {part:?} (use job=<id>,kind=<kind>)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if job.is_none() && kind.is_none() {
+        eprintln!("events: empty filter (use job=<id>,kind=<kind>)");
+        std::process::exit(2);
+    }
+    let jsonl = load_log(log_path);
+    let lines: Vec<&str> = jsonl.lines().filter(|l| !l.trim().is_empty()).collect();
+    let events = lyra_obs::parse_log(&jsonl).unwrap_or_else(|e| panic!("parse event log: {e}"));
+    assert_eq!(lines.len(), events.len(), "one parsed event per JSONL line");
+    let mut matched = 0usize;
+    for (line, ev) in lines.iter().zip(&events) {
+        let job_ok = job.is_none_or(|id| ev.event.touches_job(id));
+        let kind_ok = kind.as_deref().is_none_or(|k| ev.event.kind_name() == k);
+        if job_ok && kind_ok {
+            println!("{line}");
+            matched += 1;
+        }
+    }
+    eprintln!("events: {matched} of {} lines matched", lines.len());
     std::process::exit(0);
 }
 
@@ -95,7 +200,18 @@ fn explain(job: u64, log_path: Option<&str>) -> ! {
 /// directory operand for `--json [dir]`.
 fn is_operand_like(arg: &str) -> bool {
     arg.starts_with("--")
-        || matches!(arg, "all" | "list" | "plot" | "smoke" | "explain" | "perf" | "golden")
+        || matches!(
+            arg,
+            "all" | "list"
+                | "plot"
+                | "smoke"
+                | "explain"
+                | "attribute"
+                | "export-trace"
+                | "events"
+                | "perf"
+                | "golden"
+        )
         || experiments::ALL.contains(&arg)
 }
 
@@ -161,6 +277,66 @@ fn main() {
                     _ => None,
                 };
                 explain(job, log_path.as_deref());
+            }
+            "attribute" => {
+                let (job, top, next) = match args.get(i + 1).map(String::as_str) {
+                    Some("--top") => {
+                        let n: usize = args
+                            .get(i + 2)
+                            .and_then(|a| a.parse().ok())
+                            .unwrap_or_else(|| usage());
+                        (None, Some(n), i + 3)
+                    }
+                    Some(id) => {
+                        let id: u64 = id.parse().ok().unwrap_or_else(|| usage());
+                        (Some(id), None, i + 2)
+                    }
+                    None => usage(),
+                };
+                let log_path = match args.get(next).map(String::as_str) {
+                    Some("--log") => Some(args.get(next + 1).cloned().unwrap_or_else(|| usage())),
+                    _ => None,
+                };
+                attribute(job, top, log_path.as_deref());
+            }
+            "export-trace" => {
+                let mut log_path: Option<String> = None;
+                let mut out = "trace.json".to_string();
+                let mut k = i + 1;
+                while k < args.len() {
+                    match args[k].as_str() {
+                        "--log" => {
+                            log_path = Some(args.get(k + 1).cloned().unwrap_or_else(|| usage()));
+                            k += 2;
+                        }
+                        "--out" => {
+                            out = args.get(k + 1).cloned().unwrap_or_else(|| usage());
+                            k += 2;
+                        }
+                        _ => usage(),
+                    }
+                }
+                export_trace(log_path.as_deref(), &out);
+            }
+            "events" => {
+                let mut log_path: Option<String> = None;
+                let mut filter: Option<String> = None;
+                let mut k = i + 1;
+                while k < args.len() {
+                    match args[k].as_str() {
+                        "--log" => {
+                            log_path = Some(args.get(k + 1).cloned().unwrap_or_else(|| usage()));
+                            k += 2;
+                        }
+                        "--filter" => {
+                            filter = Some(args.get(k + 1).cloned().unwrap_or_else(|| usage()));
+                            k += 2;
+                        }
+                        _ => usage(),
+                    }
+                }
+                let filter = filter.unwrap_or_else(|| usage());
+                events_cmd(&filter, log_path.as_deref());
             }
             "plot" => {
                 for path in &args[i + 1..] {

@@ -172,6 +172,7 @@ mod tests {
             events: vec![],
             metrics: vec![],
             profile: lyra_obs::Profile::default(),
+            attribution: lyra_obs::AttributionSummary::default(),
         }
     }
 

@@ -252,6 +252,7 @@ pub fn two_phase_allocate_with(
                 est_running_time_s: snapshot.pending[r.idx as usize].est_running_time_s,
                 base_gpus: r.base_gpus,
                 admitted,
+                cause: (!admitted).then_some(lyra_obs::DelayCause::GpuScarcity),
             });
         }
     }
@@ -366,11 +367,14 @@ pub fn two_phase_allocate_with(
                 .zip(&solution.chosen)
                 .map(|(g, chosen)| {
                     let gpw = g.items.first().map_or(1, |i| i.weight.max(1));
+                    let chosen_extra = chosen.map(|i| g.items[i].weight / gpw).unwrap_or(0);
                     lyra_obs::audit::MckpGroupAudit {
                         job: g.key,
                         values: g.items.iter().take(AUDIT_VALUES).map(|i| i.value).collect(),
-                        chosen_extra: chosen.map(|i| g.items[i].weight / gpw).unwrap_or(0),
+                        chosen_extra,
                         chosen_value: chosen.map(|i| g.items[i].value).unwrap_or(0.0),
+                        cause: (chosen_extra == 0 && !g.items.is_empty())
+                            .then_some(lyra_obs::DelayCause::MckpDenial),
                     }
                 })
                 .collect();

@@ -366,17 +366,20 @@ pub fn reclaim_servers(request: &ReclaimRequest, model: CostModel) -> ReclaimOut
         }
         if auditing {
             let victim = candidates[best];
-            let preempted = victim
+            let preempted: Vec<u64> = victim
                 .jobs
                 .iter()
                 .filter(|(j, _)| alive.contains(j))
                 .map(|(j, _)| j.0)
                 .collect();
+            let cause =
+                (!preempted.is_empty()).then_some(lyra_obs::DelayCause::ReclaimPreemption);
             lyra_obs::audit::record(lyra_obs::audit::AuditRecord::ReclaimChoice {
                 need: need_left as u32,
                 candidates: audit_costs,
                 chosen: victim.id.0,
                 preempted,
+                cause,
             });
         }
         best

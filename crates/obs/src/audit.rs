@@ -16,6 +16,8 @@ use std::cell::RefCell;
 
 use serde::{Deserialize, Serialize};
 
+use crate::attribution::DelayCause;
+
 /// One job considered by the phase-1 (inelastic/base) ordering pass.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Phase1Entry {
@@ -27,6 +29,9 @@ pub struct Phase1Entry {
     pub base_gpus: u32,
     /// Whether capacity sufficed to admit it this round.
     pub admitted: bool,
+    /// Delay cause charged when the job was deferred
+    /// ([`DelayCause::GpuScarcity`]); `None` when admitted.
+    pub cause: Option<DelayCause>,
 }
 
 /// One elastic job's group in the phase-2 multiple-choice knapsack.
@@ -40,6 +45,10 @@ pub struct MckpGroupAudit {
     pub chosen_extra: u32,
     /// Value of the chosen option (0 when nothing was chosen).
     pub chosen_value: f64,
+    /// Delay cause charged when the knapsack granted nothing despite
+    /// available options ([`DelayCause::MckpDenial`]); `None` when
+    /// extra workers were granted or nothing was asked.
+    pub cause: Option<DelayCause>,
 }
 
 /// A rejected placement alternative and why it lost.
@@ -111,6 +120,10 @@ pub enum AuditRecord {
         chosen: u32,
         /// Jobs preempted by taking it.
         preempted: Vec<u64>,
+        /// Delay cause charged to the preempted jobs
+        /// ([`DelayCause::ReclaimPreemption`]); `None` when the pick
+        /// preempted nobody.
+        cause: Option<DelayCause>,
     },
 }
 
@@ -189,6 +202,7 @@ mod tests {
             candidates: vec![],
             chosen: 3,
             preempted: vec![],
+            cause: None,
         });
         set_enabled(false);
         assert!(drain().is_empty());

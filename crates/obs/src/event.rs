@@ -12,6 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::attribution::DelayCause;
 use crate::audit::AuditRecord;
 
 /// One structured scheduler event.
@@ -123,6 +124,36 @@ pub enum SchedEvent {
         /// Servers still owed at the deadline.
         servers: u32,
     },
+    /// A training stall charged to a running job, with its typed cause
+    /// (launch overhead, rendezvous, checkpoint restore, …). The engine
+    /// emits one per pause it charges, so the lifecycle tracker can
+    /// replay the stall arithmetic exactly.
+    JobStall {
+        /// Job id.
+        job: u64,
+        /// Why the job stalled.
+        cause: DelayCause,
+        /// Stall length, milliseconds.
+        pause_ms: u64,
+    },
+    /// A running job's effective speed factor changed because of
+    /// straggling servers (worker-weighted; `1.0` = back to nominal).
+    JobStraggle {
+        /// Job id.
+        job: u64,
+        /// Worker-weighted slowdown factor (`< 1.0` while straggling).
+        factor: f64,
+    },
+    /// End-of-epoch scheduler summary, emitted when the state changed
+    /// since the last emission.
+    SchedulerEpoch {
+        /// Jobs launched this epoch.
+        launches: u32,
+        /// Pending-queue depth after the epoch.
+        queued: u32,
+        /// Running jobs after the epoch.
+        running: u32,
+    },
     /// A fault-injection event; `kind` names the `FaultStats` counter it
     /// increments.
     Fault {
@@ -137,6 +168,61 @@ pub enum SchedEvent {
     /// A recorded scheduling decision with its inputs (see
     /// [`AuditRecord`]).
     Audit(AuditRecord),
+}
+
+impl SchedEvent {
+    /// The variant name, as used by `events --filter kind=<name>`.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            SchedEvent::JobAdmit { .. } => "JobAdmit",
+            SchedEvent::JobStart { .. } => "JobStart",
+            SchedEvent::JobScaleOut { .. } => "JobScaleOut",
+            SchedEvent::JobScaleIn { .. } => "JobScaleIn",
+            SchedEvent::ControllerRescale { .. } => "ControllerRescale",
+            SchedEvent::FlexRelease { .. } => "FlexRelease",
+            SchedEvent::JobPreempt { .. } => "JobPreempt",
+            SchedEvent::JobComplete { .. } => "JobComplete",
+            SchedEvent::LoanGrant { .. } => "LoanGrant",
+            SchedEvent::ReclaimGrant { .. } => "ReclaimGrant",
+            SchedEvent::ReclaimCarryover { .. } => "ReclaimCarryover",
+            SchedEvent::ReclaimDeadlineMiss { .. } => "ReclaimDeadlineMiss",
+            SchedEvent::JobStall { .. } => "JobStall",
+            SchedEvent::JobStraggle { .. } => "JobStraggle",
+            SchedEvent::SchedulerEpoch { .. } => "SchedulerEpoch",
+            SchedEvent::Fault { .. } => "Fault",
+            SchedEvent::Audit(_) => "Audit",
+        }
+    }
+
+    /// Whether this event references `job` — directly, via a preemption
+    /// list, or inside an audit record. (`Fault` targets are job *or*
+    /// server ids depending on the kind; the filter matches either.)
+    pub fn touches_job(&self, job: u64) -> bool {
+        match self {
+            SchedEvent::JobAdmit { job: j }
+            | SchedEvent::JobStart { job: j, .. }
+            | SchedEvent::JobScaleOut { job: j, .. }
+            | SchedEvent::JobScaleIn { job: j, .. }
+            | SchedEvent::ControllerRescale { job: j, .. }
+            | SchedEvent::FlexRelease { job: j, .. }
+            | SchedEvent::JobPreempt { job: j, .. }
+            | SchedEvent::JobComplete { job: j, .. }
+            | SchedEvent::JobStall { job: j, .. }
+            | SchedEvent::JobStraggle { job: j, .. } => *j == job,
+            SchedEvent::ReclaimGrant { preempted, .. } => preempted.contains(&job),
+            SchedEvent::Fault { target, .. } => *target == job,
+            SchedEvent::LoanGrant { .. }
+            | SchedEvent::ReclaimCarryover { .. }
+            | SchedEvent::ReclaimDeadlineMiss { .. }
+            | SchedEvent::SchedulerEpoch { .. } => false,
+            SchedEvent::Audit(rec) => match rec {
+                AuditRecord::Phase1Order { order, .. } => order.iter().any(|e| e.job == job),
+                AuditRecord::Phase2Mckp { groups, .. } => groups.iter().any(|g| g.job == job),
+                AuditRecord::PlacementDecision { job: j, .. } => *j == job,
+                AuditRecord::ReclaimChoice { preempted, .. } => preempted.contains(&job),
+            },
+        }
+    }
 }
 
 /// A [`SchedEvent`] stamped with simulated time and a sequence number.

@@ -31,7 +31,10 @@ fn stamp(time_ms: u64) -> String {
     format!("[t={:>9.1}s]", time_ms as f64 / 1000.0)
 }
 
-fn audit_line(rec: &AuditRecord, job: u64) -> Option<String> {
+/// Narrates one audit record for `job`, returning `(collapse_key,
+/// text)`. The key carries the decision *outcome* (its delay cause or
+/// grant), so a deferred round never collapses into an admitted one.
+fn audit_line(rec: &AuditRecord, job: u64) -> Option<(String, String)> {
     match rec {
         AuditRecord::Phase1Order {
             capacity_gpus,
@@ -41,14 +44,22 @@ fn audit_line(rec: &AuditRecord, job: u64) -> Option<String> {
                 .iter()
                 .enumerate()
                 .find(|(_, e)| e.job == job)?;
-            Some(format!(
-                "phase-1 ordering: rank {}/{} (est running time {:.0}s, base {} GPUs, capacity {} GPUs) -> {}",
-                rank + 1,
-                order.len(),
-                entry.est_running_time_s,
-                entry.base_gpus,
-                capacity_gpus,
-                if entry.admitted { "admitted" } else { "deferred" },
+            let outcome = match entry.cause {
+                Some(c) => c.label(),
+                None if entry.admitted => "admitted",
+                None => "deferred",
+            };
+            Some((
+                format!("phase-1 ordering/{outcome}"),
+                format!(
+                    "phase-1 ordering: rank {}/{} (est running time {:.0}s, base {} GPUs, capacity {} GPUs) -> {}",
+                    rank + 1,
+                    order.len(),
+                    entry.est_running_time_s,
+                    entry.base_gpus,
+                    capacity_gpus,
+                    if entry.admitted { "admitted" } else { "deferred" },
+                ),
             ))
         }
         AuditRecord::Phase2Mckp {
@@ -57,16 +68,24 @@ fn audit_line(rec: &AuditRecord, job: u64) -> Option<String> {
             ..
         } => {
             let g = groups.iter().find(|g| g.job == job)?;
-            Some(format!(
-                "phase-2 MCKP: {} flexible-demand options (JCT-reduction values {:?}) over {} leftover GPUs -> granted {} extra workers (value {:.1})",
-                g.values.len(),
-                g.values
-                    .iter()
-                    .map(|v| (v * 10.0).round() / 10.0)
-                    .collect::<Vec<_>>(),
-                capacity_gpus,
-                g.chosen_extra,
-                g.chosen_value,
+            let outcome = match g.cause {
+                Some(c) => c.label(),
+                None if g.chosen_extra > 0 => "granted",
+                None => "kept-base",
+            };
+            Some((
+                format!("phase-2 MCKP/{outcome}"),
+                format!(
+                    "phase-2 MCKP: {} flexible-demand options (JCT-reduction values {:?}) over {} leftover GPUs -> granted {} extra workers (value {:.1})",
+                    g.values.len(),
+                    g.values
+                        .iter()
+                        .map(|v| (v * 10.0).round() / 10.0)
+                        .collect::<Vec<_>>(),
+                    capacity_gpus,
+                    g.chosen_extra,
+                    g.chosen_value,
+                ),
             ))
         }
         AuditRecord::PlacementDecision {
@@ -82,13 +101,19 @@ fn audit_line(rec: &AuditRecord, job: u64) -> Option<String> {
                 .map(|a| format!("s{}(free {})", a.server, a.free_gpus))
                 .collect();
             Some(match chosen {
-                Some(server) => format!(
-                    "placement ({role}, {gpus} GPUs): best-fit chose server {server} (free {chosen_free_gpus}); rejected [{}]",
-                    alts.join(", ")
+                Some(server) => (
+                    format!("placement/{role}/chosen"),
+                    format!(
+                        "placement ({role}, {gpus} GPUs): best-fit chose server {server} (free {chosen_free_gpus}); rejected [{}]",
+                        alts.join(", ")
+                    ),
                 ),
-                None => format!(
-                    "placement ({role}, {gpus} GPUs): FAILED; candidates [{}]",
-                    alts.join(", ")
+                None => (
+                    format!("placement/{role}/failed"),
+                    format!(
+                        "placement ({role}, {gpus} GPUs): FAILED; candidates [{}]",
+                        alts.join(", ")
+                    ),
                 ),
             })
         }
@@ -97,119 +122,162 @@ fn audit_line(rec: &AuditRecord, job: u64) -> Option<String> {
             candidates,
             chosen,
             preempted,
+            cause,
         } if preempted.contains(&job) => {
             let costs: Vec<String> = candidates
                 .iter()
                 .map(|c| format!("s{}: cost {:.3} (+{} collateral)", c.server, c.cost, c.collateral_gpus))
                 .collect();
-            Some(format!(
-                "reclaim cost search (need {need} servers): picked server {chosen} as cheapest of [{}] -> this job preempted",
-                costs.join("; ")
+            let outcome = cause.map(|c| c.label()).unwrap_or("no-preempt");
+            Some((
+                format!("reclaim cost search/{outcome}"),
+                format!(
+                    "reclaim cost search (need {need} servers): picked server {chosen} as cheapest of [{}] -> this job preempted",
+                    costs.join("; ")
+                ),
             ))
         }
         _ => None,
     }
 }
 
-/// A line's kind for run-length collapsing: the text up to the first
-/// `:` (or the whole line). Recurring per-tick decisions ("phase-2
-/// MCKP: ...") share a kind even though their numbers drift.
-fn line_kind(line: &str) -> &str {
-    line.split(':').next().unwrap_or(line)
-}
-
 /// Narrates the full causal chain for `job` from a recorded run.
 ///
 /// Returns a multi-line human-readable report; the final line counts
 /// the events that touched the job (0 lines of history means the id
-/// never appeared in the log). Long runs of the same decision kind
-/// (a running elastic job is re-evaluated by phase-2 every scheduler
-/// tick) are collapsed to their first and last occurrence.
+/// never appeared in the log). Long runs of the same decision are
+/// collapsed to their first and last occurrence; the collapse key is
+/// (decision kind, cause/outcome), so a stretch of `gpu-scarcity`
+/// deferrals never swallows the admission that ended it.
 pub fn explain_job(events: &[TimedEvent], job: u64) -> String {
-    let mut lines: Vec<(u64, String)> = Vec::new();
+    let mut lines: Vec<(u64, String, String)> = Vec::new();
     for ev in events {
         let line = match &ev.event {
-            SchedEvent::JobAdmit { job: j } if *j == job => {
-                Some("admitted to the pending queue".to_string())
-            }
+            SchedEvent::JobAdmit { job: j } if *j == job => Some((
+                "admit".to_string(),
+                "admitted to the pending queue".to_string(),
+            )),
             SchedEvent::JobStart {
                 job: j,
                 workers,
                 on_loan,
                 servers,
-            } if *j == job => Some(format!(
-                "launched with {workers} workers on servers {servers:?}{}",
-                if *on_loan { " (partly on loaned capacity)" } else { "" }
+            } if *j == job => Some((
+                "launch".to_string(),
+                format!(
+                    "launched with {workers} workers on servers {servers:?}{}",
+                    if *on_loan { " (partly on loaned capacity)" } else { "" }
+                ),
             )),
             SchedEvent::JobScaleOut {
                 job: j,
                 delta,
                 workers,
-            } if *j == job => Some(format!("scaled out +{delta} -> {workers} workers")),
+            } if *j == job => Some((
+                "scale-out".to_string(),
+                format!("scaled out +{delta} -> {workers} workers"),
+            )),
             SchedEvent::JobScaleIn {
                 job: j,
                 delta,
                 workers,
-            } if *j == job => Some(format!("scaled in -{delta} -> {workers} workers")),
+            } if *j == job => Some((
+                "scale-in".to_string(),
+                format!("scaled in -{delta} -> {workers} workers"),
+            )),
             SchedEvent::ControllerRescale {
                 job: j,
                 workers,
                 pause_s,
-            } if *j == job => Some(format!(
-                "elastic controller rendezvous -> {workers} workers ({pause_s:.0}s pause)"
+            } if *j == job => Some((
+                "rendezvous".to_string(),
+                format!(
+                    "elastic controller rendezvous -> {workers} workers ({pause_s:.0}s pause)"
+                ),
             )),
             SchedEvent::FlexRelease {
                 job: j,
                 server,
                 workers,
-            } if *j == job => Some(format!(
-                "released {workers} flexible workers from server {server} (reclaim pressure)"
+            } if *j == job => Some((
+                "flex-release".to_string(),
+                format!(
+                    "released {workers} flexible workers from server {server} (reclaim pressure)"
+                ),
             )),
-            SchedEvent::JobPreempt { job: j, checkpointed } if *j == job => Some(format!(
-                "PREEMPTED{}",
-                if *checkpointed {
-                    " (will resume from checkpoint)"
+            SchedEvent::JobStall {
+                job: j,
+                cause,
+                pause_ms,
+            } if *j == job => Some((
+                format!("stall/{}", cause.label()),
+                format!(
+                    "stalled {:.1}s ({})",
+                    *pause_ms as f64 / 1000.0,
+                    cause.label()
+                ),
+            )),
+            SchedEvent::JobStraggle { job: j, factor } if *j == job => Some((
+                format!(
+                    "straggle/{}",
+                    if *factor < 1.0 { "slow" } else { "recovered" }
+                ),
+                if *factor < 1.0 {
+                    format!("straggling at {factor:.2}x nominal speed")
                 } else {
-                    " (restarts from scratch)"
-                }
+                    "straggler episode ended (back to nominal speed)".to_string()
+                },
             )),
-            SchedEvent::JobComplete { job: j, jct_s } if *j == job => {
-                Some(format!("completed (JCT {jct_s:.0}s)"))
-            }
+            SchedEvent::JobPreempt { job: j, checkpointed } if *j == job => Some((
+                "preempt".to_string(),
+                format!(
+                    "PREEMPTED{}",
+                    if *checkpointed {
+                        " (will resume from checkpoint)"
+                    } else {
+                        " (restarts from scratch)"
+                    }
+                ),
+            )),
+            SchedEvent::JobComplete { job: j, jct_s } if *j == job => Some((
+                "complete".to_string(),
+                format!("completed (JCT {jct_s:.0}s)"),
+            )),
             SchedEvent::ReclaimGrant {
                 demanded,
                 preempted,
                 ..
-            } if preempted.contains(&job) => Some(format!(
-                "reclaim of {demanded} servers preempted this job"
+            } if preempted.contains(&job) => Some((
+                "reclaim-hit".to_string(),
+                format!("reclaim of {demanded} servers preempted this job"),
             )),
             SchedEvent::Fault { kind, target } if *target == job => {
-                Some(format!("fault: {kind}"))
+                Some((format!("fault/{kind}"), format!("fault: {kind}")))
             }
             SchedEvent::Audit(rec) => audit_line(rec, job),
             _ => None,
         };
-        if let Some(line) = line {
-            lines.push((ev.time_ms, line));
+        if let Some((key, text)) = line {
+            lines.push((ev.time_ms, key, text));
         }
     }
     let mut out = format!("decision chain for job {job}\n");
     let mut i = 0;
     while i < lines.len() {
-        let kind = line_kind(&lines[i].1);
+        let kind = &lines[i].1;
         let mut j = i + 1;
-        while j < lines.len() && line_kind(&lines[j].1) == kind {
+        while j < lines.len() && lines[j].1 == *kind {
             j += 1;
         }
-        out.push_str(&format!("  {} {}\n", stamp(lines[i].0), lines[i].1));
+        out.push_str(&format!("  {} {}\n", stamp(lines[i].0), lines[i].2));
         if j - i > 2 {
             let n = j - i - 2;
             let noun = if n == 1 { "decision" } else { "decisions" };
             out.push_str(&format!("  ... ({n} similar {noun} elided)\n"));
         }
         if j - i > 1 {
-            let (t, line) = &lines[j - 1];
-            out.push_str(&format!("  {} {line}\n", stamp(*t)));
+            let (t, _, text) = &lines[j - 1];
+            out.push_str(&format!("  {} {text}\n", stamp(*t)));
         }
         i = j;
     }
@@ -236,6 +304,7 @@ mod tests {
                     est_running_time_s: 3600.0,
                     base_gpus: 8,
                     admitted: true,
+                    cause: None,
                 }],
             }),
         );
@@ -259,6 +328,7 @@ mod tests {
                 }],
                 chosen: 9,
                 preempted: vec![42],
+                cause: Some(crate::attribution::DelayCause::ReclaimPreemption),
             }),
         );
         log.emit(7_200_000, SchedEvent::JobPreempt { job: 42, checkpointed: false });
@@ -288,6 +358,7 @@ mod tests {
                         values: vec![100.0 - tick as f64],
                         chosen_extra: 0,
                         chosen_value: 0.0,
+                        cause: Some(crate::attribution::DelayCause::MckpDenial),
                     }],
                     total_value: 0.0,
                     total_weight: 0,
@@ -300,5 +371,41 @@ mod tests {
         assert_eq!(text.matches("phase-2 MCKP").count(), 2);
         assert!(text.contains("(3 similar decisions elided)"));
         assert!(text.contains("5 events touched job 1"));
+    }
+
+    #[test]
+    fn explain_never_collapses_distinct_causes() {
+        // Three gpu-scarcity deferrals followed by an admission: the
+        // run-length collapse must break at the cause change instead of
+        // swallowing the admission into the deferral run.
+        let mut log = EventLog::new(64);
+        for tick in 0..4u64 {
+            let admitted = tick == 3;
+            log.emit(
+                tick * 60_000,
+                SchedEvent::Audit(AuditRecord::Phase1Order {
+                    capacity_gpus: 0,
+                    order: vec![Phase1Entry {
+                        job: 5,
+                        est_running_time_s: 100.0,
+                        base_gpus: 8,
+                        admitted,
+                        cause: (!admitted)
+                            .then_some(crate::attribution::DelayCause::GpuScarcity),
+                    }],
+                }),
+            );
+        }
+        let events = parse_log(&log.to_jsonl()).expect("parses");
+        let text = explain_job(&events, 5);
+        assert!(
+            text.contains("-> admitted"),
+            "the admitted round must survive collapsing:\n{text}"
+        );
+        assert_eq!(
+            text.matches("-> deferred").count(),
+            2,
+            "deferral run keeps first and last:\n{text}"
+        );
     }
 }

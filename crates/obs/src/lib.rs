@@ -24,6 +24,13 @@
 //!   MCKP allocations, placement and reclaim choices record their inputs
 //!   so [`explain`] can reconstruct the causal chain for one job.
 //!
+//! On top of the event log sits the **causal delay-attribution layer**:
+//! [`lifecycle`] replays the stream through a per-job state machine,
+//! [`attribution`] decomposes every job's completion time into
+//! cause-attributed intervals that reconcile exactly (Σ intervals ==
+//! completion − arrival, checked end-of-run), and [`chrome`] exports
+//! the whole run as Chrome/Perfetto `trace_event` JSON.
+//!
 //! [`output`] is the small experiment-output writer used by the bench
 //! CLI's `--quiet` / `--json` modes.
 //!
@@ -32,19 +39,28 @@
 //! `std::thread::scope`), so per-thread state isolates concurrent runs
 //! without any handle threading through the algorithm crates.
 
+pub mod attribution;
 pub mod audit;
+pub mod chrome;
 pub mod event;
 pub mod explain;
+pub mod lifecycle;
 pub mod log;
 pub mod output;
 pub mod registry;
 pub mod span;
 
+pub use attribution::{
+    render_job, render_top, summarize, AttributedInterval, AttributionSummary, CauseStat,
+    DelayCause, JobAttribution,
+};
 pub use audit::{
     AuditRecord, MckpGroupAudit, Phase1Entry, PlacementAlternative, ReclaimCandidate,
 };
+pub use chrome::{export_chrome_trace, validate_chrome_trace, ChromeTraceStats};
 pub use event::{SchedEvent, TimedEvent};
 pub use explain::{explain_job, parse_log};
+pub use lifecycle::{attribute_log, LifecycleTracker};
 pub use log::EventLog;
 pub use output::OutputMode;
 pub use registry::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};

@@ -6,6 +6,12 @@
 //! intended or not — shows up as a diff; intended changes are blessed
 //! with `lyra-bench golden --bless`.
 //!
+//! The faulted case additionally pins two artifacts *derived* from its
+//! log — the delay-attribution table (`.attribution.txt`) and the
+//! Chrome `trace_event` export (`.trace.json`) — so a change to the
+//! attribution or export pipeline is caught even when the underlying
+//! event stream is unchanged.
+//!
 //! The gate also proves its own teeth: [`mutation_smoke`] flips one
 //! scheduler constant (the phase-2 solver, MCKP DP → greedy ablation)
 //! and asserts both the gate and a differential oracle actually fail.
@@ -35,6 +41,9 @@ pub struct GoldenCase {
     pub jobs: JobTrace,
     /// The pinned inference trace.
     pub inference: InferenceTrace,
+    /// Also pin the derived artifacts (attribution table + Chrome
+    /// trace) for this case.
+    pub pin_artifacts: bool,
 }
 
 impl GoldenCase {
@@ -54,6 +63,30 @@ impl GoldenCase {
     /// The on-disk path of this case's committed log inside `dir`.
     pub fn path(&self, dir: &Path) -> PathBuf {
         dir.join(format!("{}.jsonl", self.name))
+    }
+
+    /// Path of the pinned attribution table inside `dir`.
+    pub fn attribution_path(&self, dir: &Path) -> PathBuf {
+        dir.join(format!("{}.attribution.txt", self.name))
+    }
+
+    /// Path of the pinned Chrome trace inside `dir`.
+    pub fn trace_path(&self, dir: &Path) -> PathBuf {
+        dir.join(format!("{}.trace.json", self.name))
+    }
+
+    /// Derives the pinned artifacts from a JSONL event log: the
+    /// rendered delay-attribution table and the Chrome `trace_event`
+    /// export (schema-validated before it is returned).
+    pub fn artifacts(&self, log: &[String]) -> Result<(String, String), String> {
+        let events = lyra_obs::parse_log(&log.join("\n"))
+            .map_err(|e| format!("{}: event log does not parse: {e}", self.name))?;
+        let attrs = lyra_obs::attribute_log(&events);
+        let table = lyra_obs::summarize(&attrs).render_table();
+        let trace = lyra_obs::export_chrome_trace(&events);
+        lyra_obs::validate_chrome_trace(&trace)
+            .map_err(|e| format!("{}: exported Chrome trace is malformed: {e}", self.name))?;
+        Ok((table, trace))
     }
 }
 
@@ -79,18 +112,24 @@ pub fn cases() -> Vec<GoldenCase> {
             scenario: generators::tiny_basic(7),
             jobs: jobs_basic,
             inference: inf_basic,
+            pin_artifacts: false,
         },
         GoldenCase {
             name: "tiny-elastic",
             scenario: generators::tiny_basic(11),
             jobs: jobs_elastic,
             inference: inf_elastic,
+            pin_artifacts: false,
         },
+        // The faulted case covers the widest cause taxonomy (restarts,
+        // restores, preemptions, stragglers), so it also pins the
+        // derived attribution table and Chrome trace.
         GoldenCase {
             name: "tiny-faulty",
             scenario: faulty,
             jobs: jobs_faulty,
             inference: inf_faulty,
+            pin_artifacts: true,
         },
     ]
 }
@@ -141,7 +180,7 @@ fn first_divergence(expected: &str, got: &str) -> String {
 pub fn compare(dir: &Path) -> Vec<GoldenDiff> {
     let mut diffs = Vec::new();
     for case in cases() {
-        let fresh = match (case.event_log(), case.event_log()) {
+        let lines = match (case.event_log(), case.event_log()) {
             (Ok(a), Ok(b)) => {
                 if a != b {
                     diffs.push(GoldenDiff {
@@ -150,7 +189,7 @@ pub fn compare(dir: &Path) -> Vec<GoldenDiff> {
                     });
                     continue;
                 }
-                render(&a)
+                a
             }
             (Err(e), _) | (_, Err(e)) => {
                 diffs.push(GoldenDiff {
@@ -160,6 +199,7 @@ pub fn compare(dir: &Path) -> Vec<GoldenDiff> {
                 continue;
             }
         };
+        let fresh = render(&lines);
         match fs::read_to_string(case.path(dir)) {
             Ok(committed) => {
                 if committed != fresh {
@@ -177,6 +217,44 @@ pub fn compare(dir: &Path) -> Vec<GoldenDiff> {
                 ),
             }),
         }
+        if !case.pin_artifacts {
+            continue;
+        }
+        let (table, trace) = match case.artifacts(&lines) {
+            Ok(a) => a,
+            Err(e) => {
+                diffs.push(GoldenDiff {
+                    name: case.name.to_string(),
+                    detail: e,
+                });
+                continue;
+            }
+        };
+        for (label, path, got) in [
+            ("attribution table", case.attribution_path(dir), table),
+            ("chrome trace", case.trace_path(dir), trace),
+        ] {
+            match fs::read_to_string(&path) {
+                Ok(committed) => {
+                    if committed != got {
+                        diffs.push(GoldenDiff {
+                            name: case.name.to_string(),
+                            detail: format!(
+                                "{label} diverged: {}",
+                                first_divergence(&committed, &got)
+                            ),
+                        });
+                    }
+                }
+                Err(e) => diffs.push(GoldenDiff {
+                    name: case.name.to_string(),
+                    detail: format!(
+                        "cannot read {} ({e}); run `lyra-bench golden --bless`",
+                        path.display()
+                    ),
+                }),
+            }
+        }
     }
     diffs
 }
@@ -191,6 +269,15 @@ pub fn bless(dir: &Path) -> Result<Vec<String>, String> {
         let path = case.path(dir);
         fs::write(&path, render(&log)).map_err(|e| format!("{}: {e}", path.display()))?;
         written.push(format!("{} ({} events)", path.display(), log.len()));
+        if case.pin_artifacts {
+            let (table, trace) = case.artifacts(&log)?;
+            let apath = case.attribution_path(dir);
+            fs::write(&apath, table).map_err(|e| format!("{}: {e}", apath.display()))?;
+            written.push(format!("{}", apath.display()));
+            let tpath = case.trace_path(dir);
+            fs::write(&tpath, trace).map_err(|e| format!("{}: {e}", tpath.display()))?;
+            written.push(format!("{}", tpath.display()));
+        }
     }
     Ok(written)
 }

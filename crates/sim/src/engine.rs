@@ -187,6 +187,9 @@ struct SimJob {
     /// Pending-side bookkeeping.
     enqueued_at_s: f64,
     resume_overhead_s: f64,
+    /// Cause charged to the pending `resume_overhead_s` stall at the
+    /// next launch (checkpoint restore vs. full restart vs. preemption).
+    resume_cause: Option<lyra_obs::DelayCause>,
     /// Stale-finish guard.
     generation: u64,
     /// §6's per-job controller: coordinates worker join/departure and
@@ -213,6 +216,7 @@ impl SimJob {
             stall_until_s: 0.0,
             enqueued_at_s: enqueued,
             resume_overhead_s: 0.0,
+            resume_cause: None,
             generation: 0,
             controller: None,
             spec,
@@ -283,6 +287,12 @@ struct Observer {
     audit: bool,
     /// Next simulated hour to snapshot.
     next_hour: u64,
+    /// Online per-job delay attribution. Fed from `emit` so it sees
+    /// every event even when the ring buffer drops old lines.
+    lifecycle: lyra_obs::LifecycleTracker,
+    /// Last emitted `SchedulerEpoch` shape; epochs are only logged when
+    /// (launches, queued, running) changes, keeping quiet periods quiet.
+    last_epoch: Option<(u32, u32, u32)>,
 }
 
 /// Fixed histogram bucket bounds for job-level durations, seconds
@@ -400,6 +410,9 @@ pub struct Simulation {
     observer: Option<Observer>,
     /// Per-phase span profile collected at the end of an observed run.
     profile: lyra_obs::Profile,
+    /// Cluster-level delay-attribution rollup, reconciled and collected
+    /// at the end of an observed run.
+    attribution: lyra_obs::AttributionSummary,
 }
 
 /// GPUs a pending job contributes to loan-eligible demand: zero unless
@@ -480,6 +493,7 @@ impl Simulation {
             running_jobs: std::collections::BTreeSet::new(),
             observer: None,
             profile: lyra_obs::Profile::default(),
+            attribution: lyra_obs::AttributionSummary::default(),
         };
         let n = specs.len();
         for (i, spec) in specs.into_iter().enumerate() {
@@ -536,6 +550,8 @@ impl Simulation {
             snapshots: Vec::new(),
             audit: cfg.audit,
             next_hour: 0,
+            lifecycle: lyra_obs::LifecycleTracker::new(),
+            last_epoch: None,
         });
         Ok(self)
     }
@@ -544,6 +560,7 @@ impl Simulation {
     fn emit(&mut self, ev: SchedEvent) {
         if let Some(obs) = self.observer.as_mut() {
             let time_ms = (self.now_s.max(0.0) * 1000.0).round() as u64;
+            obs.lifecycle.observe(time_ms, &ev);
             obs.log.emit(time_ms, ev);
         }
     }
@@ -561,6 +578,57 @@ impl Simulation {
         if let Some(obs) = self.observer.as_mut() {
             obs.metrics.histogram_observe(name, value);
         }
+    }
+
+    /// Emits a `JobStall` announcing a progress stall of `pause_s`
+    /// charged to `cause` (no-op without an observer or for zero-length
+    /// pauses). The tracker replays the engine's stall arithmetic from
+    /// these, so every `SimJob::stall` site must announce its pause.
+    fn emit_stall(&mut self, job: u64, cause: lyra_obs::DelayCause, pause_s: f64) {
+        if self.observer.is_none() || pause_s <= 0.0 {
+            return;
+        }
+        let pause_ms = (pause_s * 1000.0).round() as u64;
+        if pause_ms > 0 {
+            self.emit(SchedEvent::JobStall {
+                job,
+                cause,
+                pause_ms,
+            });
+        }
+    }
+
+    /// Worker-weighted straggler throughput factor of a job's current
+    /// placement (1.0 = unaffected) — the same weighting
+    /// [`compute_rate`](Self::compute_rate) applies.
+    fn straggle_factor(&self, idx: usize) -> f64 {
+        if self.slowdown.is_empty() {
+            return 1.0;
+        }
+        let mut weighted = 0.0;
+        let mut workers = 0.0;
+        for (sid, w) in &self.jobs[idx].placement {
+            let f = self.slowdown.get(sid).copied().unwrap_or(1.0);
+            weighted += f64::from(*w) * f;
+            workers += f64::from(*w);
+        }
+        if workers > 0.0 {
+            weighted / workers
+        } else {
+            1.0
+        }
+    }
+
+    /// Emits a `JobStraggle` with the job's current effective factor so
+    /// the lifecycle tracker can open/close straggler episodes (no-op
+    /// without an observer).
+    fn note_straggle(&mut self, idx: usize) {
+        if self.observer.is_none() {
+            return;
+        }
+        let factor = self.straggle_factor(idx);
+        let job = self.jobs[idx].spec.id.0;
+        self.emit(SchedEvent::JobStraggle { job, factor });
     }
 
     /// Drains thread-local audit records into `Audit` events (no-op
@@ -999,9 +1067,11 @@ impl Simulation {
                 }
                 j.synced_at_s = now;
                 j.stall_until_s = now;
-                let pause = self.config.launch_delay_s + j.resume_overhead_s;
+                let launch_delay_s = self.config.launch_delay_s;
+                let resume_s = j.resume_overhead_s;
+                let resume_cause = j.resume_cause.take();
                 j.resume_overhead_s = 0.0;
-                j.stall(now, pause);
+                j.stall(now, launch_delay_s + resume_s);
                 if j.spec.is_elastic() {
                     j.controller = Some(ElasticController::new(
                         *workers,
@@ -1022,6 +1092,18 @@ impl Simulation {
                         servers,
                     });
                     self.count("sim.jobs.started");
+                    // Announce the launch pause split by cause: the
+                    // fixed launch delay, then any carried resume
+                    // overhead (checkpoint restore / restart).
+                    self.emit_stall(job.0, lyra_obs::DelayCause::LaunchOverhead, launch_delay_s);
+                    self.emit_stall(
+                        job.0,
+                        resume_cause.unwrap_or(lyra_obs::DelayCause::LaunchOverhead),
+                        resume_s,
+                    );
+                    if !self.slowdown.is_empty() {
+                        self.note_straggle(idx);
+                    }
                 }
             }
             Action::ScaleOut {
@@ -1095,6 +1177,10 @@ impl Simulation {
                         });
                         self.count("elastic.rendezvous.ops");
                     }
+                    self.emit_stall(job.0, lyra_obs::DelayCause::Rendezvous, pause);
+                    if !self.slowdown.is_empty() {
+                        self.note_straggle(idx);
+                    }
                 }
             }
             Action::ScaleIn { job, removal } => {
@@ -1159,6 +1245,12 @@ impl Simulation {
                             pause_s: pause,
                         });
                         self.count("elastic.rendezvous.ops");
+                    }
+                    // A policy scale-in means the knapsack withdrew
+                    // flexible workers this round.
+                    self.emit_stall(job.0, lyra_obs::DelayCause::MckpDenial, pause);
+                    if !self.slowdown.is_empty() {
+                        self.note_straggle(idx);
                     }
                 }
             }
@@ -1228,6 +1320,10 @@ impl Simulation {
                 });
                 self.count("elastic.rendezvous.ops");
             }
+            self.emit_stall(job.0, lyra_obs::DelayCause::LoanScaleIn, pause);
+            if !self.slowdown.is_empty() {
+                self.note_straggle(idx);
+            }
         }
         Ok(())
     }
@@ -1264,10 +1360,12 @@ impl Simulation {
                 let done = j.spec.work() - j.work_left;
                 j.work_left = j.spec.work() - policy.preserved_work(done);
                 j.resume_overhead_s = policy.overhead_s;
+                j.resume_cause = Some(lyra_obs::DelayCause::CheckpointRestore);
             } else {
                 // All progress lost (§4's common no-checkpoint case).
                 j.work_left = j.spec.work();
                 j.resume_overhead_s = overhead;
+                j.resume_cause = Some(lyra_obs::DelayCause::ReclaimPreemption);
             }
         }
         self.mark_running_dirty(idx);
@@ -1496,6 +1594,10 @@ impl Simulation {
                 kind: "elastic_absorbed".to_string(),
                 target: job,
             });
+            self.emit_stall(job, lyra_obs::DelayCause::FaultRestart, pause);
+            if !self.slowdown.is_empty() {
+                self.note_straggle(idx);
+            }
         }
     }
 
@@ -1547,6 +1649,7 @@ impl Simulation {
             };
             j.work_left = j.spec.work() - policy.preserved_work(done_before);
             j.resume_overhead_s = policy.overhead_s;
+            j.resume_cause = Some(lyra_obs::DelayCause::CheckpointRestore);
             self.fault_stats.checkpoint_restores += 1;
         } else {
             if j.spec.checkpointing {
@@ -1554,6 +1657,7 @@ impl Simulation {
             }
             j.work_left = j.spec.work();
             j.resume_overhead_s = overhead;
+            j.resume_cause = Some(lyra_obs::DelayCause::FaultRestart);
         }
         let preserved = j.spec.work() - j.work_left;
         self.fault_stats.work_lost_s += (done_before - preserved).max(0.0);
@@ -1601,6 +1705,9 @@ impl Simulation {
             self.jobs[idx].sync(self.now_s);
             self.jobs[idx].rate = self.compute_rate(&self.jobs[idx]);
             self.reschedule_finish(idx);
+            // Announce the new effective factor so attribution can open
+            // or close this job's straggler episode.
+            self.note_straggle(idx);
         }
     }
 
@@ -1676,6 +1783,23 @@ impl Simulation {
         // whitelist move is cheap; the five-minute orchestrator cadence
         // is only needed for decisions involving the inference side).
         self.return_surplus_idle_loans()?;
+        if let Some(obs) = self.observer.as_ref() {
+            let epoch = (
+                launches as u32,
+                self.queue.len() as u32,
+                self.running_jobs.len() as u32,
+            );
+            if obs.last_epoch != Some(epoch) {
+                self.emit(SchedEvent::SchedulerEpoch {
+                    launches: epoch.0,
+                    queued: epoch.1,
+                    running: epoch.2,
+                });
+                if let Some(obs) = self.observer.as_mut() {
+                    obs.last_epoch = Some(epoch);
+                }
+            }
+        }
         Ok(launches)
     }
 
@@ -2050,19 +2174,38 @@ impl Simulation {
         if self.cluster.audit().is_err() {
             self.fault_stats.audit_violations += 1;
         }
-        self.finish_observation();
+        self.finish_observation()?;
         Ok(self.report(name))
     }
 
-    /// Closes out an observed run: drains pending audit records, forces
-    /// a snapshot covering the final partial hour, flushes the sink and
-    /// collects the span profile, then disables the thread-local
-    /// collectors so unobserved runs on this thread stay clean.
-    fn finish_observation(&mut self) {
+    /// Closes out an observed run: drains pending audit records, settles
+    /// and reconciles the delay attribution, forces a snapshot covering
+    /// the final partial hour, flushes the sink and collects the span
+    /// profile, then disables the thread-local collectors so unobserved
+    /// runs on this thread stay clean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when any job's attributed intervals fail to
+    /// partition its lifetime exactly (see
+    /// [`lyra_obs::JobAttribution::reconcile`]) — an engine bug, checked
+    /// in release builds too.
+    fn finish_observation(&mut self) -> Result<(), SimError> {
         if self.observer.is_none() {
-            return;
+            return Ok(());
         }
         self.drain_audit();
+        let now_ms = (self.now_s.max(0.0) * 1000.0).round() as u64;
+        if let Some(obs) = self.observer.as_mut() {
+            obs.lifecycle.finish(now_ms);
+            let tracker = std::mem::take(&mut obs.lifecycle);
+            let attrs = tracker.into_attributions();
+            for a in &attrs {
+                a.reconcile()
+                    .map_err(|e| SimError(format!("delay attribution does not reconcile: {e}")))?;
+            }
+            self.attribution = lyra_obs::summarize(&attrs);
+        }
         let close_at = (self.observer.as_ref().map_or(0, |o| o.next_hour) + 1) as f64 * 3600.0;
         self.snapshot_metrics(close_at);
         if let Some(obs) = self.observer.as_mut() {
@@ -2071,6 +2214,7 @@ impl Simulation {
         self.profile = lyra_obs::span::take_profile();
         lyra_obs::span::set_enabled(false);
         lyra_obs::audit::set_enabled(false);
+        Ok(())
     }
 
     /// Utilisation of an integral truncated to the usage horizon.
@@ -2162,6 +2306,7 @@ impl Simulation {
                 .map(|o| o.snapshots.clone())
                 .unwrap_or_default(),
             profile: self.profile.clone(),
+            attribution: self.attribution.clone(),
         }
     }
 }

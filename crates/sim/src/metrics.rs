@@ -297,6 +297,11 @@ pub struct SimReport {
     /// wall-clock data, so it compares equal to any other profile —
     /// same-seed reports stay `==`.
     pub profile: lyra_obs::Profile,
+    /// Cluster-level delay-attribution rollup: per-cause totals and
+    /// per-job-total percentiles in integer milliseconds (empty without
+    /// an observer). Per-job detail is recovered from the event log via
+    /// [`lyra_obs::attribute_log`].
+    pub attribution: lyra_obs::AttributionSummary,
 }
 
 impl SimReport {
@@ -583,6 +588,7 @@ mod tests {
             events: vec![],
             metrics: vec![],
             profile: lyra_obs::Profile::default(),
+            attribution: lyra_obs::AttributionSummary::default(),
         }
     }
 }
