@@ -68,4 +68,14 @@ rm -rf "$smoke_dir"
 # fire — the gate's own test.
 ./target/release/lyra-bench golden --mutate
 
+# Crash-storm gate: kill the faulted golden scenario at 10 seeded
+# epochs, checkpoint the crash-point state through the durable file
+# format (torn sink tail included), restore, and require the resumed
+# run's event log, attribution table, report and JSONL sink to be
+# byte-identical to the uninterrupted run's. Also proves corrupted/
+# truncated/version-bumped checkpoints are refused with typed errors.
+storm_dir=$(mktemp -d)
+./target/release/lyra-bench crash-storm --kills 10 --seed 1 --dir "$storm_dir"
+rm -rf "$storm_dir"
+
 echo "ci: all gates passed (${total_passed} tests)"

@@ -9,6 +9,7 @@
 //! a scaled-down cluster/trace so the whole suite completes in minutes;
 //! pass `--full` for the paper-scale 15-day, 50k-job configuration.
 
+pub mod crash;
 pub mod experiments;
 pub mod golden;
 pub mod perf;

@@ -32,6 +32,9 @@ fn usage() -> ! {
          \x20      lyra-bench events --filter job=<id>,kind=<kind> [--log <file.jsonl>]\n\
          \x20      lyra-bench perf [--smoke]\n\
          \x20      lyra-bench golden [--bless|--mutate]\n\
+         \x20      lyra-bench checkpoint --at <seconds> --out <file.ckpt> [--log <file.jsonl>]\n\
+         \x20      lyra-bench resume --ckpt <file.ckpt>\n\
+         \x20      lyra-bench crash-storm [--kills <n>] [--seed <s>] [--dir <path>]\n\
          ids: {}  (or `all`)",
         experiments::ALL.join(" ")
     );
@@ -95,20 +98,30 @@ fn smoke(log_path: Option<&str>) -> ! {
 }
 
 /// The JSONL event log named by `--log`, or a fresh small observed run.
+/// A bad path is a clean user error, not a panic.
 fn load_log(log_path: Option<&str>) -> String {
     match log_path {
-        Some(path) => {
-            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"))
-        }
+        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read event log {path}: {e}");
+            std::process::exit(1);
+        }),
         None => observed_small_run(None).events.join("\n"),
     }
+}
+
+/// Parses a JSONL event log, exiting cleanly on malformed input.
+fn parse_log_or_exit(jsonl: &str) -> Vec<lyra_obs::TimedEvent> {
+    lyra_obs::parse_log(jsonl).unwrap_or_else(|e| {
+        eprintln!("event log does not parse: {e}");
+        std::process::exit(1);
+    })
 }
 
 /// `explain <job-id>`: narrate the causal chain for one job from a
 /// recorded event log, or from a fresh small observed run.
 fn explain(job: u64, log_path: Option<&str>) -> ! {
     let jsonl = load_log(log_path);
-    let events = lyra_obs::parse_log(&jsonl).unwrap_or_else(|e| panic!("parse event log: {e}"));
+    let events = parse_log_or_exit(&jsonl);
     print!("{}", lyra_obs::explain_job(&events, job));
     std::process::exit(0);
 }
@@ -118,7 +131,7 @@ fn explain(job: u64, log_path: Option<&str>) -> ! {
 /// by time lost, derived by replaying the event log.
 fn attribute(job: Option<u64>, top: Option<usize>, log_path: Option<&str>) -> ! {
     let jsonl = load_log(log_path);
-    let events = lyra_obs::parse_log(&jsonl).unwrap_or_else(|e| panic!("parse event log: {e}"));
+    let events = parse_log_or_exit(&jsonl);
     let attrs = lyra_obs::attribute_log(&events);
     match (job, top) {
         (Some(id), _) => {
@@ -142,11 +155,14 @@ fn attribute(job: Option<u64>, top: Option<usize>, log_path: Option<&str>) -> ! 
 /// exported file is schema-validated before the command reports success.
 fn export_trace(log_path: Option<&str>, out: &str) -> ! {
     let jsonl = load_log(log_path);
-    let events = lyra_obs::parse_log(&jsonl).unwrap_or_else(|e| panic!("parse event log: {e}"));
+    let events = parse_log_or_exit(&jsonl);
     let trace = lyra_obs::export_chrome_trace(&events);
     let stats = lyra_obs::validate_chrome_trace(&trace)
         .unwrap_or_else(|e| panic!("exported trace failed validation: {e}"));
-    std::fs::write(out, &trace).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    std::fs::write(out, &trace).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
     println!(
         "wrote {out}: {} events, {} tracks, {} span pairs",
         stats.events, stats.tracks, stats.span_pairs
@@ -181,8 +197,16 @@ fn events_cmd(filter: &str, log_path: Option<&str>) -> ! {
     }
     let jsonl = load_log(log_path);
     let lines: Vec<&str> = jsonl.lines().filter(|l| !l.trim().is_empty()).collect();
-    let events = lyra_obs::parse_log(&jsonl).unwrap_or_else(|e| panic!("parse event log: {e}"));
-    assert_eq!(lines.len(), events.len(), "one parsed event per JSONL line");
+    let events = parse_log_or_exit(&jsonl);
+    // A torn final line (crash-cut log) parses to one fewer event than
+    // there are lines; the zip below then skips it.
+    if lines.len() != events.len() {
+        eprintln!(
+            "events: warning: {} lines but {} parsed events (torn final line?)",
+            lines.len(),
+            events.len()
+        );
+    }
     let mut matched = 0usize;
     for (line, ev) in lines.iter().zip(&events) {
         let job_ok = job.is_none_or(|id| ev.event.touches_job(id));
@@ -211,6 +235,9 @@ fn is_operand_like(arg: &str) -> bool {
                 | "events"
                 | "perf"
                 | "golden"
+                | "checkpoint"
+                | "resume"
+                | "crash-storm"
         )
         || experiments::ALL.contains(&arg)
 }
@@ -266,6 +293,107 @@ fn main() {
                     Some(_) => usage(),
                 };
                 std::process::exit(lyra_bench::golden::run(bless, mutate));
+            }
+            "checkpoint" => {
+                let mut at: Option<f64> = None;
+                let mut out: Option<String> = None;
+                let mut log: Option<String> = None;
+                let mut k = i + 1;
+                while k < args.len() {
+                    match args[k].as_str() {
+                        "--at" => {
+                            let raw = args.get(k + 1).cloned().unwrap_or_else(|| usage());
+                            at = Some(raw.parse().unwrap_or_else(|_| {
+                                eprintln!("checkpoint: --at expects seconds, got {raw:?}");
+                                std::process::exit(2);
+                            }));
+                            k += 2;
+                        }
+                        "--out" => {
+                            out = Some(args.get(k + 1).cloned().unwrap_or_else(|| usage()));
+                            k += 2;
+                        }
+                        "--log" => {
+                            log = Some(args.get(k + 1).cloned().unwrap_or_else(|| usage()));
+                            k += 2;
+                        }
+                        other => {
+                            eprintln!("checkpoint: unknown argument {other:?}");
+                            usage();
+                        }
+                    }
+                }
+                let (Some(at), Some(out)) = (at, out) else {
+                    eprintln!("checkpoint: --at and --out are required");
+                    usage();
+                };
+                std::process::exit(lyra_bench::crash::checkpoint_cmd(
+                    at,
+                    std::path::Path::new(&out),
+                    log.as_deref().map(std::path::Path::new),
+                ));
+            }
+            "resume" => {
+                let mut ckpt: Option<String> = None;
+                let mut k = i + 1;
+                while k < args.len() {
+                    match args[k].as_str() {
+                        "--ckpt" => {
+                            ckpt = Some(args.get(k + 1).cloned().unwrap_or_else(|| usage()));
+                            k += 2;
+                        }
+                        other => {
+                            eprintln!("resume: unknown argument {other:?}");
+                            usage();
+                        }
+                    }
+                }
+                let Some(ckpt) = ckpt else {
+                    eprintln!("resume: --ckpt is required");
+                    usage();
+                };
+                std::process::exit(lyra_bench::crash::resume_cmd(std::path::Path::new(&ckpt)));
+            }
+            "crash-storm" => {
+                let mut kills: usize = 10;
+                let mut seed: u64 = 1;
+                let mut dir = std::env::temp_dir().join("lyra-crash-storm");
+                let mut k = i + 1;
+                while k < args.len() {
+                    let parse_next = |what: &str, raw: Option<&String>| -> String {
+                        raw.cloned().unwrap_or_else(|| {
+                            eprintln!("crash-storm: {what} expects a value");
+                            std::process::exit(2);
+                        })
+                    };
+                    match args[k].as_str() {
+                        "--kills" => {
+                            let raw = parse_next("--kills", args.get(k + 1));
+                            kills = raw.parse().unwrap_or_else(|_| {
+                                eprintln!("crash-storm: --kills expects a count, got {raw:?}");
+                                std::process::exit(2);
+                            });
+                            k += 2;
+                        }
+                        "--seed" => {
+                            let raw = parse_next("--seed", args.get(k + 1));
+                            seed = raw.parse().unwrap_or_else(|_| {
+                                eprintln!("crash-storm: --seed expects an integer, got {raw:?}");
+                                std::process::exit(2);
+                            });
+                            k += 2;
+                        }
+                        "--dir" => {
+                            dir = parse_next("--dir", args.get(k + 1)).into();
+                            k += 2;
+                        }
+                        other => {
+                            eprintln!("crash-storm: unknown argument {other:?}");
+                            usage();
+                        }
+                    }
+                }
+                std::process::exit(lyra_bench::crash::storm_cmd(kills, seed, &dir));
             }
             "explain" => {
                 let job: u64 = args

@@ -103,6 +103,17 @@ impl Orchestrator {
         }
     }
 
+    /// Raw RNG state, for checkpointing.
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Restores the RNG to a previously captured state so `Random`
+    /// reclaims resume the identical draw sequence.
+    pub fn restore_rng_state(&mut self, state: u64) {
+        self.rng = StdRng::seed_from_u64(state);
+    }
+
     /// Executes a loan of up to `n` servers (bounded by idle inference
     /// servers — the instruction says how many are *available*).
     pub fn execute_loan(

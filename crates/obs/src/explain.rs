@@ -12,17 +12,32 @@ use crate::audit::AuditRecord;
 /// Parses a JSONL event log (as produced by
 /// [`EventLog`](crate::log::EventLog)) back into timed events.
 ///
-/// Returns `Err` with a description on the first malformed line.
+/// Returns `Err` with a description on the first malformed line — with
+/// one deliberate exception: a malformed *final* line in a log that
+/// does not end with a newline is a torn tail from a crash mid-write.
+/// That line is skipped with a warning so an otherwise-intact log
+/// replays cleanly after a crash; a malformed line anywhere else (or a
+/// newline-terminated final line) stays a hard error, since it means
+/// corruption rather than a cut.
 pub fn parse_log(jsonl: &str) -> Result<Vec<TimedEvent>, String> {
+    let torn_tail_possible = !jsonl.is_empty() && !jsonl.ends_with('\n');
+    let total = jsonl.lines().count();
     let mut events = Vec::new();
     for (no, line) in jsonl.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
-        let ev: TimedEvent = serde_json::from_str(line)
-            .map_err(|e| format!("line {}: {e:?}", no + 1))?;
-        events.push(ev);
+        match serde_json::from_str::<TimedEvent>(line) {
+            Ok(ev) => events.push(ev),
+            Err(e) if torn_tail_possible && no + 1 == total => {
+                eprintln!(
+                    "warning: skipping torn final log line {} (crash artifact): {e:?}",
+                    no + 1
+                );
+            }
+            Err(e) => return Err(format!("line {}: {e:?}", no + 1)),
+        }
     }
     Ok(events)
 }
@@ -290,6 +305,40 @@ mod tests {
     use super::*;
     use crate::audit::{Phase1Entry, ReclaimCandidate};
     use crate::log::EventLog;
+
+    #[test]
+    fn byte_chopped_final_line_is_skipped_not_fatal() {
+        let mut log = EventLog::new(16);
+        for id in 0..3u64 {
+            log.emit(id * 1000, SchedEvent::JobAdmit { job: id });
+        }
+        let jsonl = log.to_jsonl();
+        // Chop the log mid-way through its final line, as a crash
+        // mid-append would: every complete line parses, the torn tail
+        // is skipped with a warning.
+        let chopped = &jsonl[..jsonl.len() - 7];
+        assert!(!chopped.ends_with('\n'));
+        let events = parse_log(chopped).expect("torn tail is recoverable");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].event, SchedEvent::JobAdmit { job: 1 });
+    }
+
+    #[test]
+    fn mid_file_corruption_stays_a_hard_error() {
+        let mut log = EventLog::new(16);
+        for id in 0..3u64 {
+            log.emit(id * 1000, SchedEvent::JobAdmit { job: id });
+        }
+        let jsonl = log.to_jsonl();
+        let corrupted = jsonl.replacen("JobAdmit", "JobAdmi", 1);
+        assert!(parse_log(&corrupted).is_err(), "mid-file corruption must fail");
+        // A malformed final line that IS newline-terminated is
+        // corruption too, not a torn tail.
+        let mut lines: Vec<&str> = jsonl.lines().collect();
+        let bad = format!("{}garbage", lines.pop().unwrap());
+        let rebuilt = format!("{}\n{bad}\n", lines.join("\n"));
+        assert!(parse_log(&rebuilt).is_err(), "terminated garbage must fail");
+    }
 
     #[test]
     fn explain_reconstructs_a_preemption_chain() {

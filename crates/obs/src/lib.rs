@@ -61,7 +61,7 @@ pub use chrome::{export_chrome_trace, validate_chrome_trace, ChromeTraceStats};
 pub use event::{SchedEvent, TimedEvent};
 pub use explain::{explain_job, parse_log};
 pub use lifecycle::{attribute_log, LifecycleTracker};
-pub use log::EventLog;
+pub use log::{EventLog, EventLogState};
 pub use output::OutputMode;
 pub use registry::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use span::{PhaseStat, Profile, SpanGuard};

@@ -24,26 +24,28 @@
 
 use std::collections::BTreeMap;
 
+use serde::{Deserialize, Serialize};
+
 use crate::attribution::{AttributedInterval, DelayCause, JobAttribution};
 use crate::event::{SchedEvent, TimedEvent};
 
 /// A pending stall window `[start_ms, end_ms)` with its cause, not yet
 /// folded into a closed segment.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 struct StallWindow {
     start_ms: u64,
     end_ms: u64,
     cause: DelayCause,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 enum LifeState {
     Pending(DelayCause),
     Running,
     Done,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct JobLife {
     arrival_ms: u64,
     completion_ms: Option<u64>,
@@ -141,7 +143,7 @@ impl JobLife {
 /// call [`finish`](Self::finish) once with the end-of-observation time;
 /// [`into_attributions`](Self::into_attributions) yields the
 /// decompositions sorted by job id.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct LifecycleTracker {
     jobs: BTreeMap<u64, JobLife>,
     finished: bool,

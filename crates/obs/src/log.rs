@@ -8,11 +8,34 @@
 //! declaration order — so same-seed runs yield byte-identical logs.
 
 use std::collections::VecDeque;
-use std::fs::File;
+use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
+use serde::{Deserialize, Serialize};
+
 use crate::event::{SchedEvent, TimedEvent};
+
+/// Serializable snapshot of an [`EventLog`] for checkpoint/restore.
+///
+/// Captures everything needed to resume emission exactly where it left
+/// off: the ring contents, all counters, and the sink path (the sink
+/// file itself is repaired and reopened in append mode on restore).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventLogState {
+    /// Ring capacity (lines kept in memory).
+    pub capacity: usize,
+    /// Ring contents at capture time, oldest first.
+    pub ring: Vec<String>,
+    /// Next sequence number to stamp.
+    pub seq: u64,
+    /// Total lines emitted so far.
+    pub emitted: u64,
+    /// Lines evicted from the ring so far.
+    pub dropped: u64,
+    /// File sink path, if a sink was attached.
+    pub sink_path: Option<PathBuf>,
+}
 
 /// Ring-buffered JSONL event log with an optional file sink.
 #[derive(Debug)]
@@ -117,6 +140,97 @@ impl EventLog {
             let _ = sink.flush();
         }
     }
+
+    /// Captures the log's complete state for a checkpoint.
+    ///
+    /// Flushes the sink first so the file on disk holds every emitted
+    /// line — the restore path can then repair any *externally* torn
+    /// tail (a crash mid-append) by truncating to whole lines.
+    pub fn capture_state(&mut self) -> EventLogState {
+        self.flush();
+        EventLogState {
+            capacity: self.capacity,
+            ring: self.ring.iter().cloned().collect(),
+            seq: self.seq,
+            emitted: self.emitted,
+            dropped: self.dropped,
+            sink_path: self.sink_path.clone(),
+        }
+    }
+
+    /// Rebuilds a log from a captured state, repairing the sink file.
+    ///
+    /// The sink file is cut back to exactly `state.emitted` complete
+    /// (newline-terminated) lines — dropping a torn final line from a
+    /// crash mid-write, and any lines emitted after the checkpoint was
+    /// taken — then reopened in *append* mode so resumed emission
+    /// continues the same file. Fewer complete lines than `emitted`
+    /// means unrecoverable data loss and is an error (never a silent
+    /// partial restore).
+    pub fn from_state(state: EventLogState) -> std::io::Result<Self> {
+        let sink = match &state.sink_path {
+            Some(path) => {
+                let keep = repair_sink(path, state.emitted)?;
+                let file = OpenOptions::new().write(true).open(path)?;
+                file.set_len(keep)?;
+                let file = OpenOptions::new().append(true).open(path)?;
+                Some(BufWriter::new(file))
+            }
+            None => None,
+        };
+        Ok(EventLog {
+            capacity: state.capacity.max(1),
+            ring: state.ring.into(),
+            sink,
+            sink_path: state.sink_path,
+            seq: state.seq,
+            emitted: state.emitted,
+            dropped: state.dropped,
+        })
+    }
+}
+
+/// Byte offset after the first `emitted` newline-terminated lines of
+/// the sink at `path`; errors if the file holds fewer complete lines.
+fn repair_sink(path: &Path, emitted: u64) -> std::io::Result<u64> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound && emitted == 0 => {
+            File::create(path)?;
+            Vec::new()
+        }
+        Err(e) => return Err(e),
+    };
+    let mut complete = 0u64;
+    let mut offset = 0u64;
+    for (i, b) in bytes.iter().enumerate() {
+        if complete == emitted {
+            break;
+        }
+        if *b == b'\n' {
+            complete += 1;
+            offset = i as u64 + 1;
+        }
+    }
+    if complete < emitted {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "sink {} holds {complete} complete lines but the checkpoint \
+                 recorded {emitted}: unrecoverable log loss",
+                path.display()
+            ),
+        ));
+    }
+    if (bytes.len() as u64) > offset {
+        eprintln!(
+            "warning: sink {}: dropping {} bytes past the checkpointed log tail \
+             (torn line or post-checkpoint emission)",
+            path.display(),
+            bytes.len() as u64 - offset
+        );
+    }
+    Ok(offset)
 }
 
 impl Drop for EventLog {
@@ -167,6 +281,65 @@ mod tests {
                 servers: vec![1, 4],
             }
         );
+    }
+
+    #[test]
+    fn state_round_trip_resumes_counters_and_ring() {
+        let mut log = EventLog::new(2);
+        for id in 0..3u64 {
+            log.emit(id * 100, SchedEvent::JobAdmit { job: id });
+        }
+        let state = log.capture_state();
+        let mut restored = EventLog::from_state(state).expect("restore");
+        assert_eq!(restored.emitted(), 3);
+        assert_eq!(restored.dropped(), 1);
+        restored.emit(400, SchedEvent::JobAdmit { job: 9 });
+        let lines: Vec<&str> = restored.lines().collect();
+        assert!(lines.last().unwrap().contains("\"seq\":3"), "{lines:?}");
+    }
+
+    #[test]
+    fn restore_repairs_torn_sink_tail_and_appends() {
+        let dir = std::env::temp_dir().join("lyra-obs-test-torn");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("events.jsonl");
+        let state = {
+            let mut log = EventLog::new(16).with_sink(&path).expect("sink");
+            for id in 0..3u64 {
+                log.emit(id, SchedEvent::JobAdmit { job: id });
+            }
+            log.capture_state()
+        };
+        // Simulate a crash mid-append: a torn, newline-less extra line.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+            write!(f, "{{\"time_ms\":99,\"se").expect("tear");
+        }
+        let mut restored = EventLog::from_state(state).expect("restore");
+        restored.emit(3, SchedEvent::JobAdmit { job: 3 });
+        drop(restored);
+        let contents = std::fs::read_to_string(&path).expect("read sink");
+        assert_eq!(contents.lines().count(), 4, "torn tail dropped, new line appended");
+        assert!(contents.ends_with('\n'));
+        assert!(!contents.contains("\"se\n"), "no torn fragment survives");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn restore_refuses_a_sink_missing_checkpointed_lines() {
+        let dir = std::env::temp_dir().join("lyra-obs-test-lost");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("events.jsonl");
+        let state = {
+            let mut log = EventLog::new(16).with_sink(&path).expect("sink");
+            for id in 0..3u64 {
+                log.emit(id, SchedEvent::JobAdmit { job: id });
+            }
+            log.capture_state()
+        };
+        std::fs::write(&path, "{\"one\":1}\n").expect("clobber");
+        assert!(EventLog::from_state(state).is_err(), "lost lines must refuse");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

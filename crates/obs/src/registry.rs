@@ -65,7 +65,7 @@ pub struct MetricsSnapshot {
 }
 
 /// Counter / gauge / histogram registry.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,

@@ -26,16 +26,21 @@
 //! println!("mean JCT: {:.0}s", report.jct.mean);
 //! ```
 
+pub mod checkpoint;
 pub mod engine;
 pub mod faults;
 pub mod metrics;
 pub mod scenario;
 
-pub use engine::{ObserverConfig, SimConfig, SimError, Simulation};
+pub use checkpoint::{CheckpointError, SimCheckpoint};
+pub use engine::{EngineState, ObserverConfig, RunOutcome, SimConfig, SimError, Simulation};
 pub use faults::{
     CarryTransition, FaultConfig, FaultEvent, FaultKind, FaultPlan, ReclaimCarry, ReclaimLedger,
 };
 pub use metrics::{
     percentiles, FaultStats, JobRecord, Percentiles, ReclaimRecord, SimReport, UsageIntegral,
 };
-pub use scenario::{generators, run_scenario, run_scenario_observed, transform, PolicyKind, Scenario};
+pub use scenario::{
+    build_scenario, generators, run_scenario, run_scenario_observed, transform, PolicyKind,
+    Scenario,
+};

@@ -356,7 +356,24 @@ pub fn run_scenario_observed(
         .run(&scenario.name)
 }
 
-fn build_simulation(
+/// Builds the ready-to-run [`Simulation`] for a scenario without running
+/// it. This is the entry point for harnesses that drive the engine
+/// through [`Simulation::run_to_outcome`] — attaching their own observer
+/// first and handling crash outcomes — instead of the one-shot
+/// [`run_scenario`] wrappers.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] on a job trace with duplicate or gapped ids.
+pub fn build_scenario(
+    scenario: &Scenario,
+    jobs: &JobTrace,
+    inference: &InferenceTrace,
+) -> Result<Simulation, SimError> {
+    build_simulation(scenario, jobs, inference)
+}
+
+pub(crate) fn build_simulation(
     scenario: &Scenario,
     jobs: &JobTrace,
     inference: &InferenceTrace,

@@ -220,6 +220,15 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Raw generator state for checkpointing. Feeding the returned
+        /// value back through [`crate::SeedableRng::seed_from_u64`]
+        /// resumes the stream exactly where it left off.
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+    }
+
     impl crate::RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -311,6 +320,18 @@ mod tests {
         let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
         let frac = hits as f64 / 20_000.0;
         assert!((frac - 0.25).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        for _ in 0..5 {
+            a.gen::<u64>();
+        }
+        let mut b = StdRng::seed_from_u64(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
     }
 
     #[test]

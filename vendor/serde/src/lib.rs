@@ -306,6 +306,21 @@ fn intern(s: &str) -> &'static str {
     leaked
 }
 
+impl Serialize for std::path::PathBuf {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string_lossy().into_owned())
+    }
+}
+
+impl Deserialize for std::path::PathBuf {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(std::path::PathBuf::from(s)),
+            other => Err(DeError::expected("path string", other)),
+        }
+    }
+}
+
 impl Serialize for char {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
