@@ -50,11 +50,24 @@ smoke_dir=$(mktemp -d)
 ./target/release/lyra-bench attribute 0 --log "$smoke_dir/smoke.jsonl" >/dev/null
 ./target/release/lyra-bench export-trace --log "$smoke_dir/smoke.jsonl" \
   --out "$smoke_dir/smoke.trace.json"
+
+# Telemetry smoke: the sparkline dashboard must render from both a live
+# run and a replayed log, and the Prometheus exposition must come out
+# non-empty with the lyra_ namespace.
+./target/release/lyra-bench timeline >/dev/null
+./target/release/lyra-bench timeline --log "$smoke_dir/smoke.jsonl" >/dev/null
+./target/release/lyra-bench prom --out "$smoke_dir/smoke.prom"
+grep -q '^lyra_' "$smoke_dir/smoke.prom" || {
+  echo "ci: Prometheus exposition is empty or unprefixed" >&2
+  exit 1
+}
 rm -rf "$smoke_dir"
 
 # Perf smoke: the incremental snapshot cache and the legacy from-scratch
-# rebuild must stay observationally identical under the same seed (no
-# timing at CI scale; the full benchmark is `lyra-bench perf`).
+# rebuild must stay observationally identical under the same seed, and
+# full observation (event log + telemetry sampling) must fit the
+# telemetry overhead budget (no hot-path timing at CI scale; the full
+# benchmark is `lyra-bench perf`).
 ./target/release/lyra-bench perf --smoke
 
 # Golden-trace gate: the pinned scenarios must reproduce the committed

@@ -15,6 +15,7 @@ pub mod golden;
 pub mod perf;
 pub mod plot;
 pub mod tables;
+pub mod timeline;
 
 use lyra_sim::SimReport;
 use lyra_trace::{InferenceTrace, InferenceTraceConfig, JobTrace, TraceConfig};

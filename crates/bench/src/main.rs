@@ -7,6 +7,8 @@
 //! cargo run -p lyra-bench --release -- list
 //! cargo run -p lyra-bench --release -- smoke           # observed end-to-end run
 //! cargo run -p lyra-bench --release -- explain 17      # one job's decision chain
+//! cargo run -p lyra-bench --release -- timeline        # sparkline telemetry dashboard
+//! cargo run -p lyra-bench --release -- prom --out m.prom  # Prometheus exposition
 //! ```
 //!
 //! Results print as tables/series on stdout; `--quiet` suppresses the
@@ -22,23 +24,43 @@ use lyra_obs::OutputMode;
 use lyra_sim::{run_scenario_observed, ObserverConfig, Scenario};
 use std::io::Write as _;
 
-fn usage() -> ! {
-    eprintln!(
+/// The complete usage listing — every subcommand, including the
+/// telemetry pair (`timeline`, `prom`). One source of truth for both
+/// the help path and the bad-arguments path.
+fn usage_text() -> String {
+    format!(
         "usage: lyra-bench <id>... [--small|--medium|--full] [--quiet] [--json [dir]]\n\
-         \x20      lyra-bench list | plot <file.json>... | smoke [--log <file.jsonl>]\n\
+         \x20      lyra-bench help | --help | list\n\
+         \x20      lyra-bench plot <file.json>... | smoke [--log <file.jsonl>]\n\
          \x20      lyra-bench explain <job-id> [--log <file.jsonl>]\n\
          \x20      lyra-bench attribute <job-id>|--top <n> [--log <file.jsonl>]\n\
          \x20      lyra-bench export-trace [--log <file.jsonl>] [--out <file.json>]\n\
          \x20      lyra-bench events --filter job=<id>,kind=<kind> [--log <file.jsonl>]\n\
+         \x20      lyra-bench timeline [--log <file.jsonl>] [--width <cols>]\n\
+         \x20      lyra-bench prom [--out <file.prom>]\n\
          \x20      lyra-bench perf [--smoke]\n\
          \x20      lyra-bench golden [--bless|--mutate]\n\
          \x20      lyra-bench checkpoint --at <seconds> --out <file.ckpt> [--log <file.jsonl>]\n\
          \x20      lyra-bench resume --ckpt <file.ckpt>\n\
          \x20      lyra-bench crash-storm [--kills <n>] [--seed <s>] [--dir <path>]\n\
-         ids: {}  (or `all`)",
-        experiments::ALL.join(" ")
-    );
+         ids: {}  (or `all`)\n\
+         event kinds: {}",
+        experiments::ALL.join(" "),
+        lyra_obs::KIND_NAMES.join(" ")
+    )
+}
+
+/// Bad arguments: usage on stderr, exit 2.
+fn usage() -> ! {
+    eprintln!("{}", usage_text());
     std::process::exit(2);
+}
+
+/// `help` / `--help`: usage on stdout, exit 0 — asking for help is not
+/// an error.
+fn help() -> ! {
+    println!("{}", usage_text());
+    std::process::exit(0);
 }
 
 /// Runs one small observed Basic scenario and returns its report; used
@@ -184,7 +206,18 @@ fn events_cmd(filter: &str, log_path: Option<&str>) -> ! {
                     std::process::exit(2);
                 }));
             }
-            Some(("kind", v)) => kind = Some(v.to_string()),
+            Some(("kind", v)) => {
+                // Validate against the authoritative event-kind list so a
+                // typo fails loudly instead of silently matching nothing.
+                if !lyra_obs::KIND_NAMES.contains(&v) {
+                    eprintln!(
+                        "events: unknown event kind {v:?} (known kinds: {})",
+                        lyra_obs::KIND_NAMES.join(", ")
+                    );
+                    std::process::exit(2);
+                }
+                kind = Some(v.to_string());
+            }
             _ => {
                 eprintln!("events: bad filter term {part:?} (use job=<id>,kind=<kind>)");
                 std::process::exit(2);
@@ -220,6 +253,57 @@ fn events_cmd(filter: &str, log_path: Option<&str>) -> ! {
     std::process::exit(0);
 }
 
+/// `timeline [--log <file.jsonl>] [--width <cols>]`: the sparkline
+/// dashboard. Without `--log` it runs one small observed scenario and
+/// charts the live telemetry; with `--log` it replays a recorded event
+/// log, deriving the (smaller) series set the log supports. Alert
+/// transitions are listed under the chart in both modes.
+fn timeline_cmd(log_path: Option<&str>, width: usize) -> ! {
+    let (telemetry, alerts) = match log_path {
+        Some(_) => {
+            let jsonl = load_log(log_path);
+            let events = parse_log_or_exit(&jsonl);
+            (
+                lyra_bench::timeline::telemetry_from_log(&events),
+                lyra_bench::timeline::alerts_from_log(&events),
+            )
+        }
+        None => {
+            let report = observed_small_run(None);
+            let events = parse_log_or_exit(&report.events.join("\n"));
+            (
+                report.telemetry,
+                lyra_bench::timeline::alerts_from_log(&events),
+            )
+        }
+    };
+    print!(
+        "{}",
+        lyra_bench::timeline::render_dashboard(&telemetry, &alerts, width)
+    );
+    std::process::exit(0);
+}
+
+/// `prom [--out <file.prom>]`: run one small observed scenario and
+/// write its telemetry + metrics registry in Prometheus text
+/// exposition format 0.0.4 (stdout when `--out` is omitted). Same
+/// seed, same bytes.
+fn prom_cmd(out: Option<&str>) -> ! {
+    let report = observed_small_run(None);
+    let text = lyra_obs::render_prometheus(&report.telemetry, report.metrics.last());
+    match out {
+        Some(path) => {
+            std::fs::write(path, &text).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("wrote {path} ({} lines)", text.lines().count());
+        }
+        None => print!("{text}"),
+    }
+    std::process::exit(0);
+}
+
 /// True if `arg` is a flag, subcommand or experiment id — i.e. not a
 /// directory operand for `--json [dir]`.
 fn is_operand_like(arg: &str) -> bool {
@@ -227,12 +311,15 @@ fn is_operand_like(arg: &str) -> bool {
         || matches!(
             arg,
             "all" | "list"
+                | "help"
                 | "plot"
                 | "smoke"
                 | "explain"
                 | "attribute"
                 | "export-trace"
                 | "events"
+                | "timeline"
+                | "prom"
                 | "perf"
                 | "golden"
                 | "checkpoint"
@@ -268,11 +355,55 @@ fn main() {
                     }
                 }
             }
+            "help" | "--help" => help(),
             "list" => {
                 for id in experiments::ALL {
                     println!("{id}");
                 }
                 return;
+            }
+            "timeline" => {
+                let mut log_path: Option<String> = None;
+                let mut width = lyra_bench::timeline::DEFAULT_WIDTH;
+                let mut k = i + 1;
+                while k < args.len() {
+                    match args[k].as_str() {
+                        "--log" => {
+                            log_path = Some(args.get(k + 1).cloned().unwrap_or_else(|| usage()));
+                            k += 2;
+                        }
+                        "--width" => {
+                            let raw = args.get(k + 1).cloned().unwrap_or_else(|| usage());
+                            width = raw.parse().unwrap_or_else(|_| {
+                                eprintln!("timeline: --width expects columns, got {raw:?}");
+                                std::process::exit(2);
+                            });
+                            k += 2;
+                        }
+                        other => {
+                            eprintln!("timeline: unknown argument {other:?}");
+                            usage();
+                        }
+                    }
+                }
+                timeline_cmd(log_path.as_deref(), width);
+            }
+            "prom" => {
+                let mut out: Option<String> = None;
+                let mut k = i + 1;
+                while k < args.len() {
+                    match args[k].as_str() {
+                        "--out" => {
+                            out = Some(args.get(k + 1).cloned().unwrap_or_else(|| usage()));
+                            k += 2;
+                        }
+                        other => {
+                            eprintln!("prom: unknown argument {other:?}");
+                            usage();
+                        }
+                    }
+                }
+                prom_cmd(out.as_deref());
             }
             "smoke" => {
                 let log_path = match args.get(i + 1).map(String::as_str) {

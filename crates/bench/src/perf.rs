@@ -8,8 +8,9 @@
 //! produce byte-identical event logs and identical reports — the
 //! benchmark refuses to time configurations that diverge.
 //!
-//! `--smoke` runs only the divergence gate at Small (CI) scale; the full
-//! run times at Medium scale and writes `BENCH_scheduler.json`.
+//! `--smoke` runs only the divergence gate and the telemetry-overhead
+//! budget at Small (CI) scale; the full run times at paper scale and
+//! writes `BENCH_scheduler.json` (including the overhead probe).
 
 use crate::Scale;
 use lyra_obs::{PhaseStat, Profile};
@@ -44,6 +45,53 @@ pub struct ModeStats {
     pub phases: Vec<PhaseStat>,
 }
 
+/// Wall time of the telemetry/observer overhead probe: the same
+/// scenario run bare and under full observation (event log, metrics,
+/// audit, telemetry sampling — everything `ObserverConfig::default()`
+/// turns on).
+#[derive(Debug, Serialize)]
+pub struct ObserverOverhead {
+    /// Wall time of the unobserved run, seconds.
+    pub unobserved_s: f64,
+    /// Wall time of the fully observed run, seconds.
+    pub observed_s: f64,
+    /// `observed_s / unobserved_s` (0 when the bare run is too fast to
+    /// measure).
+    pub ratio: f64,
+}
+
+/// The observed run may take at most `OVERHEAD_BUDGET_RATIO` × the
+/// bare run plus `OVERHEAD_BUDGET_SLACK_S` of absolute slack. The
+/// ratio is deliberately generous — CI machines are noisy and the
+/// Small-scale runs are short — but it still catches an accidental
+/// O(jobs × epochs) regression in the telemetry sampling hot path.
+pub const OVERHEAD_BUDGET_RATIO: f64 = 4.0;
+/// Absolute slack for the overhead budget, seconds.
+pub const OVERHEAD_BUDGET_SLACK_S: f64 = 2.0;
+
+/// Times the scenario bare vs fully observed and returns the probe.
+fn observer_overhead(
+    scenario: &Scenario,
+    jobs: &JobTrace,
+    inference: &InferenceTrace,
+) -> ObserverOverhead {
+    let t0 = std::time::Instant::now();
+    run_scenario(scenario, jobs, inference).unwrap_or_else(|e| panic!("bare run failed: {e}"));
+    let unobserved_s = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    observed(scenario, jobs, inference);
+    let observed_s = t1.elapsed().as_secs_f64();
+    ObserverOverhead {
+        unobserved_s,
+        observed_s,
+        ratio: if unobserved_s > 0.0 {
+            observed_s / unobserved_s
+        } else {
+            0.0
+        },
+    }
+}
+
 /// The benchmark result written to `BENCH_scheduler.json`.
 #[derive(Debug, Serialize)]
 pub struct PerfReport {
@@ -63,6 +111,8 @@ pub struct PerfReport {
     pub identical_reports: bool,
     /// ... and byte-identical event logs.
     pub identical_event_logs: bool,
+    /// Telemetry/observer overhead probe (bare vs observed wall time).
+    pub observer: ObserverOverhead,
 }
 
 fn epoch_stat(profile: &Profile) -> (u64, f64) {
@@ -152,10 +202,33 @@ pub fn run(smoke: bool) -> i32 {
         );
         return 1;
     }
+    // Telemetry overhead budget: full observation (event log + metrics
+    // + audit + telemetry sampling) must stay within a generous
+    // multiple of the bare run. Gated in smoke (ci.sh), reported in the
+    // full benchmark.
+    let overhead = observer_overhead(&incremental, &jobs, &inference);
+    println!(
+        "observer overhead: {:.3}s bare vs {:.3}s observed ({:.2}x, budget {}x + {}s)",
+        overhead.unobserved_s,
+        overhead.observed_s,
+        overhead.ratio,
+        OVERHEAD_BUDGET_RATIO,
+        OVERHEAD_BUDGET_SLACK_S
+    );
     if smoke {
+        if overhead.observed_s
+            > OVERHEAD_BUDGET_RATIO * overhead.unobserved_s + OVERHEAD_BUDGET_SLACK_S
+        {
+            eprintln!(
+                "perf: telemetry overhead budget EXCEEDED \
+                 ({:.3}s observed vs {:.3}s bare)",
+                overhead.observed_s, overhead.unobserved_s
+            );
+            return 1;
+        }
         println!(
             "perf smoke: incremental and from-scratch runs identical \
-             ({} jobs, {} events, scale {:?})",
+             ({} jobs, {} events, scale {:?}); telemetry overhead within budget",
             a.completed,
             a.events.len(),
             scale
@@ -229,6 +302,7 @@ pub fn run(smoke: bool) -> i32 {
         speedup,
         identical_reports,
         identical_event_logs,
+        observer: overhead,
     };
     let path = "BENCH_scheduler.json";
     let json = serde_json::to_string_pretty(&report).expect("serialise perf report");

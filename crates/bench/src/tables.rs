@@ -173,6 +173,7 @@ mod tests {
             metrics: vec![],
             profile: lyra_obs::Profile::default(),
             attribution: lyra_obs::AttributionSummary::default(),
+            telemetry: lyra_obs::Telemetry::default(),
         }
     }
 

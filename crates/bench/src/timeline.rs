@@ -1,0 +1,297 @@
+//! `lyra-bench timeline`: a terminal dashboard of the scheduler's
+//! telemetry series as Unicode sparklines.
+//!
+//! Renders from a live observed run's [`Telemetry`], or — with `--log`
+//! — from a recorded JSONL event log by replaying `SchedulerEpoch`,
+//! `LoanGrant`, `ReclaimGrant`, `JobPreempt` and `ReclaimCarryover`
+//! events into a derived telemetry (a strict subset of the live
+//! series: the log carries no GPU-utilisation gauges). Alert
+//! fire/resolve transitions are listed under the chart either way.
+//! Everything here is a pure function of its inputs, so the rendered
+//! dashboard is as deterministic as the series behind it.
+
+use lyra_obs::timeseries::format_value;
+use lyra_obs::{SchedEvent, Telemetry, TimedEvent};
+
+/// Eight-level block characters, lowest to highest.
+const TICKS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+
+/// Default chart width, columns.
+pub const DEFAULT_WIDTH: usize = 60;
+
+/// Renders `values` as a sparkline at most `width` characters wide.
+/// Values fold into `width` buckets keeping each bucket's maximum (so
+/// short spikes stay visible) and scale against the global min/max. A
+/// flat series renders as a run of the lowest tick; an empty series as
+/// the empty string.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let n = width.min(values.len());
+    let mut buckets: Vec<Option<f64>> = vec![None; n];
+    for (i, v) in values.iter().enumerate() {
+        let b = (i * n) / values.len();
+        buckets[b] = Some(buckets[b].map_or(*v, |m| m.max(*v)));
+    }
+    let folded: Vec<f64> = buckets.into_iter().flatten().collect();
+    let lo = folded.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = folded.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = hi - lo;
+    folded
+        .iter()
+        .map(|v| {
+            let idx = if span > 0.0 {
+                (((v - lo) / span) * 7.0).round() as usize
+            } else {
+                0
+            };
+            TICKS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// One alert transition pulled from an event log, for the dashboard's
+/// alert listing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertLine {
+    /// Simulated time of the transition, milliseconds.
+    pub t_ms: u64,
+    /// Rule name.
+    pub rule: String,
+    /// Watched series.
+    pub series: String,
+    /// Sampled value at the transition.
+    pub value: f64,
+    /// Rule threshold.
+    pub threshold: f64,
+    /// `true` on fire, `false` on resolve.
+    pub fired: bool,
+}
+
+/// Extracts every alert transition from an event log, in log order.
+pub fn alerts_from_log(events: &[TimedEvent]) -> Vec<AlertLine> {
+    events
+        .iter()
+        .filter_map(|e| match &e.event {
+            SchedEvent::Alert {
+                rule,
+                series,
+                value,
+                threshold,
+                fired,
+            } => Some(AlertLine {
+                t_ms: e.time_ms,
+                rule: rule.clone(),
+                series: series.clone(),
+                value: *value,
+                threshold: *threshold,
+                fired: *fired,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Replays an event log into a derived [`Telemetry`]: one sample per
+/// `SchedulerEpoch` event, with queue depth and running jobs read off
+/// the epoch summary and loan/reclaim/preemption rates accumulated
+/// from the events since the previous epoch.
+pub fn telemetry_from_log(events: &[TimedEvent]) -> Telemetry {
+    let mut t = Telemetry::default();
+    let (mut loans, mut reclaims, mut preemptions, mut carry) = (0u64, 0u64, 0u64, 0u64);
+    for e in events {
+        match &e.event {
+            SchedEvent::LoanGrant { .. } => loans += 1,
+            SchedEvent::ReclaimGrant { .. } => reclaims += 1,
+            SchedEvent::JobPreempt { .. } => preemptions += 1,
+            SchedEvent::ReclaimCarryover { servers, .. } => carry = u64::from(*servers),
+            SchedEvent::SchedulerEpoch {
+                launches,
+                queued,
+                running,
+            } => {
+                t.begin_epoch(e.time_ms);
+                t.sample_gauge("queue.depth", e.time_ms, f64::from(*queued));
+                t.sample_gauge("jobs.running", e.time_ms, f64::from(*running));
+                t.sample_gauge("epoch.launches", e.time_ms, f64::from(*launches));
+                t.sample_gauge("reclaim.carry_servers", e.time_ms, carry as f64);
+                t.sample_rate("rate.loans", e.time_ms, loans);
+                t.sample_rate("rate.reclaims", e.time_ms, reclaims);
+                t.sample_rate("rate.preemptions", e.time_ms, preemptions);
+                carry = 0;
+            }
+            _ => {}
+        }
+    }
+    t
+}
+
+/// Renders the full dashboard: a header, one sparkline row per series
+/// (name, chart, min/last/max), the two telemetry histograms as
+/// single-line summaries, and the alert transitions (if any).
+pub fn render_dashboard(t: &Telemetry, alerts: &[AlertLine], width: usize) -> String {
+    let mut out = String::new();
+    let series: Vec<_> = t.iter().collect();
+    out.push_str(&format!(
+        "timeline: {} epochs, {} series\n\n",
+        t.epochs,
+        series.len()
+    ));
+    if series.is_empty() {
+        out.push_str("(no telemetry series: run had no scheduler epochs)\n");
+    }
+    for (name, s) in &series {
+        let values: Vec<f64> = s.points().iter().map(|p| p.value).collect();
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let last = values.last().copied().unwrap_or(0.0);
+        out.push_str(&format!(
+            "{:<24} {:<width$}  min={} last={} max={}\n",
+            name,
+            sparkline(&values, width),
+            format_value(if lo.is_finite() { lo } else { 0.0 }),
+            format_value(last),
+            format_value(if hi.is_finite() { hi } else { 0.0 }),
+            width = width
+        ));
+    }
+    out.push_str(&format!(
+        "\nepoch span:       {}\ndecision latency: {}\n",
+        histogram_line(&t.epoch_span_ms.counts, &t.epoch_span_ms.bounds, t.epoch_span_ms.count),
+        histogram_line(
+            &t.decision_latency_ms.counts,
+            &t.decision_latency_ms.bounds,
+            t.decision_latency_ms.count
+        ),
+    ));
+    if alerts.is_empty() {
+        out.push_str("\nalerts: none\n");
+    } else {
+        out.push_str(&format!("\nalerts ({} transitions):\n", alerts.len()));
+        for a in alerts {
+            out.push_str(&format!(
+                "  [{:>10}ms] {} {} ({}: {} vs threshold {})\n",
+                a.t_ms,
+                if a.fired { "FIRED   " } else { "resolved" },
+                a.rule,
+                a.series,
+                format_value(a.value),
+                format_value(a.threshold),
+            ));
+        }
+    }
+    out
+}
+
+/// One-line log2-histogram summary: a sparkline over the bucket counts
+/// plus the observation count and the busiest bucket's upper bound.
+fn histogram_line(counts: &[u64], bounds: &[f64], total: u64) -> String {
+    if total == 0 {
+        return "(no observations)".to_string();
+    }
+    let values: Vec<f64> = counts.iter().map(|c| *c as f64).collect();
+    let mode = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, c)| **c)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mode_label = bounds
+        .get(mode)
+        .map(|b| format!("<= {}ms", format_value(*b)))
+        .unwrap_or_else(|| "overflow".to_string());
+    format!(
+        "{} ({total} obs, mode {mode_label})",
+        sparkline(&values, values.len())
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_to_range_and_width() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], 8);
+        assert_eq!(s, TICKS.iter().collect::<String>());
+        // Folding keeps bucket maxima, so the spike survives.
+        let folded = sparkline(&[0.0, 0.0, 9.0, 0.0, 0.0, 0.0, 0.0, 0.0], 4);
+        assert_eq!(folded.chars().count(), 4);
+        assert!(folded.contains(TICKS[7]));
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0], 3), TICKS[0].to_string().repeat(3));
+    }
+
+    #[test]
+    fn log_replay_derives_series_and_alerts() {
+        let mk = |time_ms, seq, event| TimedEvent {
+            time_ms,
+            seq,
+            event,
+        };
+        let events = vec![
+            mk(0, 0, SchedEvent::LoanGrant { servers: vec![1, 2] }),
+            mk(
+                1000,
+                1,
+                SchedEvent::SchedulerEpoch {
+                    launches: 2,
+                    queued: 5,
+                    running: 3,
+                },
+            ),
+            mk(
+                1500,
+                2,
+                SchedEvent::JobPreempt {
+                    job: 9,
+                    checkpointed: true,
+                },
+            ),
+            mk(
+                2000,
+                3,
+                SchedEvent::Alert {
+                    rule: "queue-backlog".into(),
+                    series: "queue.depth".into(),
+                    value: 6.0,
+                    threshold: 4.0,
+                    fired: true,
+                },
+            ),
+            mk(
+                2000,
+                4,
+                SchedEvent::SchedulerEpoch {
+                    launches: 0,
+                    queued: 6,
+                    running: 2,
+                },
+            ),
+        ];
+        let t = telemetry_from_log(&events);
+        assert_eq!(t.epochs, 2);
+        assert_eq!(t.latest("queue.depth"), Some(6.0));
+        assert_eq!(t.latest("rate.loans"), Some(0.0)); // both loans landed before epoch 1
+        assert_eq!(t.latest("rate.preemptions"), Some(1.0));
+        let alerts = alerts_from_log(&events);
+        assert_eq!(alerts.len(), 1);
+        assert!(alerts[0].fired);
+
+        let dash = render_dashboard(&t, &alerts, 40);
+        assert!(dash.contains("queue.depth"));
+        assert!(dash.contains("FIRED"));
+        assert!(dash.contains("2 epochs"));
+        // Same inputs, same bytes.
+        assert_eq!(dash, render_dashboard(&t, &alerts, 40));
+    }
+
+    #[test]
+    fn empty_dashboard_renders_cleanly() {
+        let dash = render_dashboard(&Telemetry::default(), &[], 40);
+        assert!(dash.contains("no telemetry series"));
+        assert!(dash.contains("(no observations)"));
+        assert!(dash.contains("alerts: none"));
+    }
+}

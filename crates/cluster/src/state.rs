@@ -196,6 +196,44 @@ impl ClusterState {
         (used, total)
     }
 
+    /// GPUs currently used by workers on loaned *Flexible*-group
+    /// servers — the capacity that §5.3 can hand back preemption-free.
+    /// Telemetry samples this per epoch as the `flexible` slice of the
+    /// utilization split.
+    pub fn flexible_gpu_usage(&self) -> u32 {
+        self.loaned
+            .iter()
+            .filter_map(|id| self.servers.get(id))
+            .filter(|s| s.group == ServerGroup::Flexible)
+            .map(Server::used_gpus)
+            .sum()
+    }
+
+    /// Fragmentation index over the whitelisted servers: the fraction
+    /// of free GPUs stranded on *partially occupied* servers, `0.0`
+    /// (every free GPU sits on an empty server — gang-friendly) to
+    /// `1.0` (all free capacity is slivers no full-server gang fits
+    /// in). `0.0` when nothing is free.
+    pub fn fragmentation_index(&self) -> f64 {
+        let mut free_total = 0u32;
+        let mut free_on_empty = 0u32;
+        for id in &self.whitelist {
+            let Some(s) = self.servers.get(id) else {
+                continue;
+            };
+            let free = s.free_gpus();
+            free_total += free;
+            if s.is_empty() {
+                free_on_empty += free;
+            }
+        }
+        if free_total == 0 {
+            0.0
+        } else {
+            1.0 - f64::from(free_on_empty) / f64::from(free_total)
+        }
+    }
+
     /// Whether `id` is currently down (crashed).
     pub fn is_down(&self, id: ServerId) -> bool {
         self.down.contains(&id)
@@ -630,6 +668,42 @@ mod tests {
             c.return_servers(&[ServerId(0)]),
             Err(ClusterError::NotLoaned(ServerId(0)))
         );
+    }
+
+    #[test]
+    fn fragmentation_index_tracks_stranded_free_gpus() {
+        let mut c = small();
+        // Empty cluster: all free GPUs sit on empty servers.
+        assert_eq!(c.fragmentation_index(), 0.0);
+        // Half-fill one server: its 4 free GPUs are stranded, the other
+        // server's 8 are not → 4/12 fragmented.
+        c.allocate(JobId(1), &[(ServerId(0), 4)], 1, ServerGroup::Base)
+            .unwrap();
+        assert!((c.fragmentation_index() - 4.0 / 12.0).abs() < 1e-12);
+        // Fill everything: no free GPUs at all → defined as 0.
+        c.allocate(
+            JobId(2),
+            &[(ServerId(0), 4), (ServerId(1), 8)],
+            1,
+            ServerGroup::Base,
+        )
+        .unwrap();
+        assert_eq!(c.fragmentation_index(), 0.0);
+    }
+
+    #[test]
+    fn flexible_gpu_usage_counts_only_flexible_loaned_workers() {
+        let mut c = small();
+        let loaned = c.loan(2).unwrap();
+        assert_eq!(c.flexible_gpu_usage(), 0);
+        c.allocate(JobId(1), &[(loaned[0], 3)], 1, ServerGroup::Flexible)
+            .unwrap();
+        c.allocate(JobId(2), &[(loaned[1], 2)], 1, ServerGroup::Base)
+            .unwrap();
+        // Training-side placement never counts.
+        c.allocate(JobId(3), &[(ServerId(0), 4)], 1, ServerGroup::Flexible)
+            .unwrap();
+        assert_eq!(c.flexible_gpu_usage(), 3);
     }
 
     #[test]

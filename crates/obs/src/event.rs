@@ -168,7 +168,47 @@ pub enum SchedEvent {
     /// A recorded scheduling decision with its inputs (see
     /// [`AuditRecord`]).
     Audit(AuditRecord),
+    /// An alert rule fired (`fired: true`) or resolved
+    /// (`fired: false`). Emitted by the telemetry alert engine once per
+    /// transition, into the same log as everything else, so alerts are
+    /// replayable and golden-pinned.
+    Alert {
+        /// Rule name (e.g. `queue-backlog`).
+        rule: String,
+        /// Telemetry series the rule watches (e.g. `queue.depth`).
+        series: String,
+        /// Sampled value that drove the transition.
+        value: f64,
+        /// The rule's threshold.
+        threshold: f64,
+        /// `true` on fire, `false` on resolve.
+        fired: bool,
+    },
 }
+
+/// Every `kind_name()` a [`SchedEvent`] can report, in declaration
+/// order — the authoritative list `events --filter kind=<name>`
+/// validates against.
+pub const KIND_NAMES: &[&str] = &[
+    "JobAdmit",
+    "JobStart",
+    "JobScaleOut",
+    "JobScaleIn",
+    "ControllerRescale",
+    "FlexRelease",
+    "JobPreempt",
+    "JobComplete",
+    "LoanGrant",
+    "ReclaimGrant",
+    "ReclaimCarryover",
+    "ReclaimDeadlineMiss",
+    "JobStall",
+    "JobStraggle",
+    "SchedulerEpoch",
+    "Fault",
+    "Audit",
+    "Alert",
+];
 
 impl SchedEvent {
     /// The variant name, as used by `events --filter kind=<name>`.
@@ -191,6 +231,7 @@ impl SchedEvent {
             SchedEvent::SchedulerEpoch { .. } => "SchedulerEpoch",
             SchedEvent::Fault { .. } => "Fault",
             SchedEvent::Audit(_) => "Audit",
+            SchedEvent::Alert { .. } => "Alert",
         }
     }
 
@@ -214,7 +255,8 @@ impl SchedEvent {
             SchedEvent::LoanGrant { .. }
             | SchedEvent::ReclaimCarryover { .. }
             | SchedEvent::ReclaimDeadlineMiss { .. }
-            | SchedEvent::SchedulerEpoch { .. } => false,
+            | SchedEvent::SchedulerEpoch { .. }
+            | SchedEvent::Alert { .. } => false,
             SchedEvent::Audit(rec) => match rec {
                 AuditRecord::Phase1Order { order, .. } => order.iter().any(|e| e.job == job),
                 AuditRecord::Phase2Mckp { groups, .. } => groups.iter().any(|g| g.job == job),
@@ -222,6 +264,28 @@ impl SchedEvent {
                 AuditRecord::ReclaimChoice { preempted, .. } => preempted.contains(&job),
             },
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_list_is_unique_and_covers_alert() {
+        let mut seen = std::collections::BTreeSet::new();
+        for k in KIND_NAMES {
+            assert!(seen.insert(*k), "duplicate kind {k}");
+        }
+        let alert = SchedEvent::Alert {
+            rule: "queue-backlog".to_string(),
+            series: "queue.depth".to_string(),
+            value: 9.0,
+            threshold: 4.0,
+            fired: true,
+        };
+        assert!(KIND_NAMES.contains(&alert.kind_name()));
+        assert!(!alert.touches_job(0));
     }
 }
 

@@ -17,6 +17,13 @@
 //!   fixed-bucket histograms registered by name and snapshotted per
 //!   simulated hour, so time series come from one place instead of
 //!   bespoke report fields.
+//! * [`timeseries`] + [`alerts`] + [`prom`] — **continuous telemetry**:
+//!   per-epoch scheduler health gauges sampled into fixed-capacity ring
+//!   series with deterministic decimation (bounded memory at 1M-job
+//!   scale), fixed log2-bucket histograms, a threshold/sustained-window
+//!   alert engine emitting typed `Alert` events into the log, and
+//!   Prometheus text exposition + CSV export — all byte-reproducible
+//!   under the same seed.
 //! * [`span`] — **span timing** for the hot paths (MCKP DP, best-fit
 //!   placement, reclaim cost search, engine ticks), aggregated into a
 //!   per-phase self-time profile.
@@ -39,6 +46,7 @@
 //! `std::thread::scope`), so per-thread state isolates concurrent runs
 //! without any handle threading through the algorithm crates.
 
+pub mod alerts;
 pub mod attribution;
 pub mod audit;
 pub mod chrome;
@@ -47,9 +55,12 @@ pub mod explain;
 pub mod lifecycle;
 pub mod log;
 pub mod output;
+pub mod prom;
 pub mod registry;
 pub mod span;
+pub mod timeseries;
 
+pub use alerts::{default_rules, AlertCondition, AlertEngine, AlertRule, AlertTransition};
 pub use attribution::{
     render_job, render_top, summarize, AttributedInterval, AttributionSummary, CauseStat,
     DelayCause, JobAttribution,
@@ -58,10 +69,12 @@ pub use audit::{
     AuditRecord, MckpGroupAudit, Phase1Entry, PlacementAlternative, ReclaimCandidate,
 };
 pub use chrome::{export_chrome_trace, validate_chrome_trace, ChromeTraceStats};
-pub use event::{SchedEvent, TimedEvent};
+pub use event::{SchedEvent, TimedEvent, KIND_NAMES};
 pub use explain::{explain_job, parse_log};
 pub use lifecycle::{attribute_log, LifecycleTracker};
 pub use log::{EventLog, EventLogState};
 pub use output::OutputMode;
-pub use registry::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use prom::render_prometheus;
+pub use registry::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot, DEFAULT_HISTOGRAM_BOUNDS};
 pub use span::{PhaseStat, Profile, SpanGuard};
+pub use timeseries::{Log2Histogram, RingSeries, SeriesPoint, Telemetry};

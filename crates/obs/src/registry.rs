@@ -14,6 +14,15 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
+/// Bucket bounds used when `histogram_observe` hits an unregistered
+/// name: powers of two from 1 to 2^20, a generic log2 ladder wide
+/// enough for milliseconds, seconds or counts. Histograms that need
+/// tighter bounds must `histogram_register` before first observation.
+pub const DEFAULT_HISTOGRAM_BOUNDS: &[f64] = &[
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0,
+    16384.0, 32768.0, 65536.0, 131072.0, 262144.0, 524288.0, 1048576.0,
+];
+
 /// A fixed-bucket histogram.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
@@ -121,11 +130,19 @@ impl MetricsRegistry {
         }
     }
 
-    /// Records `value` into histogram `name` (must be registered).
+    /// Records `value` into histogram `name`.
+    ///
+    /// An unregistered name is **auto-registered** with
+    /// [`DEFAULT_HISTOGRAM_BOUNDS`] rather than silently dropped, so no
+    /// observation is ever lost to a missing `histogram_register` call.
+    /// Call `histogram_register` first when the metric needs bespoke
+    /// bounds — registration wins only if it happens before the first
+    /// observation (bounds are frozen once the histogram exists).
     pub fn histogram_observe(&mut self, name: &str, value: f64) {
-        if let Some(h) = self.histograms.get_mut(name) {
-            h.observe(value);
-        }
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| HistogramSnapshot::new(DEFAULT_HISTOGRAM_BOUNDS.to_vec()))
+            .observe(value);
     }
 
     /// Snapshot of histogram `name`, if registered.
@@ -168,6 +185,23 @@ mod tests {
         assert_eq!(h.counts, vec![2, 1, 1]);
         assert_eq!(h.count, 4);
         assert!((h.sum - (30.0 + 60.0 + 100.0 + 1e9)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unregistered_histogram_auto_registers_with_default_bounds() {
+        let mut reg = MetricsRegistry::new();
+        reg.histogram_observe("sim.surprise_ms", 3.0);
+        let h = reg.histogram("sim.surprise_ms").expect("auto-registered");
+        assert_eq!(h.bounds, DEFAULT_HISTOGRAM_BOUNDS.to_vec());
+        assert_eq!(h.count, 1);
+        // Explicit registration before first observation still wins.
+        let mut reg2 = MetricsRegistry::new();
+        reg2.histogram_register("sim.tuned", &[0.5]);
+        reg2.histogram_observe("sim.tuned", 0.1);
+        assert_eq!(
+            reg2.histogram("sim.tuned").expect("registered").bounds,
+            vec![0.5]
+        );
     }
 
     #[test]

@@ -199,6 +199,51 @@ mod tests {
     }
 
     #[test]
+    fn reentrant_same_name_spans_accumulate_both_frames() {
+        set_enabled(true);
+        {
+            let _outer = span("test.recursive");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            {
+                let _inner = span("test.recursive");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let profile = take_profile();
+        set_enabled(false);
+        let stat = profile
+            .0
+            .iter()
+            .find(|p| p.name == "test.recursive")
+            .expect("phase recorded");
+        // Both frames count as calls; the inner frame's elapsed time is
+        // charged to the outer frame's child_s, so self time never
+        // double-counts the overlap: self_s stays at (or below, via the
+        // max(0) clamp) the inner frame's wall time plus the outer
+        // frame's own exclusive time — i.e. strictly less than total_s,
+        // which sums both inclusive frames.
+        assert_eq!(stat.calls, 2);
+        assert!(stat.self_s <= stat.total_s);
+        assert!(stat.total_s > 0.0);
+        // total_s includes the inner frame twice (once inclusively in
+        // the outer frame); self_s must not.
+        assert!(
+            stat.self_s < stat.total_s,
+            "re-entrant self time must exclude the nested frame: self={} total={}",
+            stat.self_s,
+            stat.total_s
+        );
+    }
+
+    #[test]
+    fn empty_profile_renders_header_only() {
+        let rendered = Profile::default().render();
+        assert_eq!(rendered.lines().count(), 1);
+        assert!(rendered.starts_with("phase"));
+        assert!(rendered.contains("self_s"));
+    }
+
+    #[test]
     fn profiles_compare_equal_regardless_of_timing() {
         let a = Profile(vec![PhaseStat {
             name: "x".into(),

@@ -9,8 +9,9 @@
 //! simulate a crash cutting a write, and the run is restored and
 //! driven to completion. The gate is *byte-identical equivalence*: the
 //! resumed run's event log, delay-attribution table, `SimReport` JSON
-//! (wall-clock profile excluded) and on-disk JSONL sink must all equal
-//! the uninterrupted run's, for every kill point.
+//! (wall-clock profile excluded), on-disk JSONL sink, telemetry series
+//! export (CSV) and Prometheus exposition must all equal the
+//! uninterrupted run's, for every kill point.
 //!
 //! One kill point per storm is deliberately placed past the end of the
 //! run: the crash event then never fires, and the report must *still*
@@ -96,8 +97,20 @@ struct Baseline {
     table: String,
     /// Raw bytes of the on-disk JSONL sink.
     sink_bytes: Vec<u8>,
+    /// Telemetry series export (CSV long format) — the bounded-memory
+    /// ring series are checkpointed engine state, so a resumed run must
+    /// reproduce the export byte-for-byte.
+    series_csv: String,
+    /// Prometheus text exposition rendered from the telemetry store and
+    /// the final registry snapshot.
+    prom: String,
     /// Simulated time of the last logged event, seconds.
     last_s: f64,
+}
+
+/// Renders the Prometheus exposition a finished run would serve.
+fn prom_text(report: &SimReport) -> String {
+    lyra_obs::render_prometheus(&report.telemetry, report.metrics.last())
 }
 
 /// Serializes a report with its wall-clock profile zeroed; timing data
@@ -174,6 +187,12 @@ fn compare(report: &SimReport, sink: &Path, base: &Baseline) -> Vec<String> {
         Ok(_) => {}
         Err(e) => failures.push(format!("reading sink {}: {e}", sink.display())),
     }
+    if report.telemetry.to_csv() != base.series_csv {
+        failures.push("telemetry series export diverges".to_string());
+    }
+    if prom_text(report) != base.prom {
+        failures.push("Prometheus exposition diverges".to_string());
+    }
     failures
 }
 
@@ -214,7 +233,11 @@ fn refusal_checks(ckpt: &Path, scratch: &Path) -> Vec<String> {
 
     // Bump the header's format version.
     let text = String::from_utf8_lossy(&bytes);
-    let bumped = text.replacen("\"version\":1", "\"version\":999", 1);
+    let bumped = text.replacen(
+        &format!("\"version\":{}", lyra_sim::checkpoint::CHECKPOINT_VERSION),
+        "\"version\":999",
+        1,
+    );
     if bumped == text {
         failures.push("version-bump mutation did not apply".to_string());
     } else {
@@ -265,6 +288,8 @@ pub fn crash_storm(kills: usize, seed: u64, dir: &Path) -> Result<StormReport, S
         table: attribution_table(&base_report.events)?,
         sink_bytes: fs::read(&base_sink)
             .map_err(|e| format!("reading baseline sink: {e}"))?,
+        series_csv: base_report.telemetry.to_csv(),
+        prom: prom_text(&base_report),
         events: base_report.events,
         last_s,
     };

@@ -6,11 +6,14 @@
 //! intended or not — shows up as a diff; intended changes are blessed
 //! with `lyra-bench golden --bless`.
 //!
-//! The faulted case additionally pins two artifacts *derived* from its
-//! log — the delay-attribution table (`.attribution.txt`) and the
-//! Chrome `trace_event` export (`.trace.json`) — so a change to the
-//! attribution or export pipeline is caught even when the underlying
-//! event stream is unchanged.
+//! The faulted case additionally pins three artifacts — the
+//! delay-attribution table (`.attribution.txt`) and the Chrome
+//! `trace_event` export (`.trace.json`), both *derived* from its log,
+//! plus the telemetry series export (`.series.csv`) from the run's
+//! report — so a change to the attribution, export or telemetry
+//! pipeline is caught even when the underlying event stream is
+//! unchanged. Fired alerts are pinned implicitly: `Alert` events land
+//! in the JSONL log like every other event.
 //!
 //! The gate also proves its own teeth: [`mutation_smoke`] flips one
 //! scheduler constant (the phase-2 solver, MCKP DP → greedy ablation)
@@ -19,6 +22,7 @@
 use lyra_sim::scenario::generators;
 use lyra_sim::{
     run_scenario_observed, transform, FaultConfig, FaultPlan, ObserverConfig, PolicyKind, Scenario,
+    SimReport,
 };
 use lyra_trace::{InferenceTrace, JobTrace};
 use std::fs;
@@ -47,17 +51,22 @@ pub struct GoldenCase {
 }
 
 impl GoldenCase {
-    /// Runs the scenario under full observation and returns its JSONL
-    /// event log.
-    pub fn event_log(&self) -> Result<Vec<String>, String> {
-        let report = run_scenario_observed(
+    /// Runs the scenario under full observation and returns the whole
+    /// report (event log, telemetry series, registry snapshots, …).
+    pub fn observed_report(&self) -> Result<SimReport, String> {
+        run_scenario_observed(
             &self.scenario,
             &self.jobs,
             &self.inference,
             ObserverConfig::default(),
         )
-        .map_err(|e| format!("{}: {e}", self.name))?;
-        Ok(report.events)
+        .map_err(|e| format!("{}: {e}", self.name))
+    }
+
+    /// Runs the scenario under full observation and returns its JSONL
+    /// event log.
+    pub fn event_log(&self) -> Result<Vec<String>, String> {
+        Ok(self.observed_report()?.events)
     }
 
     /// The on-disk path of this case's committed log inside `dir`.
@@ -73,6 +82,11 @@ impl GoldenCase {
     /// Path of the pinned Chrome trace inside `dir`.
     pub fn trace_path(&self, dir: &Path) -> PathBuf {
         dir.join(format!("{}.trace.json", self.name))
+    }
+
+    /// Path of the pinned telemetry series export inside `dir`.
+    pub fn series_path(&self, dir: &Path) -> PathBuf {
+        dir.join(format!("{}.series.csv", self.name))
     }
 
     /// Derives the pinned artifacts from a JSONL event log: the
@@ -180,16 +194,16 @@ fn first_divergence(expected: &str, got: &str) -> String {
 pub fn compare(dir: &Path) -> Vec<GoldenDiff> {
     let mut diffs = Vec::new();
     for case in cases() {
-        let lines = match (case.event_log(), case.event_log()) {
+        let (lines, series_csv) = match (case.observed_report(), case.observed_report()) {
             (Ok(a), Ok(b)) => {
-                if a != b {
+                if a.events != b.events || a.telemetry != b.telemetry {
                     diffs.push(GoldenDiff {
                         name: case.name.to_string(),
                         detail: "two consecutive runs diverged (nondeterminism)".into(),
                     });
                     continue;
                 }
-                a
+                (a.events, a.telemetry.to_csv())
             }
             (Err(e), _) | (_, Err(e)) => {
                 diffs.push(GoldenDiff {
@@ -233,6 +247,7 @@ pub fn compare(dir: &Path) -> Vec<GoldenDiff> {
         for (label, path, got) in [
             ("attribution table", case.attribution_path(dir), table),
             ("chrome trace", case.trace_path(dir), trace),
+            ("series export", case.series_path(dir), series_csv),
         ] {
             match fs::read_to_string(&path) {
                 Ok(committed) => {
@@ -265,7 +280,8 @@ pub fn bless(dir: &Path) -> Result<Vec<String>, String> {
     fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
     let mut written = Vec::new();
     for case in cases() {
-        let log = case.event_log()?;
+        let report = case.observed_report()?;
+        let log = report.events.clone();
         let path = case.path(dir);
         fs::write(&path, render(&log)).map_err(|e| format!("{}: {e}", path.display()))?;
         written.push(format!("{} ({} events)", path.display(), log.len()));
@@ -277,6 +293,10 @@ pub fn bless(dir: &Path) -> Result<Vec<String>, String> {
             let tpath = case.trace_path(dir);
             fs::write(&tpath, trace).map_err(|e| format!("{}: {e}", tpath.display()))?;
             written.push(format!("{}", tpath.display()));
+            let spath = case.series_path(dir);
+            fs::write(&spath, report.telemetry.to_csv())
+                .map_err(|e| format!("{}: {e}", spath.display()))?;
+            written.push(format!("{}", spath.display()));
         }
     }
     Ok(written)

@@ -6,6 +6,28 @@
 use lyra_oracle::golden;
 
 #[test]
+fn faulted_case_fires_at_least_one_alert() {
+    // The telemetry alert rules must actually trip on the pinned
+    // faulted scenario — otherwise "alerts are golden-pinned" would be
+    // vacuously true. Resolves are not required (a debt can stay open
+    // to the end of the run), but at least one fire must appear.
+    let case = golden::cases()
+        .into_iter()
+        .find(|c| c.scenario.faults.is_some())
+        .expect("a faulted golden case exists");
+    let log = case.event_log().expect("faulted case runs");
+    let fired = log
+        .iter()
+        .filter(|l| l.contains("\"Alert\"") && l.contains("\"fired\":true"))
+        .count();
+    assert!(
+        fired >= 1,
+        "no Alert events in the faulted golden log ({} lines)",
+        log.len()
+    );
+}
+
+#[test]
 fn committed_golden_logs_match() {
     let diffs = golden::compare(&golden::default_dir());
     assert!(

@@ -34,7 +34,7 @@ use std::path::Path;
 
 /// Current checkpoint format version; bumped on any change to
 /// [`SimCheckpoint`]'s serialized shape.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// File-type tag in the header line.
 const MAGIC: &str = "lyra-checkpoint";

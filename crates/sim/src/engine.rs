@@ -266,6 +266,13 @@ pub struct ObserverConfig {
     /// Record the decision audit trail (phase-1 orderings, MCKP
     /// allocations, placement and reclaim choices) as `Audit` events.
     pub audit: bool,
+    /// Per-series retained-point capacity of the telemetry store
+    /// (ring series with deterministic decimation; see
+    /// [`lyra_obs::Telemetry`]).
+    pub telemetry_capacity: usize,
+    /// Alert rules evaluated against the telemetry gauges each epoch;
+    /// fire/resolve transitions become `Alert` events in the log.
+    pub alert_rules: Vec<lyra_obs::AlertRule>,
 }
 
 impl Default for ObserverConfig {
@@ -274,6 +281,8 @@ impl Default for ObserverConfig {
             ring_capacity: 1 << 16,
             sink_path: None,
             audit: true,
+            telemetry_capacity: lyra_obs::timeseries::DEFAULT_SERIES_CAPACITY,
+            alert_rules: lyra_obs::default_rules(),
         }
     }
 }
@@ -293,6 +302,18 @@ struct Observer {
     /// Last emitted `SchedulerEpoch` shape; epochs are only logged when
     /// (launches, queued, running) changes, keeping quiet periods quiet.
     last_epoch: Option<(u32, u32, u32)>,
+    /// Per-epoch scheduler-health series (ring buffers with
+    /// deterministic decimation) plus the epoch-span / decision-latency
+    /// histograms.
+    telemetry: lyra_obs::Telemetry,
+    /// Threshold + sustained-window rules over the telemetry gauges.
+    alerts: lyra_obs::AlertEngine,
+    /// Cumulative modelled RM latency already folded into the
+    /// decision-latency histogram (per-epoch deltas are observed).
+    rm_latency_seen_s: f64,
+    /// When the current reclaim carry was first sampled, for the
+    /// backlog-age gauge; `None` while no debt is open.
+    carry_since_ms: Option<u64>,
 }
 
 /// Fixed histogram bucket bounds for job-level durations, seconds
@@ -356,6 +377,10 @@ struct ObserverState {
     next_hour: u64,
     lifecycle: lyra_obs::LifecycleTracker,
     last_epoch: Option<(u32, u32, u32)>,
+    telemetry: lyra_obs::Telemetry,
+    alerts: lyra_obs::AlertEngine,
+    rm_latency_seen_s: f64,
+    carry_since_ms: Option<u64>,
 }
 
 /// The complete runtime state of a [`Simulation`] between two events —
@@ -628,6 +653,10 @@ impl Simulation {
             next_hour: 0,
             lifecycle: lyra_obs::LifecycleTracker::new(),
             last_epoch: None,
+            telemetry: lyra_obs::Telemetry::new(cfg.telemetry_capacity),
+            alerts: lyra_obs::AlertEngine::new(cfg.alert_rules.clone()),
+            rm_latency_seen_s: 0.0,
+            carry_since_ms: None,
         });
         Ok(self)
     }
@@ -1885,7 +1914,108 @@ impl Simulation {
                 }
             }
         }
+        self.sample_telemetry();
         Ok(launches)
+    }
+
+    /// Samples the scheduler-health gauges into the telemetry series and
+    /// evaluates the alert rules — once per scheduler epoch, after all
+    /// of the epoch's bookkeeping (no-op without an observer).
+    ///
+    /// Every sampled quantity is simulated or modelled (never
+    /// wall-clock), so the series, the histograms and the alert
+    /// transitions are a pure function of the seed; all of this state
+    /// is checkpointed, so a resumed run samples identically.
+    fn sample_telemetry(&mut self) {
+        if self.observer.is_none() {
+            return;
+        }
+        let _timing = lyra_obs::span::span("sim.telemetry_sample");
+        let t_ms = (self.now_s.max(0.0) * 1000.0).round() as u64;
+        let (train_used, train_total) = self.cluster.gpu_usage(PoolKind::Training);
+        let (loan_used, loan_total) = self.cluster.gpu_usage(PoolKind::OnLoan);
+        let flex_used = self.cluster.flexible_gpu_usage();
+        let frag = self.cluster.fragmentation_index();
+        let queue_depth = self.queue.len() as f64;
+        let queue_gpus = self.pending_gpus as f64;
+        let running = self.running_jobs.len() as f64;
+        let elastic_workers: u32 = self
+            .running_jobs
+            .iter()
+            .map(|&i| {
+                let j = &self.jobs[i];
+                if j.spec.is_elastic() {
+                    j.workers
+                } else {
+                    0
+                }
+            })
+            .sum();
+        let loaned_servers = f64::from(self.cluster.loaned_count());
+        let carry_servers = self.reclaim_ledger.carry().map_or(0.0, |c| f64::from(c.servers));
+        let rm_latency_s = self.rm.total_latency_s();
+        let ratio = |used: u32, total: u32| {
+            if total == 0 {
+                0.0
+            } else {
+                f64::from(used) / f64::from(total)
+            }
+        };
+        let util_dedicated = ratio(train_used, train_total);
+        let util_loaned = ratio(loan_used, loan_total);
+        let util_flexible = ratio(flex_used, loan_total);
+
+        let obs = self.observer.as_mut().expect("checked above");
+        obs.telemetry.begin_epoch(t_ms);
+        let latency_ms = (rm_latency_s - obs.rm_latency_seen_s).max(0.0) * 1000.0;
+        obs.rm_latency_seen_s = rm_latency_s;
+        obs.telemetry.observe_decision_latency(latency_ms);
+        let backlog_age_s = if carry_servers > 0.0 {
+            let since = *obs.carry_since_ms.get_or_insert(t_ms);
+            (t_ms.saturating_sub(since)) as f64 / 1000.0
+        } else {
+            obs.carry_since_ms = None;
+            0.0
+        };
+        let samples = [
+            ("util.dedicated", util_dedicated),
+            ("util.loaned", util_loaned),
+            ("util.flexible", util_flexible),
+            ("queue.depth", queue_depth),
+            ("queue.gpus", queue_gpus),
+            ("jobs.running", running),
+            ("elastic.workers", f64::from(elastic_workers)),
+            ("cluster.loaned_servers", loaned_servers),
+            ("reclaim.carry_servers", carry_servers),
+            ("reclaim.backlog_age_s", backlog_age_s),
+            ("frag.index", frag),
+        ];
+        for (name, value) in samples {
+            obs.telemetry.sample_gauge(name, t_ms, value);
+        }
+        for (rate, counter) in [
+            ("rate.loans", "cluster.loan.ops"),
+            ("rate.preemptions", "sim.jobs.preemptions"),
+            ("rate.reclaims", "cluster.reclaim.ops"),
+        ] {
+            let cumulative = obs.metrics.counter(counter);
+            obs.telemetry.sample_rate(rate, t_ms, cumulative);
+        }
+        let Observer {
+            ref telemetry,
+            ref mut alerts,
+            ..
+        } = *obs;
+        let transitions = alerts.evaluate(|name| telemetry.latest(name));
+        for tr in transitions {
+            self.emit(SchedEvent::Alert {
+                rule: tr.rule,
+                series: tr.series,
+                value: tr.value,
+                threshold: tr.threshold,
+                fired: tr.fired,
+            });
+        }
     }
 
     /// Servers worth borrowing right now: whole servers of *unmet*
@@ -2195,6 +2325,10 @@ impl Simulation {
                 next_hour: o.next_hour,
                 lifecycle: o.lifecycle.clone(),
                 last_epoch: o.last_epoch,
+                telemetry: o.telemetry.clone(),
+                alerts: o.alerts.clone(),
+                rm_latency_seen_s: o.rm_latency_seen_s,
+                carry_since_ms: o.carry_since_ms,
             }),
         }
     }
@@ -2253,6 +2387,10 @@ impl Simulation {
                 next_hour: os.next_hour,
                 lifecycle: os.lifecycle,
                 last_epoch: os.last_epoch,
+                telemetry: os.telemetry,
+                alerts: os.alerts,
+                rm_latency_seen_s: os.rm_latency_seen_s,
+                carry_since_ms: os.carry_since_ms,
             }),
             None => None,
         };
@@ -2607,6 +2745,11 @@ impl Simulation {
                 .unwrap_or_default(),
             profile: self.profile.clone(),
             attribution: self.attribution.clone(),
+            telemetry: self
+                .observer
+                .as_ref()
+                .map(|o| o.telemetry.clone())
+                .unwrap_or_default(),
         }
     }
 }

@@ -302,6 +302,11 @@ pub struct SimReport {
     /// an observer). Per-job detail is recovered from the event log via
     /// [`lyra_obs::attribute_log`].
     pub attribution: lyra_obs::AttributionSummary,
+    /// Per-epoch scheduler-health time series (ring series with
+    /// deterministic decimation plus the epoch-span / decision-latency
+    /// histograms; empty without an observer). Fully deterministic, so
+    /// it participates in report equality and the perf divergence gate.
+    pub telemetry: lyra_obs::Telemetry,
 }
 
 impl SimReport {
@@ -355,6 +360,21 @@ impl SimReport {
                 check(&mut bad, &format!("{name}[{i}]"), *v);
             }
         }
+        for (name, series) in self.telemetry.iter() {
+            for (i, p) in series.points().iter().enumerate() {
+                check(&mut bad, &format!("telemetry.{name}[{i}]"), p.value);
+            }
+        }
+        check(
+            &mut bad,
+            "telemetry.epoch_span_ms.sum",
+            self.telemetry.epoch_span_ms.sum,
+        );
+        check(
+            &mut bad,
+            "telemetry.decision_latency_ms.sum",
+            self.telemetry.decision_latency_ms.sum,
+        );
         for r in &self.records {
             check(&mut bad, &format!("records[{:?}].submit_s", r.id), r.submit_s);
             check(&mut bad, &format!("records[{:?}].queue_s", r.id), r.queue_s);
@@ -589,6 +609,7 @@ mod tests {
             metrics: vec![],
             profile: lyra_obs::Profile::default(),
             attribution: lyra_obs::AttributionSummary::default(),
+            telemetry: lyra_obs::Telemetry::default(),
         }
     }
 }

@@ -626,6 +626,31 @@ mod tests {
     }
 
     #[test]
+    fn same_seed_telemetry_exports_are_byte_identical() {
+        let (jobs, inf) = tiny_traces(10);
+        let mut s = Scenario::basic();
+        s.cluster = tiny_cluster();
+        let a = run_scenario_observed(&s, &jobs, &inf, ObserverConfig::default()).expect("runs");
+        let b = run_scenario_observed(&s, &jobs, &inf, ObserverConfig::default()).expect("runs");
+        assert!(a.telemetry.epochs > 0, "telemetry sampled every epoch");
+        assert!(
+            a.telemetry.series("queue.depth").is_some()
+                && a.telemetry.series("util.dedicated").is_some()
+                && a.telemetry.series("rate.preemptions").is_some(),
+            "core gauges present: {:?}",
+            a.telemetry.series_names().collect::<Vec<_>>()
+        );
+        let csv = a.telemetry.to_csv();
+        assert!(csv.lines().count() > 1, "CSV export has data rows");
+        assert_eq!(csv, b.telemetry.to_csv(), "same-seed series CSV is byte-identical");
+        assert_eq!(
+            lyra_obs::render_prometheus(&a.telemetry, a.metrics.last()),
+            lyra_obs::render_prometheus(&b.telemetry, b.metrics.last()),
+            "same-seed Prometheus exposition is byte-identical"
+        );
+    }
+
+    #[test]
     fn fault_events_in_log_match_fault_stats() {
         use crate::faults::{FaultConfig, FaultPlan};
         use lyra_obs::SchedEvent;
