@@ -2,14 +2,16 @@
 //!
 //! Times scheduler epochs (snapshot maintenance + two-phase allocation +
 //! placement) over a trace-scale Basic scenario via the span profiler,
-//! once with the engine's incremental snapshot cache and once with the
-//! legacy from-scratch rebuild, and reports the per-epoch speedup. Both
+//! once with the engine's incremental paths (snapshot cache + the
+//! incremental preemption-cost reclaim engine) and once with the legacy
+//! from-scratch rebuilds, and reports the per-epoch speedup. Both
 //! configurations are first run *observed* under the same seed and must
 //! produce byte-identical event logs and identical reports — the
 //! benchmark refuses to time configurations that diverge.
 //!
-//! `--smoke` runs only the divergence gate and the telemetry-overhead
-//! budget at Small (CI) scale; the full run times at paper scale and
+//! `--smoke` runs the divergence gate, the telemetry-overhead budget
+//! and the reclaim-heavy probe (gating `core.reclaim`'s self-time
+//! share) at Small (CI) scale; the full run times at paper scale and
 //! writes `BENCH_scheduler.json` (including the overhead probe).
 
 use crate::Scale;
@@ -68,6 +70,19 @@ pub struct ObserverOverhead {
 pub const OVERHEAD_BUDGET_RATIO: f64 = 4.0;
 /// Absolute slack for the overhead budget, seconds.
 pub const OVERHEAD_BUDGET_SLACK_S: f64 = 2.0;
+
+/// Budget for `core.reclaim`'s share of total span self time in the
+/// reclaim-heavy smoke probe. Before the incremental preemption-cost
+/// engine, server selection alone burned ~57 % of a trace-scale run;
+/// with it the share sits in the low single digits even under violent
+/// loan/reclaim churn. The budget is generous (CI machines are noisy
+/// and Small runs are short) but still far below the from-scratch
+/// regime, so an accidental O(servers × reclaims) regression trips it.
+pub const RECLAIM_SHARE_BUDGET: f64 = 0.25;
+/// Minimum total self time before the reclaim share gate applies: on a
+/// fast machine the whole probe is a handful of milliseconds and the
+/// share estimate is pure noise.
+pub const RECLAIM_SHARE_MIN_TOTAL_S: f64 = 0.05;
 
 /// Times the scenario bare vs fully observed and returns the probe.
 fn observer_overhead(
@@ -154,6 +169,63 @@ fn observed(scenario: &Scenario, jobs: &JobTrace, inference: &InferenceTrace) ->
         .unwrap_or_else(|e| panic!("observed run failed: {e}"))
 }
 
+/// Reclaim-heavy probe: a Small-scale scenario tuned for loan/reclaim
+/// churn (saturated training queue + violently bursty inference trace),
+/// timed once, gated on `core.reclaim`'s share of total self time.
+/// Returns the process exit code.
+fn reclaim_probe() -> i32 {
+    let scale = Scale::Small;
+    let seed = 7;
+    let mut trace_config = scale.trace_config(seed);
+    // Saturate training over four days: with the queue always deep,
+    // every loaned server is wanted and every inference spike forces a
+    // reclaim.
+    trace_config.days = 4;
+    trace_config.target_load = 1.4;
+    let jobs = JobTrace::generate(trace_config);
+    let mut inf_config = scale.inference_config(seed ^ 0xA5A5);
+    // Frequent ~10 %-of-capacity bursts on top of the diurnal wave keep
+    // the orchestrator flip-flopping between loaning and reclaiming.
+    inf_config.days = trace_config.days + 30;
+    inf_config.burst_prob = 0.25;
+    inf_config.burst_mean = 0.10;
+    inf_config.noise = 0.05;
+    let inference = InferenceTrace::generate(inf_config);
+    let mut scenario = Scenario::basic();
+    scenario.cluster = scale.cluster_config();
+    // A 60 s orchestrator tick (vs the paper's 300 s) multiplies the
+    // loan/reclaim decision rate without growing the cluster.
+    scenario.sim.orchestrator_interval_s = 60.0;
+    let profile = timed_run(&scenario, &jobs, &inference);
+    let total_self: f64 = profile.0.iter().map(|p| p.self_s).sum();
+    let (reclaim_calls, reclaim_self) = profile
+        .0
+        .iter()
+        .find(|p| p.name == "core.reclaim")
+        .map_or((0, 0.0), |p| (p.calls, p.self_s));
+    let share = if total_self > 0.0 {
+        reclaim_self / total_self
+    } else {
+        0.0
+    };
+    println!(
+        "reclaim probe: core.reclaim {reclaim_self:.4}s self over {reclaim_calls} calls \
+         = {:.1}% of {total_self:.4}s total self time (budget {:.0}%)",
+        100.0 * share,
+        100.0 * RECLAIM_SHARE_BUDGET
+    );
+    if total_self >= RECLAIM_SHARE_MIN_TOTAL_S && share > RECLAIM_SHARE_BUDGET {
+        eprintln!(
+            "perf: reclaim share budget EXCEEDED: core.reclaim burned {:.1}% of \
+             self time under reclaim churn (budget {:.0}%)",
+            100.0 * share,
+            100.0 * RECLAIM_SHARE_BUDGET
+        );
+        return 1;
+    }
+    0
+}
+
 fn phase_row(stats: &[PhaseStat], name: &str) -> Option<(u64, f64)> {
     stats
         .iter()
@@ -186,8 +258,37 @@ pub fn run(smoke: bool) -> i32 {
     let mut incremental = Scenario::basic();
     incremental.cluster = scale.cluster_config();
     incremental.sim.incremental_snapshot = true;
+    incremental.sim.incremental_reclaim = true;
     let mut from_scratch = incremental.clone();
     from_scratch.sim.incremental_snapshot = false;
+    from_scratch.sim.incremental_reclaim = false;
+
+    // Time each configuration FIRST, while the process heap is fresh:
+    // the divergence and overhead passes below run fully observed at
+    // trace scale, and the allocator churn they leave behind inflates
+    // timings taken afterwards by ~25% (measured). The modes alternate
+    // across repetitions and each keeps its *fastest* repetition:
+    // transient machine noise (frequency scaling, neighbours) only ever
+    // slows a run down, so the minimum is the stable estimate.
+    let timed = if smoke {
+        None
+    } else {
+        const REPS: usize = 3;
+        run_scenario(&incremental, &jobs, &inference).expect("warmup run");
+        let mut inc: Option<ModeStats> = None;
+        let mut scr: Option<ModeStats> = None;
+        for _ in 0..REPS {
+            let i = mode_stats(timed_run(&incremental, &jobs, &inference));
+            if inc.as_ref().is_none_or(|best| i.mean_ms < best.mean_ms) {
+                inc = Some(i);
+            }
+            let s = mode_stats(timed_run(&from_scratch, &jobs, &inference));
+            if scr.as_ref().is_none_or(|best| s.mean_ms < best.mean_ms) {
+                scr = Some(s);
+            }
+        }
+        Some((inc.expect("timed reps"), scr.expect("timed reps")))
+    };
 
     // Divergence gate: under the same seed the two engine configurations
     // must be observationally indistinguishable.
@@ -226,9 +327,14 @@ pub fn run(smoke: bool) -> i32 {
             );
             return 1;
         }
+        let rc = reclaim_probe();
+        if rc != 0 {
+            return rc;
+        }
         println!(
             "perf smoke: incremental and from-scratch runs identical \
-             ({} jobs, {} events, scale {:?}); telemetry overhead within budget",
+             ({} jobs, {} events, scale {:?}); telemetry overhead and \
+             reclaim share within budget",
             a.completed,
             a.events.len(),
             scale
@@ -236,25 +342,7 @@ pub fn run(smoke: bool) -> i32 {
         return 0;
     }
 
-    // Warm up the allocator and page cache, then time each configuration.
-    // The modes alternate across repetitions and each keeps its *fastest*
-    // repetition: transient machine noise (frequency scaling, neighbours)
-    // only ever slows a run down, so the minimum is the stable estimate.
-    const REPS: usize = 3;
-    run_scenario(&incremental, &jobs, &inference).expect("warmup run");
-    let mut inc: Option<ModeStats> = None;
-    let mut scr: Option<ModeStats> = None;
-    for _ in 0..REPS {
-        let i = mode_stats(timed_run(&incremental, &jobs, &inference));
-        if inc.as_ref().is_none_or(|best| i.mean_ms < best.mean_ms) {
-            inc = Some(i);
-        }
-        let s = mode_stats(timed_run(&from_scratch, &jobs, &inference));
-        if scr.as_ref().is_none_or(|best| s.mean_ms < best.mean_ms) {
-            scr = Some(s);
-        }
-    }
-    let (inc, scr) = (inc.expect("timed reps"), scr.expect("timed reps"));
+    let (inc, scr) = timed.expect("timed benchmark runs in the full configuration");
     let speedup = if inc.mean_ms > 0.0 {
         scr.mean_ms / inc.mean_ms
     } else {

@@ -12,7 +12,7 @@ use lyra_core::job::JobId;
 use lyra_core::reclaim::{JobFootprint, ReclaimRequest, ReclaimServerView};
 use lyra_core::snapshot::{PoolKind, ServerGroup, ServerId, ServerView};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Cluster shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -97,6 +97,18 @@ impl std::fmt::Display for ClusterError {
 
 impl std::error::Error for ClusterError {}
 
+/// Cluster-wide footprint of one running job: the GPUs it holds on each
+/// hosting server (any pool). Maintained eagerly by every occupancy
+/// mutator so reclaim-request assembly never rescans the whole cluster.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct JobOccupancy {
+    /// GPUs held per hosting server; entries are removed at zero, so
+    /// `hosts.len()` is the paper's `servers(j)` denominator.
+    hosts: BTreeMap<ServerId, u32>,
+    /// Total GPUs across all hosts (the sum of `hosts` values).
+    gpus: u32,
+}
+
 /// The whole cluster as the training scheduler and orchestrator see it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterState {
@@ -114,6 +126,21 @@ pub struct ClusterState {
     /// Servers currently crashed: off the whitelist, off the loan ledger,
     /// and ineligible for loans until they recover.
     down: BTreeSet<ServerId>,
+    /// Derived index: every running job's cluster-wide footprint. Updated
+    /// on launch, scale, preemption, vacate and crash transitions (checked
+    /// by [`ClusterState::audit`]) so [`ClusterState::reclaim_request`]
+    /// assembles footprints in O(loaned servers + their jobs) instead of a
+    /// full-cluster scan, and [`ClusterState::evict_job`] touches only the
+    /// servers actually hosting the job.
+    occupancy: BTreeMap<JobId, JobOccupancy>,
+    /// Derived index: `(used, total)` GPUs across whitelisted Training
+    /// servers. Kept in lockstep by every mutator (checked by
+    /// [`ClusterState::audit`]) so [`ClusterState::gpu_usage`] — on the
+    /// scheduler's per-epoch loan-demand path — is O(1) instead of a
+    /// whitelist walk.
+    usage_training: (u32, u32),
+    /// Same as `usage_training` for whitelisted OnLoan servers.
+    usage_on_loan: (u32, u32),
 }
 
 impl ClusterState {
@@ -137,12 +164,53 @@ impl ClusterState {
             servers.insert(s.id, s);
         }
         ClusterState {
-            config,
             servers,
             whitelist,
             loaned: BTreeSet::new(),
             idle_loaned: BTreeSet::new(),
             down: BTreeSet::new(),
+            occupancy: BTreeMap::new(),
+            usage_training: (0, config.training_servers * config.gpus_per_server),
+            usage_on_loan: (0, 0),
+            config,
+        }
+    }
+
+    /// The mutable usage counter of `pool`.
+    fn usage_mut(&mut self, pool: PoolKind) -> &mut (u32, u32) {
+        match pool {
+            PoolKind::Training => &mut self.usage_training,
+            PoolKind::OnLoan => &mut self.usage_on_loan,
+        }
+    }
+
+    /// Records `gpus` of `job` landing on `server` in the footprint index.
+    fn occupancy_add(&mut self, job: JobId, server: ServerId, gpus: u32) {
+        if gpus == 0 {
+            return;
+        }
+        let entry = self.occupancy.entry(job).or_default();
+        *entry.hosts.entry(server).or_insert(0) += gpus;
+        entry.gpus += gpus;
+    }
+
+    /// Records `gpus` of `job` leaving `server` in the footprint index,
+    /// dropping host entries at zero and the job once it runs nowhere.
+    fn occupancy_remove(&mut self, job: JobId, server: ServerId, gpus: u32) {
+        if gpus == 0 {
+            return;
+        }
+        if let Some(entry) = self.occupancy.get_mut(&job) {
+            if let Some(held) = entry.hosts.get_mut(&server) {
+                *held = held.saturating_sub(gpus);
+                if *held == 0 {
+                    entry.hosts.remove(&server);
+                }
+            }
+            entry.gpus = entry.gpus.saturating_sub(gpus);
+            if entry.hosts.is_empty() {
+                self.occupancy.remove(&job);
+            }
         }
     }
 
@@ -180,20 +248,13 @@ impl ClusterState {
         self.loaned.contains(&id)
     }
 
-    /// `(used, total)` GPUs across whitelisted servers of `pool`.
+    /// `(used, total)` GPUs across whitelisted servers of `pool` — O(1)
+    /// from the eagerly-maintained counters.
     pub fn gpu_usage(&self, pool: PoolKind) -> (u32, u32) {
-        let mut used = 0;
-        let mut total = 0;
-        for id in &self.whitelist {
-            let Some(s) = self.servers.get(id) else {
-                continue;
-            };
-            if s.pool == pool {
-                used += s.used_gpus();
-                total += s.total_gpus;
-            }
+        match pool {
+            PoolKind::Training => self.usage_training,
+            PoolKind::OnLoan => self.usage_on_loan,
         }
-        (used, total)
     }
 
     /// GPUs currently used by workers on loaned *Flexible*-group
@@ -257,10 +318,19 @@ impl ClusterState {
             .get_mut(&id)
             .ok_or(ClusterError::UnknownServer(id))?;
         let victims: Vec<(JobId, u32)> = s.jobs().collect();
+        let (pool, total) = (s.pool, s.total_gpus);
         for (job, _) in &victims {
             s.evict(*job);
         }
-        self.whitelist.remove(&id);
+        for &(job, gpus) in &victims {
+            self.occupancy_remove(job, id, gpus);
+        }
+        if self.whitelist.remove(&id) {
+            let victim_gpus: u32 = victims.iter().map(|&(_, g)| g).sum();
+            let u = self.usage_mut(pool);
+            u.0 -= victim_gpus;
+            u.1 -= total;
+        }
         self.loaned.remove(&id);
         self.idle_loaned.remove(&id);
         self.down.insert(id);
@@ -280,9 +350,13 @@ impl ClusterState {
             .get_mut(&id)
             .ok_or(ClusterError::UnknownServer(id))?;
         s.group = ServerGroup::Unassigned;
+        let total = s.total_gpus;
         if s.gpu_type == GpuType::V100 {
             s.pool = PoolKind::Training;
-            self.whitelist.insert(id);
+            // Down servers host no workers, so only the capacity returns.
+            if self.whitelist.insert(id) {
+                self.usage_training.1 += total;
+            }
         }
         self.debug_audit();
         Ok(())
@@ -362,6 +436,40 @@ impl ClusterState {
         if let Some(id) = self.idle_loaned.difference(&self.loaned).next() {
             return violation(format!("idle-loan index holds non-loaned {id}"));
         }
+        // The job-footprint index must equal what a full-cluster rebuild
+        // produces — every mutator keeps it in lockstep.
+        let mut rebuilt: BTreeMap<JobId, JobOccupancy> = BTreeMap::new();
+        for s in self.servers.values() {
+            for (job, gpus) in s.jobs() {
+                let entry = rebuilt.entry(job).or_default();
+                entry.hosts.insert(s.id, gpus);
+                entry.gpus += gpus;
+            }
+        }
+        if rebuilt != self.occupancy {
+            return violation("job-footprint index out of lockstep".to_string());
+        }
+        // The pool GPU-usage counters must equal a whitelist walk.
+        let mut training = (0u32, 0u32);
+        let mut on_loan = (0u32, 0u32);
+        for id in &self.whitelist {
+            let Some(s) = self.servers.get(id) else {
+                continue;
+            };
+            let slot = match s.pool {
+                PoolKind::Training => &mut training,
+                PoolKind::OnLoan => &mut on_loan,
+            };
+            slot.0 += s.used_gpus();
+            slot.1 += s.total_gpus;
+        }
+        if (training, on_loan) != (self.usage_training, self.usage_on_loan) {
+            return violation(format!(
+                "pool GPU-usage counters out of lockstep: training {:?} vs {:?}, \
+                 on-loan {:?} vs {:?}",
+                self.usage_training, training, self.usage_on_loan, on_loan
+            ));
+        }
         Ok(())
     }
 
@@ -404,6 +512,8 @@ impl ClusterState {
             if let Some(s) = self.servers.get_mut(id) {
                 s.pool = PoolKind::OnLoan;
                 s.group = ServerGroup::Unassigned;
+                let total = s.total_gpus;
+                self.usage_on_loan.1 += total;
             }
         }
         self.debug_audit();
@@ -426,7 +536,12 @@ impl ClusterState {
             }
         }
         for id in ids {
-            self.whitelist.remove(id);
+            let total = self.servers.get(id).map_or(0, |s| s.total_gpus);
+            // Returned servers are validated empty above, so only the
+            // capacity leaves the counter.
+            if self.whitelist.remove(id) {
+                self.usage_on_loan.1 -= total;
+            }
             self.loaned.remove(id);
             self.idle_loaned.remove(id);
         }
@@ -461,12 +576,15 @@ impl ClusterState {
             }
         }
         for (id, workers) in assignment {
+            let gpus = workers * gpus_per_worker;
             let s = self.servers.get_mut(id).expect("validated above");
-            s.allocate(job, workers * gpus_per_worker)
-                .map_err(ClusterError::Occupancy)?;
+            s.allocate(job, gpus).map_err(ClusterError::Occupancy)?;
             if s.pool == PoolKind::OnLoan && s.group == ServerGroup::Unassigned {
                 s.group = group;
             }
+            let pool = s.pool;
+            self.occupancy_add(job, *id, gpus);
+            self.usage_mut(pool).0 += gpus;
             // No-op unless the server was an idle loaner.
             self.idle_loaned.remove(id);
         }
@@ -496,10 +614,14 @@ impl ClusterState {
             }
         }
         for (id, workers) in assignment {
+            let gpus = workers * gpus_per_worker;
             let s = self.servers.get_mut(id).expect("validated above");
-            s.release(job, workers * gpus_per_worker)
-                .map_err(ClusterError::Occupancy)?;
-            if s.is_empty() && self.loaned.contains(id) {
+            s.release(job, gpus).map_err(ClusterError::Occupancy)?;
+            let now_empty = s.is_empty();
+            let pool = s.pool;
+            self.occupancy_remove(job, *id, gpus);
+            self.usage_mut(pool).0 -= gpus;
+            if now_empty && self.loaned.contains(id) {
                 self.idle_loaned.insert(*id);
             }
         }
@@ -515,9 +637,18 @@ impl ClusterState {
             .get_mut(&id)
             .ok_or(ClusterError::UnknownServer(id))?;
         let jobs: Vec<(JobId, u32)> = s.jobs().collect();
+        let pool = s.pool;
         for (job, _) in &jobs {
             s.evict(*job);
         }
+        for &(job, gpus) in &jobs {
+            self.occupancy_remove(job, id, gpus);
+        }
+        // Occupied servers are always whitelisted (audited invariant),
+        // so the freed GPUs leave the pool counter; an empty server
+        // frees nothing.
+        let freed: u32 = jobs.iter().map(|&(_, g)| g).sum();
+        self.usage_mut(pool).0 -= freed;
         if self.loaned.contains(&id) {
             self.idle_loaned.insert(id);
         }
@@ -526,15 +657,26 @@ impl ClusterState {
     }
 
     /// Evicts `job` everywhere (preemption). Returns `(server, gpus)`
-    /// freed.
+    /// freed. O(hosting servers) via the footprint index.
     pub fn evict_job(&mut self, job: JobId) -> Vec<(ServerId, u32)> {
+        let hosts: Vec<ServerId> = self
+            .occupancy
+            .get(&job)
+            .map(|o| o.hosts.keys().copied().collect())
+            .unwrap_or_default();
         let mut freed = Vec::new();
-        for s in self.servers.values_mut() {
+        for &sid in &hosts {
+            let Some(s) = self.servers.get_mut(&sid) else {
+                continue;
+            };
             let g = s.evict(job);
+            let pool = s.pool;
             if g > 0 {
-                freed.push((s.id, g));
+                freed.push((sid, g));
+                self.usage_mut(pool).0 -= g;
             }
         }
+        self.occupancy.remove(&job);
         for &(sid, _) in &freed {
             if self.loaned.contains(&sid)
                 && self.servers.get(&sid).is_some_and(|s| s.is_empty())
@@ -561,16 +703,10 @@ impl ClusterState {
     /// Builds the §4 reclaim request over the currently loaned servers.
     ///
     /// Footprints count each job's servers and GPUs cluster-wide, so the
-    /// preemption-cost denominators include training-side placements.
+    /// preemption-cost denominators include training-side placements. Runs
+    /// in O(loaned servers + their jobs): footprints come straight from the
+    /// job-occupancy index instead of a scan over every server.
     pub fn reclaim_request(&self, need: usize) -> ReclaimRequest {
-        let mut footprints: HashMap<JobId, (u32, u32)> = HashMap::new();
-        for s in self.servers.values() {
-            for (job, gpus) in s.jobs() {
-                let e = footprints.entry(job).or_insert((0, 0));
-                e.0 += 1;
-                e.1 += gpus;
-            }
-        }
         let servers: Vec<ReclaimServerView> = self
             .loaned
             .iter()
@@ -583,26 +719,33 @@ impl ClusterState {
                 })
             })
             .collect();
-        let mut jobs: Vec<JobFootprint> = servers
+        let jobs: Vec<JobFootprint> = servers
             .iter()
             .flat_map(|s| s.jobs.iter().map(|(j, _)| *j))
             .collect::<BTreeSet<JobId>>()
             .into_iter()
             .map(|id| {
-                let (total_servers, total_gpus) = footprints.get(&id).copied().unwrap_or((0, 0));
+                let occ = self.occupancy.get(&id);
                 JobFootprint {
                     id,
-                    total_servers,
-                    total_gpus,
+                    total_servers: occ.map_or(0, |o| o.hosts.len() as u32),
+                    total_gpus: occ.map_or(0, |o| o.gpus),
                 }
             })
             .collect();
-        jobs.sort_by_key(|f| f.id);
-        ReclaimRequest {
+        let request = ReclaimRequest {
             servers,
             jobs,
             need,
-        }
+        };
+        // The engine must never hand the reclaim heuristics a request with
+        // duplicate candidates or duplicate per-server job entries.
+        debug_assert!(
+            request.validate().is_ok(),
+            "engine-built reclaim request failed validation: {:?}",
+            request.validate()
+        );
+        request
     }
 }
 

@@ -186,11 +186,26 @@ pub fn two_phase_allocate_with(
     // With inline rows the O(q log q) sort and the O(q) admit loop stay
     // in cache and never touch `snapshot.pending` again.
     struct Phase1Row {
-        key: f64,
+        /// Priority key, pre-mapped to IEEE total-order bits so the hot
+        /// sort compares integers instead of calling `partial_cmp` on
+        /// floats. For the finite, `-0.0`-normalised keys produced above
+        /// this orders exactly like `f64::partial_cmp`.
+        key: u64,
         id: JobId,
         idx: u32,
         base_gpus: u32,
         w_min: u32,
+    }
+    fn total_order_bits(x: f64) -> u64 {
+        // Normalise -0.0 to +0.0 (partial_cmp calls them equal) before
+        // the standard sign-fold: negatives flip entirely, positives
+        // just set the sign bit, making unsigned order = float order.
+        let bits = (if x == 0.0 { 0.0f64 } else { x }).to_bits();
+        if bits >> 63 == 1 {
+            !bits
+        } else {
+            bits | (1 << 63)
+        }
     }
     let mut order: Vec<Phase1Row> = snapshot
         .pending
@@ -209,7 +224,7 @@ pub fn two_phase_allocate_with(
                 Phase1Order::Fifo => 0.0,
             };
             Phase1Row {
-                key,
+                key: total_order_bits(key),
                 id: p.spec.id,
                 idx: i as u32,
                 base_gpus: p.spec.base_gpus(),
@@ -218,12 +233,7 @@ pub fn two_phase_allocate_with(
         })
         .collect();
     if config.phase1 != Phase1Order::Fifo {
-        order.sort_unstable_by(|a, b| {
-            a.key
-                .partial_cmp(&b.key)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.id.cmp(&b.id))
-        });
+        order.sort_unstable_by_key(|r| (r.key, r.id));
     }
 
     let mut launches: Vec<(JobId, u32)> = Vec::new();

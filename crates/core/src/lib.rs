@@ -53,6 +53,6 @@ pub use placement::{
 };
 pub use reclaim::{
     reclaim_exhaustive_optimal, reclaim_random, reclaim_scf, reclaim_servers, CostModel,
-    ReclaimOutcome, ReclaimRequest,
+    ReclaimEngine, ReclaimOutcome, ReclaimRequest,
 };
 pub use snapshot::{PoolKind, RunningJobView, ServerId, ServerView, Snapshot};

@@ -93,15 +93,15 @@ impl PlacementOutcome {
 
 /// Reusable buffers for the placement hot path.
 ///
-/// Gang placement needs a scratch copy of the server state (to stay atomic
-/// on failure) and auditing needs a candidate-fit list; both are
-/// per-epoch allocations unless the caller carries this scratch across
-/// calls. Holds no state between calls — each call fully reinitialises
-/// what it uses.
+/// Gang placement needs an undo log (to stay atomic on failure) and
+/// auditing needs a candidate-fit list; both are per-epoch allocations
+/// unless the caller carries this scratch across calls. Holds no state
+/// between calls — each call fully reinitialises what it uses.
 #[derive(Debug, Clone, Default)]
 pub struct PlacementScratch {
-    /// Scratch server state for atomic gang placement.
-    servers: Vec<ServerView>,
+    /// Undo log `(index, prior free GPUs, prior group)` for atomic gang
+    /// placement.
+    undo: Vec<(usize, u32, ServerGroup)>,
     /// Candidate-fit list `(server id, free GPUs)` for decision audits.
     fits: Vec<(u32, u32)>,
 }
@@ -218,34 +218,6 @@ fn best_fit(
         .map(|(i, _)| i)
 }
 
-/// Places `count` workers of `demand` GPUs each into `pool`, mutating the
-/// scratch server state. Returns the assignment, or `None` (no mutation
-/// visible to caller — caller snapshots state) if fewer than `count` fit.
-fn place_in_pool(
-    servers: &mut [ServerView],
-    pool: PoolKind,
-    count: u32,
-    demand: u32,
-    group: ServerGroup,
-    config: PlacementConfig,
-) -> Option<Assignment> {
-    let mut assignment: Vec<(ServerId, u32)> = Vec::new();
-    for _ in 0..count {
-        let idx = best_fit(servers, pool, demand, group, config)?;
-        let s = &mut servers[idx];
-        s.free_gpus -= demand;
-        if s.pool == PoolKind::OnLoan && config.special_elastic_treatment
-            && s.group == ServerGroup::Unassigned {
-                s.group = group;
-            }
-        match assignment.iter_mut().find(|(id, _)| *id == s.id) {
-            Some(slot) => slot.1 += 1,
-            None => assignment.push((s.id, 1)),
-        }
-    }
-    Some(assignment)
-}
-
 /// Atomically places `count` workers of `gpus_per_worker` GPUs each into
 /// one pool, best-fit first.
 ///
@@ -255,7 +227,7 @@ fn place_in_pool(
 /// workers on T4 servers to keep its global batch size
 /// ([`crate::gpu::GpuType::worker_multiplier`]).
 pub fn place_gang(
-    servers: &mut Vec<ServerView>,
+    servers: &mut [ServerView],
     pool: PoolKind,
     count: u32,
     gpus_per_worker: u32,
@@ -266,24 +238,28 @@ pub fn place_gang(
 }
 
 /// [`place_gang`] over a caller-owned scratch, so the atomic-on-failure
-/// server copy reuses one allocation across scheduling epochs.
+/// undo log reuses one allocation across scheduling epochs.
 pub fn place_gang_with(
     scratch: &mut PlacementScratch,
-    servers: &mut Vec<ServerView>,
+    servers: &mut [ServerView],
     pool: PoolKind,
     count: u32,
     gpus_per_worker: u32,
     group: ServerGroup,
     config: PlacementConfig,
 ) -> Option<Assignment> {
-    place_gang_into(&mut scratch.servers, servers, pool, count, gpus_per_worker, group, config)
+    place_gang_into(&mut scratch.undo, servers, pool, count, gpus_per_worker, group, config)
 }
 
-/// Gang placement core: clones `servers` into `gang_scratch`, places
-/// there, and swaps the scratch in only on success.
+/// Gang placement core: places workers best-fit first directly into
+/// `servers`, logging each server's prior `(free_gpus, group)` in
+/// `undo`; if any worker fails to fit, the log is replayed in reverse
+/// and the state is exactly as before. Placement only ever touches the
+/// chosen servers, so the log stays tiny where the previous
+/// clone-and-swap copied the whole cluster per gang attempt.
 fn place_gang_into(
-    gang_scratch: &mut Vec<ServerView>,
-    servers: &mut Vec<ServerView>,
+    undo: &mut Vec<(usize, u32, ServerGroup)>,
+    servers: &mut [ServerView],
     pool: PoolKind,
     count: u32,
     gpus_per_worker: u32,
@@ -291,9 +267,28 @@ fn place_gang_into(
     config: PlacementConfig,
 ) -> Option<Assignment> {
     let _timing = lyra_obs::span::span("core.placement.gang");
-    gang_scratch.clone_from(servers);
-    let assignment = place_in_pool(gang_scratch, pool, count, gpus_per_worker, group, config)?;
-    std::mem::swap(servers, gang_scratch);
+    undo.clear();
+    let mut assignment: Vec<(ServerId, u32)> = Vec::new();
+    for _ in 0..count {
+        let Some(idx) = best_fit(servers, pool, gpus_per_worker, group, config) else {
+            for &(i, free, g) in undo.iter().rev() {
+                servers[i].free_gpus = free;
+                servers[i].group = g;
+            }
+            return None;
+        };
+        let s = &mut servers[idx];
+        undo.push((idx, s.free_gpus, s.group));
+        s.free_gpus -= gpus_per_worker;
+        if s.pool == PoolKind::OnLoan && config.special_elastic_treatment
+            && s.group == ServerGroup::Unassigned {
+                s.group = group;
+            }
+        match assignment.iter_mut().find(|(id, _)| *id == s.id) {
+            Some(slot) => slot.1 += 1,
+            None => assignment.push((s.id, 1)),
+        }
+    }
     Some(assignment)
 }
 
@@ -374,7 +369,7 @@ pub fn place_best_effort(
 /// assert_eq!(servers[0].free_gpus, 0);
 /// ```
 pub fn place_workers(
-    servers: &mut Vec<ServerView>,
+    servers: &mut [ServerView],
     requests: &[PlacementRequest],
     config: PlacementConfig,
 ) -> PlacementOutcome {
@@ -385,14 +380,14 @@ pub fn place_workers(
 /// gang-placement server copy and the audit candidate list across calls.
 pub fn place_workers_with(
     scratch: &mut PlacementScratch,
-    servers: &mut Vec<ServerView>,
+    servers: &mut [ServerView],
     requests: &[PlacementRequest],
     config: PlacementConfig,
 ) -> PlacementOutcome {
     let _timing = lyra_obs::span::span("core.placement");
     let auditing = lyra_obs::audit::is_enabled();
     let PlacementScratch {
-        servers: gang_scratch,
+        undo: gang_undo,
         fits: candidates,
     } = scratch;
     // BFD: largest per-worker GPU demand first; stable by job id.
@@ -422,7 +417,7 @@ pub fn place_workers_with(
             // All workers in one pool, first preference that fits.
             let placed = pools.iter().find_map(|pool| {
                 place_gang_into(
-                    gang_scratch,
+                    gang_undo,
                     servers,
                     *pool,
                     req.workers,

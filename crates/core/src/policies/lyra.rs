@@ -114,7 +114,7 @@ impl LyraScheduler {
     /// optional flexible scale-out) or `None` when the gang does not fit.
     fn place_launch(
         &mut self,
-        servers: &mut Vec<ServerView>,
+        servers: &mut [ServerView],
         spec: &JobSpec,
         target_workers: u32,
     ) -> Option<Vec<Action>> {
@@ -227,7 +227,7 @@ impl LyraScheduler {
 
     /// Runs allocation + placement over one snapshot slice, mutating the
     /// scratch servers.
-    fn schedule_slice(&mut self, snapshot: &Snapshot, servers: &mut Vec<ServerView>) -> Vec<Action> {
+    fn schedule_slice(&mut self, snapshot: &Snapshot, servers: &mut [ServerView]) -> Vec<Action> {
         let outcome =
             two_phase_allocate_with(&mut self.scratch.mckp, snapshot, self.config.allocation);
         let mut actions: Vec<Action> = Vec::new();

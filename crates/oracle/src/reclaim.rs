@@ -7,6 +7,7 @@
 //! heuristic must produce a *sound* outcome that never beats the
 //! optimum and agrees with it on feasibility.
 
+use lyra_core::reclaim::ReclaimEngine;
 use lyra_core::{
     reclaim_exhaustive_optimal, reclaim_servers, CostModel, ReclaimOutcome, ReclaimRequest,
 };
@@ -60,11 +61,21 @@ pub fn validate_outcome(req: &ReclaimRequest, out: &ReclaimOutcome) -> Result<()
 ///   same preemption count, produce less collateral than the optimum's
 ///   minimum — either would mean the "optimal" search is wrong);
 /// * when even preempting every job cannot vacate the need, the
-///   heuristic must report a shortfall rather than invent servers.
+///   heuristic must report a shortfall rather than invent servers;
+/// * the incremental [`ReclaimEngine`] must reproduce the from-scratch
+///   outcome exactly (returned order, preempted order, collateral,
+///   shortfall).
 pub fn check_reclaim_optimality(req: &ReclaimRequest, model: CostModel) -> Result<(), String> {
     req.validate()?;
     let heuristic = reclaim_servers(req, model);
     validate_outcome(req, &heuristic)?;
+    let incremental = ReclaimEngine::new().reclaim(req, model);
+    if incremental != heuristic {
+        return Err(format!(
+            "incremental engine diverged from the from-scratch greedy: \
+             {incremental:?} vs {heuristic:?}"
+        ));
+    }
     match reclaim_exhaustive_optimal(req) {
         Some(opt) => {
             validate_outcome(req, &opt)?;

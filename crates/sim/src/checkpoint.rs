@@ -33,8 +33,9 @@ use std::io::Write;
 use std::path::Path;
 
 /// Current checkpoint format version; bumped on any change to
-/// [`SimCheckpoint`]'s serialized shape.
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// [`SimCheckpoint`]'s serialized shape. Version 3 added the cluster
+/// state's job-footprint index (`occupancy`).
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// File-type tag in the header line.
 const MAGIC: &str = "lyra-checkpoint";

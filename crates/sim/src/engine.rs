@@ -102,6 +102,13 @@ pub struct SimConfig {
     /// are identical either way; `false` keeps the from-scratch path as
     /// the perf baseline and CI divergence gate.
     pub incremental_snapshot: bool,
+    /// Run cost-model server reclaims (`Lyra`, `GpuFraction`) through
+    /// the orchestrator's incremental preemption-cost engine instead of
+    /// the from-scratch greedy. Outcomes are identical either way
+    /// (pinned by proptests and the perf harness's divergence gate);
+    /// `false` keeps the from-scratch path as the differential
+    /// baseline.
+    pub incremental_reclaim: bool,
 }
 
 impl Default for SimConfig {
@@ -122,6 +129,7 @@ impl Default for SimConfig {
             reclaim_retry_backoff_s: 300.0,
             reclaim_deadline_s: 1_800.0,
             incremental_snapshot: true,
+            incremental_reclaim: true,
         }
     }
 }
@@ -343,8 +351,12 @@ impl std::error::Error for SimError {}
 /// ticks and patches exactly what each event touched:
 ///
 /// * `snap.pending` mirrors `Simulation::queue` in lockstep — entries
-///   are inserted/removed at the same position as the queue index they
-///   mirror, and a pending job's view fields are static while queued.
+///   are inserted at the same position as the queue index they mirror,
+///   and a pending job's view fields are static while queued. Removals
+///   are *deferred*: a launch only records the job id in
+///   `pending_dead`, and the next flush compacts the mirror in one
+///   `retain` pass — a burst of launches into a load-deep queue would
+///   otherwise memmove the ~200-byte tail views once per launch.
 /// * `dirty_servers` marks occupancy changes (allocate/release/evict);
 ///   `structural` marks whitelist changes (loan/return/crash/recover),
 ///   which invalidate positions and force a server-view rebuild.
@@ -363,6 +375,9 @@ struct SnapshotCache {
     dirty_servers: std::collections::BTreeSet<ServerId>,
     /// Job indices whose running-view membership or shape changed.
     dirty_running: std::collections::BTreeSet<usize>,
+    /// Jobs dequeued since the last flush whose pending views are still
+    /// physically present in `snap.pending`.
+    pending_dead: std::collections::HashSet<JobId>,
 }
 
 /// Serialized form of the attached [`Observer`]: the event log is
@@ -506,6 +521,11 @@ pub struct Simulation {
     /// the four state transitions, so per-epoch scans skip the full jobs
     /// array (which grows with the whole trace).
     running_jobs: std::collections::BTreeSet<usize>,
+    /// Σ `(w_max − workers) × gpus_per_worker` over running elastic
+    /// fungible jobs — the scale-out term of loan demand. Maintained at
+    /// every worker-count transition so the per-epoch demand check is
+    /// O(1) instead of a walk over the running set.
+    elastic_headroom_gpus: u64,
     /// Attached observability (event log + metrics + audit); `None`
     /// keeps the hot path free of instrumentation.
     observer: Option<Observer>,
@@ -532,6 +552,17 @@ fn fungible_demand_gpus(spec: &JobSpec) -> u64 {
 }
 
 impl Simulation {
+    /// Scale-out headroom a *running* job contributes to loan-eligible
+    /// demand: elastic fungible jobs can absorb loaned capacity up to
+    /// `w_max`. Callers are responsible for only counting running jobs.
+    fn headroom_gpus(j: &SimJob) -> u64 {
+        if j.spec.is_elastic() && j.spec.fungible {
+            u64::from(j.spec.w_max().saturating_sub(j.workers) * j.spec.gpus_per_worker)
+        } else {
+            0
+        }
+    }
+
     /// Builds a simulation over a job list (must be id-renumbered
     /// `0..n` in submission order, as `lyra-trace` produces).
     ///
@@ -592,10 +623,14 @@ impl Simulation {
             pending_gpus: 0,
             pending_fungible_gpus: 0,
             running_jobs: std::collections::BTreeSet::new(),
+            elastic_headroom_gpus: 0,
             observer: None,
             profile: lyra_obs::Profile::default(),
             attribution: lyra_obs::AttributionSummary::default(),
         };
+        if let Some(orch) = sim.orchestrator.as_mut() {
+            orch.incremental = sim.config.incremental_reclaim;
+        }
         let n = specs.len();
         for (i, spec) in specs.into_iter().enumerate() {
             if spec.id.0 as usize != i {
@@ -901,7 +936,23 @@ impl Simulation {
         self.overall_usage.advance(now, overall_busy, overall_total);
     }
 
+    /// Compacts deferred pending-mirror removals: one `retain` pass
+    /// drops every view whose job has been dequeued since the last
+    /// flush. Must run before anything reads the mirror or computes a
+    /// queue-position into it.
+    fn flush_pending_dead(&mut self) {
+        if self.cache.pending_dead.is_empty() {
+            return;
+        }
+        let dead = &self.cache.pending_dead;
+        self.cache.snap.pending.retain(|p| !dead.contains(&p.spec.id));
+        self.cache.pending_dead.clear();
+    }
+
     fn enqueue(&mut self, idx: usize) {
+        if self.config.incremental_snapshot {
+            self.flush_pending_dead();
+        }
         let pos = self
             .queue
             .binary_search_by(|&j| {
@@ -938,14 +989,24 @@ impl Simulation {
     }
 
     /// Removes the launched job `idx` from the queue (and its mirrored
-    /// pending view).
+    /// pending view). The queue is kept sorted by `(submit_time, id)`
+    /// by [`Simulation::enqueue`]'s binary insert, so the position is a
+    /// binary search rather than a linear scan of a load-deep queue.
     fn dequeue(&mut self, idx: usize) {
-        if let Some(pos) = self.queue.iter().position(|&i| i == idx) {
+        let submit = self.jobs[idx].spec.submit_time_s;
+        let id = self.jobs[idx].spec.id;
+        if let Ok(pos) = self.queue.binary_search_by(|&j| {
+            self.jobs[j]
+                .spec
+                .submit_time_s
+                .total_cmp(&submit)
+                .then(self.jobs[j].spec.id.cmp(&id))
+        }) {
             self.queue.remove(pos);
             self.pending_gpus -= u64::from(self.jobs[idx].spec.base_gpus());
             self.pending_fungible_gpus -= fungible_demand_gpus(&self.jobs[idx].spec);
             if self.config.incremental_snapshot {
-                self.cache.snap.pending.remove(pos);
+                self.cache.pending_dead.insert(id);
             }
         }
     }
@@ -1017,6 +1078,7 @@ impl Simulation {
     /// [`SnapshotCache`] for the dirty-tracking contract.
     fn refresh_snapshot(&mut self) {
         let _timing = lyra_obs::span::span("sim.snapshot_refresh");
+        self.flush_pending_dead();
         let now = self.now_s;
         let cache = &mut self.cache;
         let first = !cache.primed;
@@ -1183,6 +1245,7 @@ impl Simulation {
                         self.config.rendezvous_pause_s,
                     ));
                 }
+                self.elastic_headroom_gpus += Self::headroom_gpus(&self.jobs[idx]);
                 self.jobs[idx].rate = self.compute_rate(&self.jobs[idx]);
                 self.reschedule_finish(idx);
                 if self.observer.is_some() {
@@ -1240,6 +1303,7 @@ impl Simulation {
                 }
                 let now = self.now_s;
                 let default_pause = self.config.rendezvous_pause_s;
+                let headroom_before = Self::headroom_gpus(&self.jobs[idx]);
                 let j = &mut self.jobs[idx];
                 j.sync(now);
                 j.workers += extra;
@@ -1264,6 +1328,8 @@ impl Simulation {
                     j.record.ran_on_loan = true;
                 }
                 self.scaling_ops += 1;
+                self.elastic_headroom_gpus = self.elastic_headroom_gpus - headroom_before
+                    + Self::headroom_gpus(&self.jobs[idx]);
                 self.jobs[idx].rate = self.compute_rate(&self.jobs[idx]);
                 self.reschedule_finish(idx);
                 if self.observer.is_some() {
@@ -1308,6 +1374,7 @@ impl Simulation {
                 }
                 let now = self.now_s;
                 let pause = self.config.rendezvous_pause_s;
+                let headroom_before = Self::headroom_gpus(&self.jobs[idx]);
                 let j = &mut self.jobs[idx];
                 j.sync(now);
                 let removed: u32 = removal.iter().map(|(_, w)| w).sum();
@@ -1333,6 +1400,8 @@ impl Simulation {
                 };
                 j.stall(now, pause);
                 self.scaling_ops += 1;
+                self.elastic_headroom_gpus = self.elastic_headroom_gpus - headroom_before
+                    + Self::headroom_gpus(&self.jobs[idx]);
                 self.jobs[idx].rate = self.compute_rate(&self.jobs[idx]);
                 self.reschedule_finish(idx);
                 if self.observer.is_some() {
@@ -1370,6 +1439,7 @@ impl Simulation {
         let idx = self.job_index(job)?;
         let now = self.now_s;
         let pause = self.config.rendezvous_pause_s;
+        let headroom_before = Self::headroom_gpus(&self.jobs[idx]);
         let j = &mut self.jobs[idx];
         if j.state != JobState::Running {
             return Ok(());
@@ -1407,6 +1477,8 @@ impl Simulation {
         self.mark_servers_dirty(&[(server, workers)]);
         self.mark_running_dirty(idx);
         self.scaling_ops += 1;
+        self.elastic_headroom_gpus =
+            self.elastic_headroom_gpus - headroom_before + Self::headroom_gpus(&self.jobs[idx]);
         self.jobs[idx].rate = self.compute_rate(&self.jobs[idx]);
         self.reschedule_finish(idx);
         if self.observer.is_some() {
@@ -1443,7 +1515,9 @@ impl Simulation {
             if j.state != JobState::Running {
                 return Ok(());
             }
-            self.running_jobs.remove(&idx);
+            if self.running_jobs.remove(&idx) {
+                self.elastic_headroom_gpus -= Self::headroom_gpus(&self.jobs[idx]);
+            }
             let j = &mut self.jobs[idx];
             j.sync(now);
             j.state = JobState::Pending;
@@ -1679,6 +1753,7 @@ impl Simulation {
     fn apply_worker_loss(&mut self, idx: usize, server: ServerId, workers: u32) {
         let now = self.now_s;
         let default_pause = self.config.rendezvous_pause_s;
+        let headroom_before = Self::headroom_gpus(&self.jobs[idx]);
         let j = &mut self.jobs[idx];
         j.sync(now);
         let _ = Self::remove_assignment(&mut j.placement, &[(server, workers)]);
@@ -1700,6 +1775,8 @@ impl Simulation {
         self.mark_running_dirty(idx);
         self.fault_stats.elastic_absorbed += 1;
         self.scaling_ops += 1;
+        self.elastic_headroom_gpus =
+            self.elastic_headroom_gpus - headroom_before + Self::headroom_gpus(&self.jobs[idx]);
         self.jobs[idx].rate = self.compute_rate(&self.jobs[idx]);
         self.reschedule_finish(idx);
         if self.observer.is_some() {
@@ -1744,7 +1821,9 @@ impl Simulation {
             .map_or(0.0, |p| p.checkpoint_restore_failure_prob);
         let restore_failed = self.jobs[idx].spec.checkpointing
             && self.fault_rng.gen_bool(restore_prob.clamp(0.0, 1.0));
-        self.running_jobs.remove(&idx);
+        if self.running_jobs.remove(&idx) {
+            self.elastic_headroom_gpus -= Self::headroom_gpus(&self.jobs[idx]);
+        }
         let j = &mut self.jobs[idx];
         j.sync(now);
         let done_before = j.spec.work() - j.work_left;
@@ -2022,9 +2101,10 @@ impl Simulation {
     /// loan-eligible demand — queued fungible work beyond what the free
     /// training capacity will absorb anyway, plus elastic scale-out room.
     ///
-    /// Runs every scheduler epoch while loans are live, so the queue
-    /// sums come from counters maintained at enqueue/dequeue and the
-    /// scan covers only running jobs, not the whole trace.
+    /// Runs every scheduler epoch while loans are live, so both terms
+    /// come from counters maintained at the state transitions
+    /// (enqueue/dequeue for the queue sums, worker-count changes for the
+    /// elastic headroom) — no per-epoch walk over jobs at all.
     fn loan_demand_servers(&self) -> u32 {
         #[cfg(debug_assertions)]
         self.debug_check_demand_counters();
@@ -2034,14 +2114,7 @@ impl Simulation {
         // Training absorbs what it can; only the remainder justifies a
         // loan, capped by what is actually fungible.
         let unmet = self.pending_gpus.saturating_sub(free_training);
-        let mut demand_gpus = unmet.min(self.pending_fungible_gpus);
-        for &i in &self.running_jobs {
-            let j = &self.jobs[i];
-            if j.spec.is_elastic() && j.spec.fungible {
-                let room = j.spec.w_max().saturating_sub(j.workers);
-                demand_gpus += u64::from(room * j.spec.gpus_per_worker);
-            }
-        }
+        let demand_gpus = unmet.min(self.pending_fungible_gpus) + self.elastic_headroom_gpus;
         let servers = demand_gpus.div_ceil(u64::from(gpus_per_server)) as u32;
         if servers > 0 {
             servers + 1
@@ -2075,6 +2148,11 @@ impl Simulation {
         assert_eq!(
             running, self.running_jobs,
             "running-job index drifted from job states"
+        );
+        let headroom: u64 = running.iter().map(|&i| Self::headroom_gpus(&self.jobs[i])).sum();
+        assert_eq!(
+            headroom, self.elastic_headroom_gpus,
+            "elastic-headroom counter drifted from the running set"
         );
     }
 
@@ -2253,7 +2331,9 @@ impl Simulation {
             self.cache.dirty_running.insert(idx);
         }
         self.cluster.evict_job(self.jobs[idx].spec.id);
-        self.running_jobs.remove(&idx);
+        if self.running_jobs.remove(&idx) {
+            self.elastic_headroom_gpus -= Self::headroom_gpus(&self.jobs[idx]);
+        }
         let j = &mut self.jobs[idx];
         j.state = JobState::Done;
         j.work_left = 0.0;
@@ -2377,6 +2457,9 @@ impl Simulation {
         if let (Some(orch), Some(s)) = (self.orchestrator.as_mut(), state.orchestrator_rng) {
             orch.restore_rng_state(s);
         }
+        if let Some(orch) = self.orchestrator.as_mut() {
+            orch.incremental = self.config.incremental_reclaim;
+        }
         self.observer = match state.observer {
             Some(os) => Some(Observer {
                 log: EventLog::from_state(os.log)
@@ -2411,6 +2494,11 @@ impl Simulation {
             .filter(|(_, j)| j.state == JobState::Running)
             .map(|(i, _)| i)
             .collect();
+        self.elastic_headroom_gpus = self
+            .running_jobs
+            .iter()
+            .map(|&i| Self::headroom_gpus(&self.jobs[i]))
+            .sum();
         // The snapshot cache starts cold (servers and running views are
         // rebuilt at the first refresh), but `enqueue` maintains the
         // pending mirror from t=0 and the refresh never rebuilds it, so

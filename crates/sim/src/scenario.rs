@@ -800,13 +800,15 @@ mod tests {
             .all(|j| j.curve == ScalingCurve::PerWorkerLoss { loss: 0.2 }));
     }
 
-    // Satellite invariant of the incremental-snapshot overhaul: after an
-    // arbitrary event sequence (arrivals, launches, scaling, loaning,
-    // reclaims, crashes, worker failures, stragglers, dropped ticks) the
-    // incrementally-maintained snapshot must drive the exact same run as
-    // rebuilding from scratch every epoch. The engine's `cfg(test)`
-    // per-epoch assertion additionally checks snapshot equality at every
-    // single tick of the incremental run.
+    // Satellite invariant of the incremental-snapshot overhaul and the
+    // incremental reclaim engine: after an arbitrary event sequence
+    // (arrivals, launches, scaling, loaning, reclaims, crashes, worker
+    // failures, stragglers, dropped ticks) the incrementally-maintained
+    // snapshot *and* the incremental preemption-cost engine must drive
+    // the exact same run as rebuilding from scratch every epoch / every
+    // reclaim. The engine's `cfg(test)` per-epoch assertion additionally
+    // checks snapshot equality at every single tick of the incremental
+    // run.
     proptest::proptest! {
         #![proptest_config(proptest::prelude::ProptestConfig {
             cases: 8,
@@ -843,8 +845,10 @@ mod tests {
             }
             let mut incremental = s.clone();
             incremental.sim.incremental_snapshot = true;
+            incremental.sim.incremental_reclaim = true;
             let mut from_scratch = s;
             from_scratch.sim.incremental_snapshot = false;
+            from_scratch.sim.incremental_reclaim = false;
             let a = run_scenario(&incremental, &jobs, &inf).expect("incremental runs");
             let b = run_scenario(&from_scratch, &jobs, &inf).expect("from-scratch runs");
             proptest::prop_assert_eq!(a, b);
