@@ -4,6 +4,7 @@
 set -eu
 
 cargo build --release --workspace
+cargo build --release --examples
 
 # Workspace tests, with a total-count summary at the end. No pipeline
 # here: plain sh has no pipefail, so `cargo test | tee` would report
@@ -80,6 +81,30 @@ rm -rf "$smoke_dir"
 # ablation) and prove the golden gate AND a differential oracle both
 # fire — the gate's own test.
 ./target/release/lyra-bench golden --mutate
+
+# Ablation gate: the policy × scenario-zoo sweep must be a pure
+# function of its seed — run the smoke sweep twice and require
+# byte-identical output — and a typo'd policy name must exit 2 with a
+# typed error, not a panic.
+ablate_dir=$(mktemp -d)
+./target/release/lyra-bench ablate --smoke --out "$ablate_dir/a.txt" >/dev/null
+./target/release/lyra-bench ablate --smoke --out "$ablate_dir/b.txt" >/dev/null
+cmp "$ablate_dir/a.txt" "$ablate_dir/b.txt" || {
+  echo "ci: ablate --smoke is not deterministic" >&2
+  exit 1
+}
+status=0
+./target/release/lyra-bench ablate --policy no-such-policy \
+  >/dev/null 2>"$ablate_dir/err.txt" || status=$?
+[ "$status" -eq 2 ] || {
+  echo "ci: ablate --policy no-such-policy exited $status, want 2" >&2
+  exit 1
+}
+grep -q 'unknown policy' "$ablate_dir/err.txt" || {
+  echo "ci: ablate unknown-policy error message missing" >&2
+  exit 1
+}
+rm -rf "$ablate_dir"
 
 # Crash-storm gate: kill the faulted golden scenario at 10 seeded
 # epochs, checkpoint the crash-point state through the durable file

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lyra_cluster::state::ClusterConfig;
-use lyra_sim::{run_scenario, PolicyKind, Scenario};
+use lyra_sim::{run_scenario, Scenario};
 use lyra_trace::{InferenceTrace, InferenceTraceConfig, JobTrace, TraceConfig};
 use std::hint::black_box;
 
@@ -31,6 +31,7 @@ fn bench_scenarios(c: &mut Criterion) {
         training_servers: 12,
         inference_servers: 12,
         gpus_per_server: 8,
+        speed: lyra_core::gpu::SpeedFactors::default(),
     };
     let mut g = c.benchmark_group("sim/one_day_12_servers");
     for (name, scenario) in [
@@ -38,7 +39,7 @@ fn bench_scenarios(c: &mut Criterion) {
         ("basic", Scenario::basic()),
         (
             "lyra_scaling",
-            Scenario::elastic_only(PolicyKind::Lyra, "s"),
+            Scenario::elastic_only("lyra", "s"),
         ),
     ] {
         let mut s = scenario;

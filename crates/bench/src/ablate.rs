@@ -1,0 +1,144 @@
+//! The policy × scenario ablation sweep (`lyra-bench ablate`).
+//!
+//! Every policy in [`PolicyRegistry::builtin`] runs against every cell
+//! of the scenario zoo ([`lyra_sim::zoo`]), producing one table row per
+//! (policy, scenario) pair: completions, mean and p99 JCT, and the
+//! deadline-miss rollup. The sweep is a pure function of the seed —
+//! ci.sh runs the smoke sweep twice and asserts the rendered bytes are
+//! identical — so rendering avoids wall-clock, environment or map-order
+//! inputs entirely.
+
+use crate::tables::render;
+use lyra_core::policies::PolicyRegistry;
+use lyra_sim::{run_scenario, validate_scenario, zoo};
+
+/// The pinned policy subset the `--smoke` sweep runs: one baseline,
+/// the full system and one ablation — enough to exercise the registry,
+/// both dispatch paths and the deadline rollup in a few seconds.
+pub const SMOKE_POLICIES: [&str; 3] = ["fifo-backfill", "lyra", "lyra-greedy-phase2"];
+
+/// Renders the full sweep. `smoke` restricts the policy axis to
+/// [`SMOKE_POLICIES`], `policy` restricts it to one named policy
+/// (checked against the registry — a typo is a clean error, not a
+/// panic), and `seed` perturbs every cell's pinned trace seed (0
+/// reproduces the golden zoo cells bit-for-bit).
+///
+/// # Errors
+///
+/// The validation failure, when a scenario cell rejects its
+/// configuration or a policy name is unknown to the builtin registry.
+pub fn sweep(smoke: bool, seed: u64, policy: Option<&str>) -> Result<String, String> {
+    let registry = PolicyRegistry::builtin();
+    let policies: Vec<String> = if let Some(name) = policy {
+        vec![name.to_string()]
+    } else if smoke {
+        SMOKE_POLICIES.iter().map(|s| s.to_string()).collect()
+    } else {
+        registry.names().iter().map(|s| s.to_string()).collect()
+    };
+    let cells = zoo::cases();
+
+    let mut rows = vec![vec![
+        "Policy".to_string(),
+        "Scenario".to_string(),
+        "Completed".to_string(),
+        "JCT mean".to_string(),
+        "JCT p99".to_string(),
+        "Deadline miss".to_string(),
+    ]];
+    for policy in &policies {
+        for cell in &cells {
+            let base = zoo::ZooCase {
+                seed: cell.seed.wrapping_add(seed),
+                ..*cell
+            };
+            let (mut scenario, jobs, inference) = base.build();
+            scenario.policy = policy.clone();
+            scenario.name = format!("ablate-{policy}-{}", cell.name);
+            validate_scenario(&scenario, &jobs)
+                .map_err(|e| format!("ablate: {}: {e}", scenario.name))?;
+            let r = run_scenario(&scenario, &jobs, &inference)
+                .map_err(|e| format!("ablate: {}: {e}", scenario.name))?;
+            rows.push(vec![
+                policy.clone(),
+                cell.name.to_string(),
+                format!("{}/{}", r.completed, r.submitted),
+                format!("{:.1}", r.jct.mean),
+                format!("{:.1}", r.jct.p99),
+                format!("{}/{}", r.deadlines.missed, r.deadlines.with_deadline),
+            ]);
+        }
+    }
+    let mut out = format!(
+        "ablate: {} policies x {} scenarios, seed {seed}\n",
+        policies.len(),
+        cells.len()
+    );
+    out.push_str(&render(&rows));
+    Ok(out)
+}
+
+/// The `ablate` subcommand: renders the sweep to stdout and, when
+/// `out` names a file, writes the identical bytes there too. Returns
+/// the process exit code: 0 on success, 2 on configuration errors
+/// (unknown policy, invalid scenario), 1 on I/O failure.
+#[must_use]
+pub fn run(smoke: bool, seed: u64, policy: Option<&str>, out: Option<&str>) -> i32 {
+    let text = match sweep(smoke, seed, policy) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    print!("{text}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("ablate: cannot write {path}: {e}");
+            return 1;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_is_deterministic_and_covers_every_cell() {
+        let a = sweep(true, 0, None).expect("smoke sweep runs");
+        let b = sweep(true, 0, None).expect("smoke sweep runs again");
+        assert_eq!(a, b, "same seed must render identical bytes");
+        for cell in zoo::cases() {
+            assert!(
+                a.matches(cell.name).count() >= SMOKE_POLICIES.len(),
+                "cell {} missing from the sweep",
+                cell.name
+            );
+        }
+        // The deadline cell reports a non-trivial rollup denominator.
+        assert!(
+            a.lines()
+                .filter(|l| l.contains("deadline"))
+                .all(|l| !l.contains("0/0")),
+            "deadline rows must roll up misses over a non-empty denominator:\n{a}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_change_the_sweep() {
+        let a = sweep(true, 0, None).expect("seed 0");
+        let b = sweep(true, 7, None).expect("seed 7");
+        assert_ne!(a, b, "perturbing the seed must move the traces");
+    }
+
+    #[test]
+    fn unknown_policy_is_a_clean_error() {
+        let err = sweep(false, 0, Some("no-such-policy")).expect_err("must reject");
+        assert!(
+            err.contains("no-such-policy") && err.contains("known:"),
+            "error must name the typo and the alternatives: {err}"
+        );
+    }
+}

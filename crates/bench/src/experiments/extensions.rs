@@ -17,7 +17,7 @@ use crate::tables::render;
 use crate::{reduction, ExperimentResult, Scale};
 use lyra_cluster::orchestrator::ReclaimPolicy;
 use lyra_cluster::state::ClusterConfig;
-use lyra_sim::{run_scenario, PolicyKind, Scenario, SimReport};
+use lyra_sim::{run_scenario, Scenario, SimReport};
 
 fn result(experiment: &str, scale: Scale) -> ExperimentResult {
     ExperimentResult {
@@ -45,16 +45,16 @@ pub fn ext_las(scale: Scale) -> ExperimentResult {
     let (jobs, inference) = scale.traces(0xA5);
     let baseline = run(Scenario::baseline(), scale, &jobs, &inference);
     let sjf = run(
-        Scenario::elastic_only(PolicyKind::Lyra, "lyra-sjf"),
+        Scenario::elastic_only("lyra", "lyra-sjf"),
         scale,
         &jobs,
         &inference,
     );
-    let mut sjf_wrong = Scenario::elastic_only(PolicyKind::Lyra, "lyra-sjf-wrong");
+    let mut sjf_wrong = Scenario::elastic_only("lyra", "lyra-sjf-wrong");
     sjf_wrong.estimator.wrong_fraction = 0.6;
     let sjf_wrong = run(sjf_wrong, scale, &jobs, &inference);
     let las = run(
-        Scenario::elastic_only(PolicyKind::LyraLas, "lyra-las"),
+        Scenario::elastic_only("lyra-las", "lyra-las"),
         scale,
         &jobs,
         &inference,
@@ -95,13 +95,13 @@ pub fn ext_las(scale: Scale) -> ExperimentResult {
 pub fn ext_phase2(scale: Scale) -> ExperimentResult {
     let (jobs, inference) = scale.traces(0xF2);
     let mckp = run(
-        Scenario::elastic_only(PolicyKind::Lyra, "phase2-mckp"),
+        Scenario::elastic_only("lyra", "phase2-mckp"),
         scale,
         &jobs,
         &inference,
     );
     let greedy = run(
-        Scenario::elastic_only(PolicyKind::LyraGreedyPhase2, "phase2-greedy"),
+        Scenario::elastic_only("lyra-greedy-phase2", "phase2-greedy"),
         scale,
         &jobs,
         &inference,
@@ -306,6 +306,7 @@ pub fn ext_granularity(scale: Scale) -> ExperimentResult {
             training_servers: train * factor,
             inference_servers: inf_servers * factor,
             gpus_per_server: unit,
+            speed: lyra_core::gpu::SpeedFactors::default(),
         };
         // The job mix must still fit the smaller units: per-worker demand
         // above the unit cannot gang onto one server... placement spans

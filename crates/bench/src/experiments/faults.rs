@@ -10,7 +10,7 @@
 
 use crate::tables::render;
 use crate::{ExperimentResult, Scale};
-use lyra_sim::{run_scenario, transform, FaultConfig, FaultPlan, PolicyKind, Scenario};
+use lyra_sim::{run_scenario, transform, FaultConfig, FaultPlan, Scenario};
 
 /// Crash-rate sweep (crashes per server per day) × scheduling policy.
 pub fn faults(scale: Scale) -> ExperimentResult {
@@ -24,10 +24,10 @@ pub fn faults(scale: Scale) -> ExperimentResult {
     let servers = training + inf_servers;
 
     let policies = [
-        ("FIFO", PolicyKind::FifoBackfill, false),
-        ("AFS", PolicyKind::Afs, false),
-        ("Pollux", PolicyKind::Pollux, false),
-        ("Lyra", PolicyKind::Lyra, true),
+        ("FIFO", "fifo-backfill", false),
+        ("AFS", "afs", false),
+        ("Pollux", "pollux", false),
+        ("Lyra", "lyra", true),
     ];
     let crash_rates = [0.0, 0.2, 1.0];
 
@@ -56,7 +56,7 @@ pub fn faults(scale: Scale) -> ExperimentResult {
                 Scenario::elastic_only(policy, label)
             };
             s.name = format!("{label}@{rate}");
-            s.policy = policy;
+            s.policy = policy.to_string();
             s.cluster = scale.cluster_config();
             if rate > 0.0 {
                 s.faults = Some(FaultPlan::generate(

@@ -3,7 +3,7 @@
 use crate::tables::{render, render_series, table8_header, table8_row};
 use crate::{reduction, ExperimentResult, Scale};
 use lyra_predictor::RuntimeEstimatorConfig;
-use lyra_sim::{run_scenario, transform, PolicyKind, Scenario, SimReport};
+use lyra_sim::{run_scenario, transform, Scenario, SimReport};
 use lyra_trace::bootstrap_trace;
 
 fn result(experiment: &str, scale: Scale) -> ExperimentResult {
@@ -31,14 +31,14 @@ fn schemes() -> Vec<(&'static str, Scenario)> {
         ("Baseline", Scenario::baseline()),
         (
             "Gandiva",
-            Scenario::elastic_only(PolicyKind::Gandiva, "gandiva"),
+            Scenario::elastic_only("gandiva", "gandiva"),
         ),
-        ("AFS", Scenario::elastic_only(PolicyKind::Afs, "afs")),
+        ("AFS", Scenario::elastic_only("afs", "afs")),
         (
             "Pollux",
-            Scenario::elastic_only(PolicyKind::Pollux, "pollux"),
+            Scenario::elastic_only("pollux", "pollux"),
         ),
-        ("Lyra", Scenario::elastic_only(PolicyKind::Lyra, "lyra")),
+        ("Lyra", Scenario::elastic_only("lyra", "lyra")),
         ("Lyra+TunedJobs", Scenario::lyra_tuned()),
     ]
 }
@@ -152,11 +152,11 @@ pub fn fig16(scale: Scale) -> ExperimentResult {
         let mut jobs = base_jobs.clone();
         transform::set_elastic_fraction(&mut jobs, f, 1600 + fi as u64);
         let baseline = run(Scenario::baseline(), scale, &jobs, &inference);
-        let lyra = Scenario::elastic_only(PolicyKind::Lyra, "lyra-linear");
+        let lyra = Scenario::elastic_only("lyra", "lyra-linear");
         let r_lin = run(lyra, scale, &jobs, &inference);
         let mut lossy_jobs = jobs.clone();
         transform::imperfect_scaling(&mut lossy_jobs, 0.2);
-        let lyra = Scenario::elastic_only(PolicyKind::Lyra, "lyra-lossy");
+        let lyra = Scenario::elastic_only("lyra", "lyra-lossy");
         let r_loss = run(lyra, scale, &lossy_jobs, &inference);
         linear_j.push(reduction(baseline.jct.mean, r_lin.jct.mean));
         lossy_j.push(reduction(baseline.jct.mean, r_loss.jct.mean));

@@ -3,7 +3,7 @@
 use crate::tables::{render, render_series, table5_header, table5_row};
 use crate::{reduction, ExperimentResult, Scale};
 use lyra_cluster::orchestrator::ReclaimPolicy;
-use lyra_sim::{run_scenario, transform, PolicyKind, Scenario, SimReport};
+use lyra_sim::{run_scenario, transform, Scenario, SimReport};
 use lyra_trace::{InferenceTrace, JobTrace};
 
 fn result(experiment: &str, scale: Scale) -> ExperimentResult {
@@ -70,25 +70,25 @@ pub fn tab5(scale: Scale) -> ExperimentResult {
         ),
         (
             "Gandiva",
-            Scenario::elastic_only(PolicyKind::Gandiva, "gandiva"),
+            Scenario::elastic_only("gandiva", "gandiva"),
             &base_jobs,
             false,
         ),
         (
             "AFS",
-            Scenario::elastic_only(PolicyKind::Afs, "afs"),
+            Scenario::elastic_only("afs", "afs"),
             &base_jobs,
             false,
         ),
         (
             "Pollux",
-            Scenario::elastic_only(PolicyKind::Pollux, "pollux"),
+            Scenario::elastic_only("pollux", "pollux"),
             &base_jobs,
             false,
         ),
         (
             "Lyra (scaling)",
-            Scenario::elastic_only(PolicyKind::Lyra, "lyra-scaling"),
+            Scenario::elastic_only("lyra", "lyra-scaling"),
             &base_jobs,
             false,
         ),
@@ -160,7 +160,7 @@ pub fn headline(scale: Scale) -> ExperimentResult {
         (
             "Lyra (scaling)".into(),
             row(
-                Scenario::elastic_only(PolicyKind::Lyra, "lyra-scaling"),
+                Scenario::elastic_only("lyra", "lyra-scaling"),
                 scale,
                 &base_jobs,
                 &inference,
@@ -267,7 +267,7 @@ pub fn tab6(scale: Scale) -> ExperimentResult {
 
     let naive = |name: &str| {
         let mut s = Scenario::basic();
-        s.policy = PolicyKind::LyraNaivePlacement;
+        s.policy = "lyra-naive-placement".to_string();
         s.name = name.into();
         s
     };

@@ -6,7 +6,7 @@ use crate::tables::{render, table5_header, table5_row};
 use crate::{reduction, ExperimentResult};
 use lyra_cluster::orchestrator::ReclaimPolicy;
 use lyra_cluster::state::ClusterConfig;
-use lyra_sim::{run_scenario, PolicyKind, Scenario, SimReport};
+use lyra_sim::{run_scenario, Scenario, SimReport};
 use lyra_trace::{InferenceTrace, InferenceTraceConfig, JobTrace, TraceConfig};
 
 fn testbed_traces(seed: u64) -> (JobTrace, InferenceTrace) {
@@ -79,10 +79,10 @@ pub fn tab10() -> ExperimentResult {
         res.reports.push(r);
     }
     for (label, kind) in [
-        ("Gandiva", PolicyKind::Gandiva),
-        ("AFS", PolicyKind::Afs),
-        ("Pollux", PolicyKind::Pollux),
-        ("Lyra (scaling)", PolicyKind::Lyra),
+        ("Gandiva", "gandiva"),
+        ("AFS", "afs"),
+        ("Pollux", "pollux"),
+        ("Lyra (scaling)", "lyra"),
     ] {
         let r = run(
             Scenario::elastic_only(kind, &format!("testbed-{label}")),

@@ -9,6 +9,7 @@
 //! a scaled-down cluster/trace so the whole suite completes in minutes;
 //! pass `--full` for the paper-scale 15-day, 50k-job configuration.
 
+pub mod ablate;
 pub mod crash;
 pub mod experiments;
 pub mod golden;
@@ -80,6 +81,7 @@ impl Scale {
             training_servers: train,
             inference_servers: inf,
             gpus_per_server: 8,
+            speed: lyra_core::gpu::SpeedFactors::default(),
         }
     }
 

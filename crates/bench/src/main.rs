@@ -40,6 +40,7 @@ fn usage_text() -> String {
          \x20      lyra-bench prom [--out <file.prom>]\n\
          \x20      lyra-bench perf [--smoke]\n\
          \x20      lyra-bench golden [--bless|--mutate]\n\
+         \x20      lyra-bench ablate [--smoke] [--policy <name>] [--seed <s>] [--out <file>]\n\
          \x20      lyra-bench checkpoint --at <seconds> --out <file.ckpt> [--log <file.jsonl>]\n\
          \x20      lyra-bench resume --ckpt <file.ckpt>\n\
          \x20      lyra-bench crash-storm [--kills <n>] [--seed <s>] [--dir <path>]\n\
@@ -322,6 +323,7 @@ fn is_operand_like(arg: &str) -> bool {
                 | "prom"
                 | "perf"
                 | "golden"
+                | "ablate"
                 | "checkpoint"
                 | "resume"
                 | "crash-storm"
@@ -424,6 +426,47 @@ fn main() {
                     Some(_) => usage(),
                 };
                 std::process::exit(lyra_bench::golden::run(bless, mutate));
+            }
+            "ablate" => {
+                let mut smoke = false;
+                let mut seed: u64 = 0;
+                let mut policy: Option<String> = None;
+                let mut out: Option<String> = None;
+                let mut k = i + 1;
+                while k < args.len() {
+                    match args[k].as_str() {
+                        "--smoke" => {
+                            smoke = true;
+                            k += 1;
+                        }
+                        "--policy" => {
+                            policy = Some(args.get(k + 1).cloned().unwrap_or_else(|| usage()));
+                            k += 2;
+                        }
+                        "--seed" => {
+                            let raw = args.get(k + 1).cloned().unwrap_or_else(|| usage());
+                            seed = raw.parse().unwrap_or_else(|_| {
+                                eprintln!("ablate: --seed expects an integer, got {raw:?}");
+                                std::process::exit(2);
+                            });
+                            k += 2;
+                        }
+                        "--out" => {
+                            out = Some(args.get(k + 1).cloned().unwrap_or_else(|| usage()));
+                            k += 2;
+                        }
+                        other => {
+                            eprintln!("ablate: unknown argument {other:?}");
+                            usage();
+                        }
+                    }
+                }
+                std::process::exit(lyra_bench::ablate::run(
+                    smoke,
+                    seed,
+                    policy.as_deref(),
+                    out.as_deref(),
+                ));
             }
             "checkpoint" => {
                 let mut at: Option<f64> = None;

@@ -168,6 +168,7 @@ mod tests {
             on_loan_queuing: Percentiles::default(),
             on_loan_jct: Percentiles::default(),
             fault: lyra_sim::FaultStats::default(),
+            deadlines: lyra_sim::DeadlineStats::default(),
             records: vec![],
             events: vec![],
             metrics: vec![],

@@ -248,6 +248,7 @@ mod tests {
             training_servers: 2,
             inference_servers: 4,
             gpus_per_server: 8,
+            speed: lyra_core::gpu::SpeedFactors::default(),
         })
     }
 

@@ -21,12 +21,15 @@ pub struct Server {
     pub pool: PoolKind,
     /// Base/flexible group label for on-loan servers (§5.3).
     pub group: ServerGroup,
+    /// Generation speed multiplier on this server's capability (1.0 in
+    /// the paper's single-generation clusters).
+    pub speed_factor: f64,
     /// GPUs occupied per job.
     allocations: BTreeMap<JobId, u32>,
 }
 
 impl Server {
-    /// Creates an idle server.
+    /// Creates an idle server at the reference speed (factor 1.0).
     pub fn new(id: u32, gpu_type: GpuType, total_gpus: u32, pool: PoolKind) -> Self {
         Server {
             id: ServerId(id),
@@ -34,8 +37,15 @@ impl Server {
             total_gpus,
             pool,
             group: ServerGroup::Unassigned,
+            speed_factor: 1.0,
             allocations: BTreeMap::new(),
         }
+    }
+
+    /// Sets the generation speed multiplier.
+    pub fn with_speed_factor(mut self, factor: f64) -> Self {
+        self.speed_factor = factor;
+        self
     }
 
     /// GPUs currently free.
@@ -121,6 +131,7 @@ impl Server {
             total_gpus: self.total_gpus,
             free_gpus: self.free_gpus(),
             group: self.group,
+            speed_factor: self.speed_factor,
         }
     }
 }

@@ -7,7 +7,7 @@
 //! so a buggy policy cannot corrupt the bookkeeping.
 
 use crate::server::Server;
-use lyra_core::gpu::GpuType;
+use lyra_core::gpu::{GpuType, SpeedFactors};
 use lyra_core::job::JobId;
 use lyra_core::reclaim::{JobFootprint, ReclaimRequest, ReclaimServerView};
 use lyra_core::snapshot::{PoolKind, ServerGroup, ServerId, ServerView};
@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Cluster shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
     /// Dedicated training servers (the paper: 443).
     pub training_servers: u32,
@@ -23,6 +23,9 @@ pub struct ClusterConfig {
     pub inference_servers: u32,
     /// GPUs per server (8 in both clusters).
     pub gpus_per_server: u32,
+    /// Per-generation speed multipliers stamped onto every server of the
+    /// matching GPU type; all 1.0 reproduces the paper's environment.
+    pub speed: SpeedFactors,
 }
 
 impl Default for ClusterConfig {
@@ -31,6 +34,7 @@ impl Default for ClusterConfig {
             training_servers: 443,
             inference_servers: 520,
             gpus_per_server: 8,
+            speed: SpeedFactors::default(),
         }
     }
 }
@@ -43,7 +47,14 @@ impl ClusterConfig {
             training_servers: 4,
             inference_servers: 4,
             gpus_per_server: 8,
+            speed: SpeedFactors::default(),
         }
+    }
+
+    /// Sets the per-generation speed multipliers.
+    pub fn with_speed(mut self, speed: SpeedFactors) -> Self {
+        self.speed = speed;
+        self
     }
 }
 
@@ -150,7 +161,8 @@ impl ClusterState {
         let mut servers = BTreeMap::new();
         let mut whitelist = BTreeSet::new();
         for i in 0..config.training_servers {
-            let s = Server::new(i, GpuType::V100, config.gpus_per_server, PoolKind::Training);
+            let s = Server::new(i, GpuType::V100, config.gpus_per_server, PoolKind::Training)
+                .with_speed_factor(config.speed.factor(GpuType::V100));
             whitelist.insert(s.id);
             servers.insert(s.id, s);
         }
@@ -160,7 +172,8 @@ impl ClusterState {
                 GpuType::T4,
                 config.gpus_per_server,
                 PoolKind::OnLoan,
-            );
+            )
+            .with_speed_factor(config.speed.factor(GpuType::T4));
             servers.insert(s.id, s);
         }
         ClusterState {
@@ -758,6 +771,7 @@ mod tests {
             training_servers: 2,
             inference_servers: 3,
             gpus_per_server: 8,
+            speed: SpeedFactors::default(),
         })
     }
 

@@ -157,7 +157,7 @@ pub fn two_phase_allocate_with(
                 .servers
                 .iter()
                 .find(|s| s.id == id)
-                .map_or(1.0, |s| s.gpu_type.capability())
+                .map_or(1.0, |s| s.effective_capability())
         };
         let flexible: f64 = snapshot
             .running

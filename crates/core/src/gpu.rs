@@ -77,6 +77,64 @@ impl GpuType {
     }
 }
 
+/// Per-generation speed multipliers layered on top of the static
+/// capability table.
+///
+/// The paper's clusters hold exactly one V100 and one T4 generation, but
+/// real fleets mix hardware refreshes: an A100 refresh of the training
+/// pool or a newer inference part changes per-type throughput without
+/// changing the memory-driven worker multiplier. A `SpeedFactors` value
+/// scales each type's [`GpuType::capability`] uniformly across the
+/// cluster; `1.0` everywhere reproduces the paper's environment exactly.
+///
+/// # Examples
+///
+/// ```
+/// use lyra_core::gpu::{GpuType, SpeedFactors};
+/// let refresh = SpeedFactors { v100: 1.5, t4: 1.0 };
+/// assert_eq!(refresh.factor(GpuType::V100), 1.5);
+/// assert_eq!(SpeedFactors::default().factor(GpuType::T4), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedFactors {
+    /// Multiplier applied to every V100's capability.
+    pub v100: f64,
+    /// Multiplier applied to every T4's capability.
+    pub t4: f64,
+}
+
+impl Default for SpeedFactors {
+    fn default() -> Self {
+        SpeedFactors { v100: 1.0, t4: 1.0 }
+    }
+}
+
+impl SpeedFactors {
+    /// The multiplier for one GPU type.
+    pub fn factor(self, ty: GpuType) -> f64 {
+        match ty {
+            GpuType::V100 => self.v100,
+            GpuType::T4 => self.t4,
+        }
+    }
+
+    /// Checks that every factor is finite and strictly positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending type and value otherwise; a zero or negative
+    /// factor would silently stall every job on that hardware.
+    pub fn validate(self) -> Result<(), (GpuType, f64)> {
+        for ty in [GpuType::V100, GpuType::T4] {
+            let f = self.factor(ty);
+            if !f.is_finite() || f <= 0.0 {
+                return Err((ty, f));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Static description of a GPU model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GpuSpec {
@@ -136,6 +194,33 @@ mod tests {
         assert_eq!(normalized_capacity(&[]), 0.0);
         let cap = normalized_capacity(&[(GpuType::V100, 3), (GpuType::T4, 6)]);
         assert!((cap - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_factors_default_to_identity() {
+        let s = SpeedFactors::default();
+        assert_eq!(s.factor(GpuType::V100), 1.0);
+        assert_eq!(s.factor(GpuType::T4), 1.0);
+        assert_eq!(s.validate(), Ok(()));
+    }
+
+    #[test]
+    fn speed_factors_reject_non_positive_and_non_finite() {
+        let zero = SpeedFactors { v100: 0.0, t4: 1.0 };
+        assert_eq!(zero.validate(), Err((GpuType::V100, 0.0)));
+        let neg = SpeedFactors { v100: 1.0, t4: -0.5 };
+        assert_eq!(neg.validate(), Err((GpuType::T4, -0.5)));
+        let nan = SpeedFactors {
+            v100: f64::NAN,
+            t4: 1.0,
+        };
+        assert!(nan.validate().is_err());
+        assert!(SpeedFactors {
+            v100: f64::INFINITY,
+            t4: 1.0
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

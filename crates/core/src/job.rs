@@ -192,6 +192,16 @@ pub struct JobSpec {
     pub curve: ScalingCurve,
     /// GPU type the demand was sized for (local batch size fits its memory).
     pub reference_gpu: GpuType,
+    /// Seconds of stalled progress charged each time the job sheds workers
+    /// (malleable-workload shrink cost; 0 means free, the paper's model).
+    pub shrink_cost_s: f64,
+    /// Seconds of stalled progress charged each time the job gains workers
+    /// beyond the rendezvous pause (malleable-workload expand cost).
+    pub expand_cost_s: f64,
+    /// Completion deadline in seconds from trace start, for SLO scenarios.
+    /// Deadlines never influence scheduling decisions; they only feed the
+    /// deadline-miss rollup.
+    pub deadline_s: Option<f64>,
 }
 
 impl JobSpec {
@@ -216,6 +226,9 @@ impl JobSpec {
             model: ModelFamily::Generic,
             curve: ScalingCurve::Linear,
             reference_gpu: GpuType::V100,
+            shrink_cost_s: 0.0,
+            expand_cost_s: 0.0,
+            deadline_s: None,
         }
     }
 
@@ -244,6 +257,9 @@ impl JobSpec {
             model: ModelFamily::ResNet50,
             curve: ScalingCurve::Linear,
             reference_gpu: GpuType::V100,
+            shrink_cost_s: 0.0,
+            expand_cost_s: 0.0,
+            deadline_s: None,
         }
     }
 
@@ -274,6 +290,19 @@ impl JobSpec {
     /// Sets the scaling curve.
     pub fn with_curve(mut self, curve: ScalingCurve) -> Self {
         self.curve = curve;
+        self
+    }
+
+    /// Sets the malleable shrink/expand stall costs in seconds.
+    pub fn with_resize_costs(mut self, shrink_s: f64, expand_s: f64) -> Self {
+        self.shrink_cost_s = shrink_s;
+        self.expand_cost_s = expand_s;
+        self
+    }
+
+    /// Sets a completion deadline in seconds from trace start.
+    pub fn with_deadline(mut self, deadline_s: f64) -> Self {
+        self.deadline_s = Some(deadline_s);
         self
     }
 

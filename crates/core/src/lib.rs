@@ -44,7 +44,7 @@ pub use allocation::{
     two_phase_allocate, two_phase_allocate_with, AllocationConfig, AllocationOutcome,
 };
 pub use analysis::{evaluate_two_job_split, optimal_two_job_allocation, TwoJobOutcome};
-pub use gpu::{GpuSpec, GpuType};
+pub use gpu::{GpuSpec, GpuType, SpeedFactors};
 pub use job::{Elasticity, JobClass, JobId, JobSpec, ScalingCurve};
 pub use mckp::{solve_mckp, solve_mckp_with, McKnapsackGroup, McKnapsackItem, MckpScratch, MckpSolution};
 pub use placement::{
@@ -55,4 +55,5 @@ pub use reclaim::{
     reclaim_exhaustive_optimal, reclaim_random, reclaim_scf, reclaim_servers, CostModel,
     ReclaimEngine, ReclaimOutcome, ReclaimRequest,
 };
+pub use policies::{JobScheduler, PolicyContext, PolicyEntry, PolicyRegistry, UnknownPolicy};
 pub use snapshot::{PoolKind, RunningJobView, ServerId, ServerView, Snapshot};

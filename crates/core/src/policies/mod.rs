@@ -22,12 +22,14 @@ mod fifo;
 mod gandiva;
 mod lyra;
 mod pollux;
+mod registry;
 
 pub use afs::AfsScheduler;
 pub use fifo::FifoScheduler;
 pub use gandiva::GandivaScheduler;
 pub use lyra::{LyraConfig, LyraScheduler};
 pub use pollux::{PolluxConfig, PolluxScheduler};
+pub use registry::{PolicyContext, PolicyEntry, PolicyRegistry, UnknownPolicy};
 
 use crate::snapshot::{Action, Assignment, RunningJobView, ServerId, Snapshot};
 

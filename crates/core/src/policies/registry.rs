@@ -1,0 +1,331 @@
+//! Name-indexed registry of scheduling policies.
+//!
+//! Experiments select schedulers by *name* ("lyra", "fifo-backfill", …)
+//! in their scenario config; the registry maps each name to a builder
+//! that produces a boxed [`JobScheduler`] trait object. The simulator and
+//! `lyra-bench` resolve names through [`PolicyRegistry::builtin`], and an
+//! embedding application can [`register`](PolicyRegistry::register) its
+//! own policies next to the built-ins — the ablation runner sweeps
+//! whatever the registry holds.
+
+use super::{
+    AfsScheduler, FifoScheduler, GandivaScheduler, JobScheduler, LyraConfig, LyraScheduler,
+    PolluxConfig, PolluxScheduler,
+};
+use crate::allocation::{AllocationConfig, Phase1Order, Phase2Solver};
+use crate::placement::PlacementConfig;
+
+/// Per-experiment inputs a policy builder may consume.
+///
+/// The registry's builders are pure functions of this context, so the
+/// same registry can instantiate fresh, independently seeded schedulers
+/// for every cell of an ablation matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PolicyContext {
+    /// Seed for policies with randomised comparators (Pollux's GA).
+    pub seed: u64,
+    /// GPU budget for the opportunistic policy: the most the inference
+    /// cluster can lend, derived from its traffic trough by the caller
+    /// (the registry has no access to traces).
+    pub opportunistic_gpus: u32,
+}
+
+/// A boxed policy-builder closure: context in, fresh scheduler out.
+pub type PolicyBuilder = Box<dyn Fn(&PolicyContext) -> Box<dyn JobScheduler> + Send + Sync>;
+
+/// One registered policy: a name, a summary line for listings, and the
+/// builder.
+pub struct PolicyEntry {
+    /// Unique lookup name (kebab-case by convention).
+    pub name: String,
+    /// One-line description for `lyra-bench` listings.
+    pub summary: String,
+    /// Whether the engine must disable §5.3's special elastic placement
+    /// when running this policy (Table 6's naive-placement ablation
+    /// expects no server to be labelled `Flexible`).
+    pub naive_placement: bool,
+    /// Builds a fresh scheduler instance.
+    pub build: PolicyBuilder,
+}
+
+/// Error returned when a scenario names a policy the registry lacks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownPolicy {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// Every name the registry does know, for the error message.
+    pub known: Vec<String>,
+}
+
+impl std::fmt::Display for UnknownPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown policy `{}` (known: {})",
+            self.name,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownPolicy {}
+
+/// The registry itself: an ordered list of entries (listing order is
+/// registration order, so ablation sweeps are deterministic).
+pub struct PolicyRegistry {
+    entries: Vec<PolicyEntry>,
+}
+
+impl PolicyRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        PolicyRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The registry holding every built-in policy evaluated in §7, under
+    /// the names scenario configs use.
+    pub fn builtin() -> Self {
+        let mut r = Self::empty();
+        r.register_fn("fifo", "strict FIFO, no backfill (Baseline)", false, |_| {
+            Box::new(FifoScheduler::new())
+        });
+        r.register_fn("fifo-backfill", "FIFO with backfill", false, |_| {
+            Box::new(FifoScheduler::with_backfill())
+        });
+        r.register_fn(
+            "opportunistic",
+            "FIFO queueing fungible jobs to idle inference GPUs only",
+            false,
+            |ctx| Box::new(FifoScheduler::opportunistic(ctx.opportunistic_gpus)),
+        );
+        r.register_fn(
+            "lyra",
+            "two-phase allocation + BFD placement (§5)",
+            false,
+            |_| Box::new(LyraScheduler::default()),
+        );
+        r.register_fn(
+            "lyra-no-elastic",
+            "Lyra with the elastic phase disabled (loaning-only rows)",
+            false,
+            |_| Box::new(LyraScheduler::new(LyraConfig::loaning_only())),
+        );
+        r.register_fn(
+            "lyra-naive-placement",
+            "Lyra without §5.3's special elastic placement (Table 6)",
+            true,
+            |_| {
+                Box::new(LyraScheduler::new(LyraConfig {
+                    allocation: AllocationConfig::default(),
+                    placement: PlacementConfig {
+                        special_elastic_treatment: false,
+                    },
+                }))
+            },
+        );
+        r.register_fn("gandiva", "opportunistic grow/shrink comparator", false, |_| {
+            Box::new(GandivaScheduler::new())
+        });
+        r.register_fn(
+            "afs",
+            "greedy marginal-throughput-per-GPU comparator",
+            false,
+            |_| Box::new(AfsScheduler::new()),
+        );
+        r.register_fn(
+            "pollux",
+            "goodput + genetic-algorithm comparator",
+            false,
+            |ctx| {
+                Box::new(PolluxScheduler::new(PolluxConfig {
+                    seed: ctx.seed,
+                    ..PolluxConfig::default()
+                }))
+            },
+        );
+        r.register_fn(
+            "lyra-las",
+            "Lyra with least-attained-service phase-1 ordering",
+            false,
+            |_| {
+                Box::new(LyraScheduler::new(LyraConfig {
+                    allocation: AllocationConfig {
+                        phase1: Phase1Order::Las,
+                        ..AllocationConfig::default()
+                    },
+                    placement: PlacementConfig::default(),
+                }))
+            },
+        );
+        r.register_fn(
+            "lyra-greedy-phase2",
+            "Lyra with the greedy phase-2 solver instead of the knapsack",
+            false,
+            |_| {
+                Box::new(LyraScheduler::new(LyraConfig {
+                    allocation: AllocationConfig {
+                        phase2: Phase2Solver::Greedy,
+                        ..AllocationConfig::default()
+                    },
+                    placement: PlacementConfig::default(),
+                }))
+            },
+        );
+        r
+    }
+
+    /// Registers an entry, replacing any existing entry with the same
+    /// name in place (so an override keeps the original sweep position).
+    pub fn register(&mut self, entry: PolicyEntry) {
+        match self.entries.iter_mut().find(|e| e.name == entry.name) {
+            Some(slot) => *slot = entry,
+            None => self.entries.push(entry),
+        }
+    }
+
+    /// [`register`](Self::register) from parts, for builders that are
+    /// plain closures.
+    pub fn register_fn(
+        &mut self,
+        name: &str,
+        summary: &str,
+        naive_placement: bool,
+        build: impl Fn(&PolicyContext) -> Box<dyn JobScheduler> + Send + Sync + 'static,
+    ) {
+        self.register(PolicyEntry {
+            name: name.to_string(),
+            summary: summary.to_string(),
+            naive_placement,
+            build: Box::new(build),
+        });
+    }
+
+    /// Every registered name, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// All entries, in registration order.
+    pub fn entries(&self) -> &[PolicyEntry] {
+        &self.entries
+    }
+
+    /// Looks up one entry by name.
+    pub fn get(&self, name: &str) -> Option<&PolicyEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Like [`get`](Self::get), but an unresolved name returns the same
+    /// [`UnknownPolicy`] error [`build`](Self::build) would.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownPolicy`] listing every known name.
+    pub fn get_checked(&self, name: &str) -> Result<&PolicyEntry, UnknownPolicy> {
+        self.get(name).ok_or_else(|| UnknownPolicy {
+            name: name.to_string(),
+            known: self.names().iter().map(|n| n.to_string()).collect(),
+        })
+    }
+
+    /// Whether `name` resolves.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Builds a fresh scheduler for `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownPolicy`] when the name is not registered; the error lists
+    /// every known name.
+    pub fn build(
+        &self,
+        name: &str,
+        ctx: &PolicyContext,
+    ) -> Result<Box<dyn JobScheduler>, UnknownPolicy> {
+        match self.get(name) {
+            Some(entry) => Ok((entry.build)(ctx)),
+            None => Err(UnknownPolicy {
+                name: name.to_string(),
+                known: self.names().iter().map(|n| n.to_string()).collect(),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Debug for PolicyRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::Snapshot;
+
+    #[test]
+    fn builtin_names_build_and_self_report() {
+        let reg = PolicyRegistry::builtin();
+        let ctx = PolicyContext {
+            seed: 7,
+            opportunistic_gpus: 16,
+        };
+        assert_eq!(reg.names().len(), 11);
+        for name in reg.names() {
+            let mut policy = reg.build(name, &ctx).expect("builtin builds");
+            // Every builder must yield a live scheduler; an empty snapshot
+            // must produce no actions.
+            assert!(policy.schedule(&Snapshot::default()).is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_names_error_with_the_known_set() {
+        let reg = PolicyRegistry::builtin();
+        let err = reg
+            .build("lyra-quantum", &PolicyContext::default())
+            .err()
+            .expect("unknown name errors");
+        assert_eq!(err.name, "lyra-quantum");
+        assert!(err.known.iter().any(|n| n == "lyra"));
+        let msg = err.to_string();
+        assert!(msg.contains("lyra-quantum") && msg.contains("fifo-backfill"));
+    }
+
+    #[test]
+    fn register_replaces_in_place() {
+        let mut reg = PolicyRegistry::builtin();
+        let before = reg
+            .names()
+            .iter()
+            .position(|n| *n == "lyra")
+            .expect("lyra registered");
+        reg.register_fn("lyra", "override", false, |_| {
+            Box::new(FifoScheduler::new())
+        });
+        let after = reg
+            .names()
+            .iter()
+            .position(|n| *n == "lyra")
+            .expect("lyra still registered");
+        assert_eq!(before, after, "override keeps sweep position");
+        assert_eq!(reg.get("lyra").expect("entry").summary, "override");
+        let built = reg
+            .build("lyra", &PolicyContext::default())
+            .expect("override builds");
+        assert_eq!(built.name(), "fifo");
+    }
+
+    #[test]
+    fn naive_placement_metadata_is_carried() {
+        let reg = PolicyRegistry::builtin();
+        assert!(reg.get("lyra-naive-placement").expect("entry").naive_placement);
+        assert!(!reg.get("lyra").expect("entry").naive_placement);
+    }
+}

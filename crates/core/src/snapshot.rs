@@ -63,6 +63,10 @@ pub struct ServerView {
     pub free_gpus: u32,
     /// Base/flexible grouping for on-loan servers.
     pub group: ServerGroup,
+    /// Generation speed multiplier on this server's capability (1.0 in the
+    /// paper's homogeneous-generation clusters; see
+    /// [`crate::gpu::SpeedFactors`]).
+    pub speed_factor: f64,
 }
 
 impl ServerView {
@@ -75,7 +79,14 @@ impl ServerView {
             total_gpus,
             free_gpus: total_gpus,
             group: ServerGroup::Unassigned,
+            speed_factor: 1.0,
         }
+    }
+
+    /// V100-equivalent throughput of one GPU on this server: the static
+    /// capability scaled by the generation speed factor.
+    pub fn effective_capability(&self) -> f64 {
+        self.gpu_type.capability() * self.speed_factor
     }
 
     /// GPUs currently in use.
@@ -165,11 +176,11 @@ impl Snapshot {
     }
 
     /// Total free GPUs in V100-equivalents, normalising on-loan GPUs
-    /// (§5.2).
+    /// (§5.2) and scaling by per-generation speed factors.
     pub fn normalized_free_gpus(&self) -> f64 {
         self.servers
             .iter()
-            .map(|s| f64::from(s.free_gpus) * s.gpu_type.capability())
+            .map(|s| f64::from(s.free_gpus) * s.effective_capability())
             .sum()
     }
 

@@ -7,7 +7,7 @@
 //! of the ideal results". The model: aggregate capability-weighted rate
 //! scaled by the penalty whenever the device set is actually mixed.
 
-use lyra_core::gpu::GpuType;
+use lyra_core::gpu::{GpuType, SpeedFactors};
 use serde::{Deserialize, Serialize};
 
 /// The default fraction of ideal throughput a mixed-device run achieves.
@@ -41,9 +41,27 @@ pub struct HeteroGroup {
 /// assert!((hetero_rate(&mixed, 0.7) - 0.7 * ideal).abs() < 1e-9);
 /// ```
 pub fn hetero_rate(groups: &[HeteroGroup], efficiency: f64) -> f64 {
+    hetero_rate_scaled(groups, SpeedFactors::default(), efficiency)
+}
+
+/// [`hetero_rate`] with per-generation speed factors applied: each
+/// group's capability is multiplied by the factor of its GPU type before
+/// aggregation. `SpeedFactors::default()` (all 1.0) reproduces
+/// [`hetero_rate`] bit-for-bit.
+///
+/// # Examples
+///
+/// ```
+/// use lyra_core::gpu::{GpuType, SpeedFactors};
+/// use lyra_elastic::{hetero_rate_scaled, HeteroGroup};
+/// let v100 = [HeteroGroup { gpu: GpuType::V100, workers: 2 }];
+/// let speed = SpeedFactors { v100: 1.5, t4: 1.0 };
+/// assert!((hetero_rate_scaled(&v100, speed, 0.7) - 3.0).abs() < 1e-9);
+/// ```
+pub fn hetero_rate_scaled(groups: &[HeteroGroup], speed: SpeedFactors, efficiency: f64) -> f64 {
     let ideal: f64 = groups
         .iter()
-        .map(|g| f64::from(g.workers) * g.gpu.capability())
+        .map(|g| f64::from(g.workers) * g.gpu.capability() * speed.factor(g.gpu))
         .sum();
     let kinds = groups
         .iter()
@@ -126,5 +144,40 @@ mod tests {
     #[test]
     fn empty_input_is_zero() {
         assert_eq!(hetero_rate(&[], 0.7), 0.0);
+    }
+
+    #[test]
+    fn identity_speed_factors_reproduce_hetero_rate() {
+        let mixed = [
+            HeteroGroup {
+                gpu: GpuType::V100,
+                workers: 4,
+            },
+            HeteroGroup {
+                gpu: GpuType::T4,
+                workers: 7,
+            },
+        ];
+        assert_eq!(
+            hetero_rate(&mixed, 0.7).to_bits(),
+            hetero_rate_scaled(&mixed, SpeedFactors::default(), 0.7).to_bits(),
+        );
+    }
+
+    #[test]
+    fn speed_factors_scale_each_generation() {
+        let mixed = [
+            HeteroGroup {
+                gpu: GpuType::V100,
+                workers: 2,
+            },
+            HeteroGroup {
+                gpu: GpuType::T4,
+                workers: 3,
+            },
+        ];
+        let speed = SpeedFactors { v100: 2.0, t4: 0.5 };
+        let ideal = 2.0 * 2.0 + 3.0 * (1.0 / 3.0) * 0.5;
+        assert!((hetero_rate_scaled(&mixed, speed, 0.7) - 0.7 * ideal).abs() < 1e-9);
     }
 }

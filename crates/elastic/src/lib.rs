@@ -28,5 +28,5 @@ pub mod throughput;
 pub use batch::{adjust_batch, BatchPlan};
 pub use checkpoint::CheckpointPolicy;
 pub use controller::{ControllerEvent, ElasticController, WorkerState};
-pub use hetero::{hetero_rate, HeteroGroup};
+pub use hetero::{hetero_rate, hetero_rate_scaled, HeteroGroup};
 pub use throughput::{family_curve, figure3_series, ModelProfile};

@@ -90,6 +90,17 @@ pub enum SchedEvent {
         /// Completion time minus submission time, seconds.
         jct_s: f64,
     },
+    /// A job completed after its SLO deadline (emitted right after the
+    /// corresponding `JobComplete`). Deadlines never influence scheduling;
+    /// this event only feeds the deadline-miss rollup.
+    DeadlineMiss {
+        /// Job id.
+        job: u64,
+        /// The deadline, seconds from trace start.
+        deadline_s: f64,
+        /// How late the job finished, seconds.
+        late_s: f64,
+    },
     /// Idle inference servers were loaned to the training cluster.
     LoanGrant {
         /// Servers loaned.
@@ -198,6 +209,7 @@ pub const KIND_NAMES: &[&str] = &[
     "FlexRelease",
     "JobPreempt",
     "JobComplete",
+    "DeadlineMiss",
     "LoanGrant",
     "ReclaimGrant",
     "ReclaimCarryover",
@@ -222,6 +234,7 @@ impl SchedEvent {
             SchedEvent::FlexRelease { .. } => "FlexRelease",
             SchedEvent::JobPreempt { .. } => "JobPreempt",
             SchedEvent::JobComplete { .. } => "JobComplete",
+            SchedEvent::DeadlineMiss { .. } => "DeadlineMiss",
             SchedEvent::LoanGrant { .. } => "LoanGrant",
             SchedEvent::ReclaimGrant { .. } => "ReclaimGrant",
             SchedEvent::ReclaimCarryover { .. } => "ReclaimCarryover",
@@ -248,6 +261,7 @@ impl SchedEvent {
             | SchedEvent::FlexRelease { job: j, .. }
             | SchedEvent::JobPreempt { job: j, .. }
             | SchedEvent::JobComplete { job: j, .. }
+            | SchedEvent::DeadlineMiss { job: j, .. }
             | SchedEvent::JobStall { job: j, .. }
             | SchedEvent::JobStraggle { job: j, .. } => *j == job,
             SchedEvent::ReclaimGrant { preempted, .. } => preempted.contains(&job),

@@ -10,7 +10,7 @@ use lyra_core::reclaim::{JobFootprint, ReclaimServerView};
 use lyra_core::snapshot::ServerGroup;
 use lyra_core::{
     GpuType, JobId, McKnapsackGroup, McKnapsackItem, PlacementConfig, PoolKind, ReclaimRequest,
-    ScalingCurve, ServerId, ServerView,
+    ScalingCurve, ServerId, ServerView, SpeedFactors,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -84,6 +84,81 @@ pub fn concave_mckp() -> impl Strategy<Value = (Vec<McKnapsackGroup>, u32)> {
                 .collect();
             (groups, capacity)
         })
+}
+
+/// Valid heterogeneous-fleet speed factors: finite, strictly positive,
+/// spanning both slower- and faster-than-reference generations.
+pub fn speed_factors() -> impl Strategy<Value = SpeedFactors> {
+    (0.25f64..2.0, 0.25f64..2.0).prop_map(|(v100, t4)| SpeedFactors { v100, t4 })
+}
+
+/// [`concave_mckp`] instances with each group's values scaled by the
+/// speed factor of a per-group GPU generation — the shape phase 2's
+/// value tables take on a heterogeneous fleet (JCT reduction scales
+/// with the effective capability of the GPUs backing the workers).
+/// Positive scaling preserves concavity, so the DP must stay exact and
+/// the greedy bound must keep holding.
+pub fn hetero_mckp() -> impl Strategy<Value = (Vec<McKnapsackGroup>, u32)> {
+    (concave_mckp(), speed_factors(), 0u64..1_000_000).prop_map(
+        |((mut groups, capacity), speed, seed)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for g in &mut groups {
+                let gpu = if rng.gen_range(0..2) == 0 {
+                    GpuType::V100
+                } else {
+                    GpuType::T4
+                };
+                let factor = gpu.capability() * speed.factor(gpu);
+                for item in &mut g.items {
+                    item.value *= factor;
+                }
+            }
+            (groups, capacity)
+        },
+    )
+}
+
+/// Malleable-scenario specs: a trace seed, the elastic fraction, and
+/// the explicit shrink/expand costs (seconds) every job pays to resize.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MalleableSpec {
+    /// Seed for `lyra_sim::generators::tiny_traces`.
+    pub seed: u64,
+    /// Fraction of jobs made elastic before costs are applied.
+    pub elastic_fraction: f64,
+    /// Cost charged per scale-in / forced release, seconds.
+    pub shrink_s: f64,
+    /// Cost charged per scale-out, seconds.
+    pub expand_s: f64,
+}
+
+/// Strategy over [`MalleableSpec`]s within the validated range.
+pub fn malleable_spec() -> impl Strategy<Value = MalleableSpec> {
+    (0u64..64, 0.3f64..1.0, 0.0f64..300.0, 0.0f64..300.0).prop_map(
+        |(seed, elastic_fraction, shrink_s, expand_s)| MalleableSpec {
+            seed,
+            elastic_fraction,
+            shrink_s,
+            expand_s,
+        },
+    )
+}
+
+/// Deadline-scenario specs: a trace seed and the slack multiplier the
+/// `set_deadlines` transform stretches every deadline by.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlineSpec {
+    /// Seed for `lyra_sim::generators::tiny_traces` (also seeds the
+    /// per-job slack draws).
+    pub seed: u64,
+    /// Deadline slack multiplier (≥ a fraction of the base running
+    /// time, so some deadlines are genuinely tight).
+    pub slack_mult: f64,
+}
+
+/// Strategy over [`DeadlineSpec`]s within the validated range.
+pub fn deadline_spec() -> impl Strategy<Value = DeadlineSpec> {
+    (0u64..64, 0.2f64..4.0).prop_map(|(seed, slack_mult)| DeadlineSpec { seed, slack_mult })
 }
 
 /// Reclaim instances: up to 8 candidate on-loan servers of 8 GPUs, up
@@ -165,14 +240,25 @@ pub fn gang_instance() -> impl Strategy<Value = GangInstance> {
                             1 => ServerGroup::Base,
                             _ => ServerGroup::Flexible,
                         };
+                        // A heterogeneous fleet: placement counts GPUs, so
+                        // feasibility must be invariant to generation and
+                        // speed — the differential oracle checks exactly
+                        // that by mixing both here.
+                        let gpu_type = if rng.gen_range(0..4) == 0 {
+                            GpuType::T4
+                        } else {
+                            GpuType::V100
+                        };
+                        let speed_factor = [0.8, 1.0, 1.25][rng.gen_range(0..3usize)];
                         let total_gpus = 8;
                         ServerView {
                             id: ServerId(i as u32),
                             pool,
-                            gpu_type: GpuType::V100,
+                            gpu_type,
                             total_gpus,
                             free_gpus: rng.gen_range(0..total_gpus + 1),
                             group,
+                            speed_factor,
                         }
                     })
                     .collect();

@@ -21,7 +21,7 @@
 
 use lyra_sim::scenario::generators;
 use lyra_sim::{
-    run_scenario_observed, transform, FaultConfig, FaultPlan, ObserverConfig, PolicyKind, Scenario,
+    run_scenario_observed, transform, zoo, FaultConfig, FaultPlan, ObserverConfig, Scenario,
     SimReport,
 };
 use lyra_trace::{InferenceTrace, JobTrace};
@@ -120,6 +120,16 @@ pub fn cases() -> Vec<GoldenCase> {
         16,
         13,
     ));
+    let zoo_case = |name: &str| {
+        zoo::cases()
+            .into_iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("zoo case {name} exists"))
+            .build()
+    };
+    let (hetero, jobs_hetero, inf_hetero) = zoo_case("hetero");
+    let (malleable, jobs_malleable, inf_malleable) = zoo_case("malleable");
+    let (deadline, jobs_deadline, inf_deadline) = zoo_case("deadline");
     vec![
         GoldenCase {
             name: "tiny-basic",
@@ -145,14 +155,39 @@ pub fn cases() -> Vec<GoldenCase> {
             inference: inf_faulty,
             pin_artifacts: true,
         },
+        // The zoo cells: mixed GPU generations, explicit resize costs,
+        // and SLO deadlines. Pinned so a change to the speed-scaled
+        // progress model, the resize-cost stalls or the deadline-miss
+        // events is caught byte-for-byte.
+        GoldenCase {
+            name: "tiny-hetero",
+            scenario: hetero,
+            jobs: jobs_hetero,
+            inference: inf_hetero,
+            pin_artifacts: false,
+        },
+        GoldenCase {
+            name: "tiny-malleable",
+            scenario: malleable,
+            jobs: jobs_malleable,
+            inference: inf_malleable,
+            pin_artifacts: false,
+        },
+        GoldenCase {
+            name: "tiny-deadline",
+            scenario: deadline,
+            jobs: jobs_deadline,
+            inference: inf_deadline,
+            pin_artifacts: false,
+        },
     ]
 }
 
 /// The mutation-smoke perturbation: flips the phase-2 solver constant
 /// from the exact MCKP DP to the greedy ablation
-/// (`Phase2Solver::Mckp` → `Phase2Solver::Greedy`).
+/// (`"lyra"` → `"lyra-greedy-phase2"`).
 pub fn mutate(scenario: &mut Scenario) {
-    scenario.policy = PolicyKind::LyraGreedyPhase2;
+    scenario.policy = "lyra-greedy-phase2".to_string();
 }
 
 /// A mismatch between a fresh run and its committed golden log.
@@ -332,6 +367,74 @@ pub fn mutation_smoke(dir: &Path) -> Result<(), String> {
     .is_ok()
     {
         return Err("phase-2 exactness oracle did not fail under the greedy mutation".into());
+    }
+    zoo_mutation_smoke(dir)
+}
+
+/// The zoo arm of the mutation smoke: flipping the hetero cell's speed
+/// factors and tightening the deadline cell's slack must each move the
+/// corresponding committed golden log, AND the matching metamorphic
+/// oracle must fail when handed the reversed claim. Returns `Err`
+/// naming whatever did not fire.
+pub fn zoo_mutation_smoke(dir: &Path) -> Result<(), String> {
+    use lyra_core::SpeedFactors;
+
+    let case = |name: &str| {
+        cases()
+            .into_iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("golden case {name} exists"))
+    };
+
+    // Flipping the speed factors (swap the generations' multipliers)
+    // must move the pinned hetero log.
+    let mut hetero = case("tiny-hetero");
+    hetero.scenario.cluster.speed = SpeedFactors { v100: 0.8, t4: 1.25 };
+    let log = hetero.event_log()?;
+    let committed = fs::read_to_string(hetero.path(dir))
+        .map_err(|e| format!("{} ({e}); bless first", hetero.path(dir).display()))?;
+    if committed == render(&log) {
+        return Err("golden gate did not fire on tiny-hetero under flipped speed factors".into());
+    }
+
+    // …and the speed-factor monotonicity oracle must reject the
+    // reversed claim (a half-speed fleet passed off as the fast one).
+    let (scenario, jobs, inference) = zoo::cases()
+        .into_iter()
+        .find(|c| c.name == "basic")
+        .expect("zoo has a basic cell")
+        .build();
+    if crate::props::check_speed_factor_monotonicity(
+        &scenario,
+        &jobs,
+        &inference,
+        SpeedFactors { v100: 2.0, t4: 2.0 },
+        SpeedFactors { v100: 0.5, t4: 0.5 },
+    )
+    .is_ok()
+    {
+        return Err("speed-factor monotonicity oracle accepted a half-speed fleet as faster".into());
+    }
+
+    // Tightening every deadline must move the pinned deadline log (new
+    // DeadlineMiss events appear).
+    let mut tight = case("tiny-deadline");
+    transform::set_deadlines(&mut tight.jobs, 0.2, tight.scenario.seed ^ 1);
+    let log = tight.event_log()?;
+    let committed = fs::read_to_string(tight.path(dir))
+        .map_err(|e| format!("{} ({e}); bless first", tight.path(dir).display()))?;
+    if committed == render(&log) {
+        return Err("golden gate did not fire on tiny-deadline under tightened deadlines".into());
+    }
+
+    // …and the deadline-slack monotonicity oracle must reject the
+    // reversed claim (tight slack passed off as the slacker one).
+    if crate::props::check_deadline_slack_monotonicity(&scenario, &jobs, &inference, 4.0, 0.2, 77)
+        .is_ok()
+    {
+        return Err(
+            "deadline-slack monotonicity oracle accepted tighter deadlines as slacker".into(),
+        );
     }
     Ok(())
 }

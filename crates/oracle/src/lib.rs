@@ -16,6 +16,9 @@
 //! * [`gen`] — proptest strategies producing the small instances
 //!   (≤ 6 jobs / ≤ 8 servers) the oracles are tractable on, shared by
 //!   this crate's differential suites and reusable from the sim.
+//! * [`props`] — metamorphic property helpers for the scenario zoo:
+//!   speed-factor, resize-cost and deadline-slack monotonicity over
+//!   pairs of related full simulations.
 //! * [`golden`] — pinned tiny scenarios whose full JSONL event logs are
 //!   committed under `tests/golden/` and compared byte-for-byte in CI,
 //!   with a bless flow and a mutation-smoke mode proving the gate fires.
@@ -33,4 +36,5 @@ pub mod gen;
 pub mod golden;
 pub mod mckp;
 pub mod placement;
+pub mod props;
 pub mod reclaim;

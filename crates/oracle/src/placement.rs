@@ -186,6 +186,7 @@ mod tests {
             total_gpus: 8,
             free_gpus: free,
             group,
+            speed_factor: 1.0,
         }
     }
 

@@ -1,0 +1,146 @@
+//! Metamorphic property helpers for the scenario zoo.
+//!
+//! Each helper runs two *related* full simulations and checks the
+//! relation the zoo's design guarantees: a uniformly faster fleet
+//! cannot lengthen mean JCT, costlier resizes cannot shorten it, and
+//! slacker deadlines cannot create new misses. The helpers return
+//! `Err` with both measurements instead of panicking, so they serve
+//! two masters: the metamorphic test suite asserts `Ok` on pinned
+//! seeds, and the golden mutation smoke asserts the *reversed* claim
+//! fails — proving the properties have teeth.
+//!
+//! Speed and cost monotonicity are checked with a small tolerance on
+//! pinned seeds: a discrete-event scheduler can reshuffle placement
+//! when rates change, so those relations are monotone per pinned
+//! workload, not pointwise theorems. Deadline-slack monotonicity *is*
+//! exact — deadlines never influence scheduling, so stretching every
+//! deadline can only shrink the miss set.
+
+use lyra_core::SpeedFactors;
+use lyra_sim::{run_scenario, transform, Scenario, SimReport};
+use lyra_trace::{InferenceTrace, JobTrace};
+
+/// Slack for float accumulation across two otherwise-identical runs.
+const TOL: f64 = 1e-9;
+
+fn run(
+    scenario: &Scenario,
+    jobs: &JobTrace,
+    inference: &InferenceTrace,
+) -> Result<SimReport, String> {
+    run_scenario(scenario, jobs, inference).map_err(|e| format!("{}: {e}", scenario.name))
+}
+
+/// Claims the fleet at `fast` factors completes the workload with mean
+/// JCT no worse than the fleet at `slow` factors (the caller promises
+/// `fast` dominates `slow` componentwise; a false promise surfaces as
+/// a failed check, which is exactly what the mutation smoke exploits).
+///
+/// # Errors
+///
+/// Both means, when the `fast` fleet is strictly slower than `TOL`
+/// allows.
+pub fn check_speed_factor_monotonicity(
+    scenario: &Scenario,
+    jobs: &JobTrace,
+    inference: &InferenceTrace,
+    slow: SpeedFactors,
+    fast: SpeedFactors,
+) -> Result<(), String> {
+    let mut s_slow = scenario.clone();
+    s_slow.cluster.speed = slow;
+    let mut s_fast = scenario.clone();
+    s_fast.cluster.speed = fast;
+    let r_slow = run(&s_slow, jobs, inference)?;
+    let r_fast = run(&s_fast, jobs, inference)?;
+    if r_fast.jct.mean > r_slow.jct.mean + TOL {
+        return Err(format!(
+            "faster fleet {fast:?} has mean JCT {:.3}s vs {:.3}s at {slow:?}",
+            r_fast.jct.mean, r_slow.jct.mean
+        ));
+    }
+    if r_fast.completed < r_slow.completed {
+        return Err(format!(
+            "faster fleet completed {} jobs vs {}",
+            r_fast.completed, r_slow.completed
+        ));
+    }
+    Ok(())
+}
+
+/// Claims resize costs of `(costly_shrink_s, costly_expand_s)` yield
+/// mean JCT no *better* than `(cheap_shrink_s, cheap_expand_s)` on the
+/// same trace (the caller promises the costly pair dominates the cheap
+/// pair componentwise).
+///
+/// # Errors
+///
+/// Both means, when the costlier run is strictly faster than `TOL`
+/// allows.
+pub fn check_shrink_cost_monotonicity(
+    scenario: &Scenario,
+    jobs: &JobTrace,
+    inference: &InferenceTrace,
+    cheap: (f64, f64),
+    costly: (f64, f64),
+) -> Result<(), String> {
+    let mut cheap_jobs = jobs.clone();
+    transform::set_resize_costs(&mut cheap_jobs, cheap.0, cheap.1);
+    let mut costly_jobs = jobs.clone();
+    transform::set_resize_costs(&mut costly_jobs, costly.0, costly.1);
+    let r_cheap = run(scenario, &cheap_jobs, inference)?;
+    let r_costly = run(scenario, &costly_jobs, inference)?;
+    if r_cheap.jct.mean > r_costly.jct.mean + TOL {
+        return Err(format!(
+            "resize costs {costly:?} gave mean JCT {:.3}s, beating {:.3}s at {cheap:?}",
+            r_costly.jct.mean, r_cheap.jct.mean
+        ));
+    }
+    Ok(())
+}
+
+/// Claims deadlines at `hi_slack` produce no more misses (and no more
+/// total lateness) than deadlines at `lo_slack` on the same trace and
+/// seed. This relation is exact: deadlines never influence scheduling,
+/// so both runs execute the identical schedule and the helper also
+/// asserts that (same JCT stats, same completions).
+///
+/// # Errors
+///
+/// The offending counts, when slacker deadlines miss more — or when
+/// the schedule itself moved, which would mean deadlines leaked into
+/// scheduling decisions.
+pub fn check_deadline_slack_monotonicity(
+    scenario: &Scenario,
+    jobs: &JobTrace,
+    inference: &InferenceTrace,
+    lo_slack: f64,
+    hi_slack: f64,
+    seed: u64,
+) -> Result<(), String> {
+    let mut lo_jobs = jobs.clone();
+    transform::set_deadlines(&mut lo_jobs, lo_slack, seed);
+    let mut hi_jobs = jobs.clone();
+    transform::set_deadlines(&mut hi_jobs, hi_slack, seed);
+    let r_lo = run(scenario, &lo_jobs, inference)?;
+    let r_hi = run(scenario, &hi_jobs, inference)?;
+    if r_lo.jct != r_hi.jct || r_lo.completed != r_hi.completed {
+        return Err(format!(
+            "deadlines changed the schedule: JCT {:?} vs {:?}, completed {} vs {}",
+            r_lo.jct, r_hi.jct, r_lo.completed, r_hi.completed
+        ));
+    }
+    if r_hi.deadlines.missed > r_lo.deadlines.missed {
+        return Err(format!(
+            "slack {hi_slack} missed {} deadlines vs {} at slack {lo_slack}",
+            r_hi.deadlines.missed, r_lo.deadlines.missed
+        ));
+    }
+    if r_hi.deadlines.total_late_s > r_lo.deadlines.total_late_s + TOL {
+        return Err(format!(
+            "slack {hi_slack} accumulated {:.3}s lateness vs {:.3}s at slack {lo_slack}",
+            r_hi.deadlines.total_late_s, r_lo.deadlines.total_late_s
+        ));
+    }
+    Ok(())
+}

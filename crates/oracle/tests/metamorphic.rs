@@ -12,6 +12,8 @@
 //! deterministic regression check over several independent workloads
 //! rather than a flaky universal claim.
 
+use lyra_core::SpeedFactors;
+use lyra_oracle::props;
 use lyra_sim::scenario::generators::{tiny_basic, tiny_cluster, tiny_traces};
 use lyra_sim::{run_scenario, transform, FaultConfig, FaultPlan, SimReport};
 
@@ -117,6 +119,60 @@ fn fault_free_run_dominates_faulted_twin() {
             clean.queuing.mean,
             faulted.queuing.mean
         );
+    }
+}
+
+/// A uniformly faster fleet never lengthens mean JCT or completes
+/// fewer jobs (speed-factor monotonicity over the scenario zoo's
+/// heterogeneous dimension).
+#[test]
+fn faster_fleet_never_worsens_mean_jct() {
+    for seed in SEEDS {
+        let scenario = tiny_basic(seed);
+        let (jobs, inference) = tiny_traces(seed);
+        props::check_speed_factor_monotonicity(
+            &scenario,
+            &jobs,
+            &inference,
+            SpeedFactors { v100: 0.8, t4: 0.8 },
+            SpeedFactors {
+                v100: 1.25,
+                t4: 1.25,
+            },
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+/// Costlier shrink/expand never shortens mean JCT on the same
+/// malleable trace (resize-cost monotonicity).
+#[test]
+fn costlier_resizes_never_shorten_mean_jct() {
+    for seed in SEEDS {
+        let scenario = tiny_basic(seed);
+        let (mut jobs, inference) = tiny_traces(seed);
+        transform::set_elastic_fraction(&mut jobs, 0.7, seed ^ 1);
+        props::check_shrink_cost_monotonicity(
+            &scenario,
+            &jobs,
+            &inference,
+            (0.0, 0.0),
+            (120.0, 180.0),
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+/// Stretching every deadline never creates new misses, and — because
+/// deadlines never influence scheduling — leaves the schedule itself
+/// bit-identical (deadline-slack monotonicity, exact).
+#[test]
+fn slacker_deadlines_never_miss_more() {
+    for seed in SEEDS {
+        let scenario = tiny_basic(seed);
+        let (jobs, inference) = tiny_traces(seed);
+        props::check_deadline_slack_monotonicity(&scenario, &jobs, &inference, 0.5, 3.0, seed ^ 1)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }
 

@@ -34,8 +34,9 @@ use std::path::Path;
 
 /// Current checkpoint format version; bumped on any change to
 /// [`SimCheckpoint`]'s serialized shape. Version 3 added the cluster
-/// state's job-footprint index (`occupancy`).
-pub const CHECKPOINT_VERSION: u32 = 3;
+/// state's job-footprint index (`occupancy`); version 4 added per-server
+/// speed factors, malleable resize costs and job deadlines.
+pub const CHECKPOINT_VERSION: u32 = 4;
 
 /// File-type tag in the header line.
 const MAGIC: &str = "lyra-checkpoint";

@@ -24,7 +24,9 @@
 //!   overhead, others restart from scratch (§4's conservative default).
 
 use crate::faults::{CarryTransition, FaultKind, FaultPlan, ReclaimLedger};
-use crate::metrics::{percentiles, FaultStats, JobRecord, ReclaimRecord, SimReport, UsageIntegral};
+use crate::metrics::{
+    percentiles, DeadlineStats, FaultStats, JobRecord, ReclaimRecord, SimReport, UsageIntegral,
+};
 use lyra_cluster::inference::{InferenceScheduler, LoanInstruction};
 use lyra_cluster::manager::{ResourceManager, RmOp};
 use lyra_cluster::orchestrator::{Orchestrator, OrchestratorDecision};
@@ -37,7 +39,7 @@ use lyra_core::snapshot::{
 };
 use lyra_core::tuning::GoodputModel;
 use lyra_elastic::controller::ElasticController;
-use lyra_elastic::hetero::{hetero_rate, HeteroGroup};
+use lyra_elastic::hetero::{hetero_rate_scaled, HeteroGroup};
 use lyra_obs::{EventLog, MetricsRegistry, MetricsSnapshot, SchedEvent};
 use lyra_predictor::RuntimeEstimator;
 use rand::rngs::StdRng;
@@ -208,7 +210,8 @@ struct SimJob {
 
 impl SimJob {
     fn new(spec: JobSpec) -> Self {
-        let record = JobRecord::new(spec.id, spec.submit_time_s);
+        let mut record = JobRecord::new(spec.id, spec.submit_time_s);
+        record.deadline_s = spec.deadline_s;
         let work = spec.work();
         let enqueued = spec.submit_time_s;
         SimJob {
@@ -859,8 +862,9 @@ impl Simulation {
             return 0.0;
         }
         // Capability-weighted ideal rate with the heterogeneous penalty
-        // for mixed device sets (lyra-elastic's model), rescaled onto the
-        // job's scaling curve over the total worker count.
+        // for mixed device sets (lyra-elastic's model) and per-generation
+        // speed factors, rescaled onto the job's scaling curve over the
+        // total worker count.
         let groups = [
             HeteroGroup {
                 gpu: GpuType::V100,
@@ -871,8 +875,11 @@ impl Simulation {
                 workers: t4,
             },
         ];
-        let ideal_per_worker =
-            hetero_rate(&groups, self.config.hetero_efficiency) / f64::from(total);
+        let ideal_per_worker = hetero_rate_scaled(
+            &groups,
+            self.cluster.config.speed,
+            self.config.hetero_efficiency,
+        ) / f64::from(total);
         let speedup = job.spec.curve.speedup(total);
         let mut rate = speedup * ideal_per_worker;
         if !self.slowdown.is_empty() {
@@ -1321,6 +1328,12 @@ impl Simulation {
                     None => default_pause,
                 };
                 j.stall(now, pause);
+                let expand_cost = j.spec.expand_cost_s;
+                if expand_cost > 0.0 {
+                    // Malleable jobs charge an explicit expand cost on top
+                    // of the rendezvous pause.
+                    j.stall(now, expand_cost);
+                }
                 if placement
                     .iter()
                     .any(|(sid, _)| self.cluster.is_loaned(*sid))
@@ -1349,6 +1362,7 @@ impl Simulation {
                         self.count("elastic.rendezvous.ops");
                     }
                     self.emit_stall(job.0, lyra_obs::DelayCause::Rendezvous, pause);
+                    self.emit_stall(job.0, lyra_obs::DelayCause::LaunchOverhead, expand_cost);
                     if !self.slowdown.is_empty() {
                         self.note_straggle(idx);
                     }
@@ -1399,6 +1413,12 @@ impl Simulation {
                     None => pause,
                 };
                 j.stall(now, pause);
+                let shrink_cost = j.spec.shrink_cost_s;
+                if shrink_cost > 0.0 {
+                    // Malleable jobs charge an explicit shrink cost on top
+                    // of the rendezvous pause.
+                    j.stall(now, shrink_cost);
+                }
                 self.scaling_ops += 1;
                 self.elastic_headroom_gpus = self.elastic_headroom_gpus - headroom_before
                     + Self::headroom_gpus(&self.jobs[idx]);
@@ -1423,6 +1443,7 @@ impl Simulation {
                     // A policy scale-in means the knapsack withdrew
                     // flexible workers this round.
                     self.emit_stall(job.0, lyra_obs::DelayCause::MckpDenial, pause);
+                    self.emit_stall(job.0, lyra_obs::DelayCause::LoanScaleIn, shrink_cost);
                     if !self.slowdown.is_empty() {
                         self.note_straggle(idx);
                     }
@@ -1474,6 +1495,12 @@ impl Simulation {
             None => pause,
         };
         j.stall(now, pause);
+        let shrink_cost = j.spec.shrink_cost_s;
+        if shrink_cost > 0.0 {
+            // A forced flex release is still a shrink; malleable jobs pay
+            // their explicit shrink cost here too.
+            j.stall(now, shrink_cost);
+        }
         self.mark_servers_dirty(&[(server, workers)]);
         self.mark_running_dirty(idx);
         self.scaling_ops += 1;
@@ -1498,6 +1525,7 @@ impl Simulation {
                 self.count("elastic.rendezvous.ops");
             }
             self.emit_stall(job.0, lyra_obs::DelayCause::LoanScaleIn, pause);
+            self.emit_stall(job.0, lyra_obs::DelayCause::LoanScaleIn, shrink_cost);
             if !self.slowdown.is_empty() {
                 self.note_straggle(idx);
             }
@@ -2352,6 +2380,16 @@ impl Simulation {
             self.count("sim.jobs.completed");
             self.observe_histogram("sim.jct_s", jct_s);
             self.observe_histogram("sim.queue_s", record.queue_s);
+            if let Some(deadline_s) = record.deadline_s {
+                if self.now_s > deadline_s {
+                    self.emit(SchedEvent::DeadlineMiss {
+                        job,
+                        deadline_s,
+                        late_s: self.now_s - deadline_s,
+                    });
+                    self.count("sim.deadline.missed");
+                }
+            }
         }
     }
 
@@ -2820,6 +2858,7 @@ impl Simulation {
             on_loan_queuing: percentiles(&on_loan_queuing),
             on_loan_jct: percentiles(&on_loan_jct),
             fault: self.fault_stats,
+            deadlines: DeadlineStats::from_records(&records),
             records,
             events: self
                 .observer

@@ -38,9 +38,10 @@ pub use faults::{
     CarryTransition, FaultConfig, FaultEvent, FaultKind, FaultPlan, ReclaimCarry, ReclaimLedger,
 };
 pub use metrics::{
-    percentiles, FaultStats, JobRecord, Percentiles, ReclaimRecord, SimReport, UsageIntegral,
+    percentiles, DeadlineStats, FaultStats, JobRecord, Percentiles, ReclaimRecord, SimReport,
+    UsageIntegral,
 };
 pub use scenario::{
-    build_scenario, generators, run_scenario, run_scenario_observed, transform, PolicyKind,
-    Scenario,
+    build_scenario, generators, run_scenario, run_scenario_observed, transform, validate_scenario,
+    zoo, ConfigError, Scenario,
 };

@@ -75,6 +75,9 @@ pub struct JobRecord {
     /// Restarts forced by injected faults (server crashes, worker
     /// failures) — distinct from scheduler-driven preemptions.
     pub fault_restarts: u32,
+    /// SLO deadline in seconds from trace start, copied from the spec
+    /// (`None` for jobs without a deadline).
+    pub deadline_s: Option<f64>,
 }
 
 impl JobRecord {
@@ -90,12 +93,71 @@ impl JobRecord {
             ran_on_loan: false,
             scaling_ops: 0,
             fault_restarts: 0,
+            deadline_s: None,
         }
     }
 
     /// Job completion time (completion − submission), if completed.
     pub fn jct_s(&self) -> Option<f64> {
         self.complete_s.map(|c| c - self.submit_s)
+    }
+
+    /// Whether this job missed its deadline: it has one, and it either
+    /// completed after it or never completed at all.
+    pub fn missed_deadline(&self) -> bool {
+        match (self.deadline_s, self.complete_s) {
+            (Some(d), Some(c)) => c > d,
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+
+    /// Seconds of lateness past the deadline (0 when met; `None` when the
+    /// job has no deadline or never completed).
+    pub fn lateness_s(&self) -> Option<f64> {
+        match (self.deadline_s, self.complete_s) {
+            (Some(d), Some(c)) => Some((c - d).max(0.0)),
+            _ => None,
+        }
+    }
+}
+
+/// Deadline/SLO rollup across a run's job records.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct DeadlineStats {
+    /// Jobs that carried a deadline.
+    pub with_deadline: usize,
+    /// Deadline jobs that completed on time.
+    pub met: usize,
+    /// Deadline jobs that completed late or never completed.
+    pub missed: usize,
+    /// `missed / with_deadline` (0 when no job carried a deadline).
+    pub miss_rate: f64,
+    /// Total lateness of late completions, seconds (jobs that never
+    /// completed contribute nothing here — they have no lateness).
+    pub total_late_s: f64,
+}
+
+impl DeadlineStats {
+    /// Computes the rollup from per-job records.
+    pub fn from_records(records: &[JobRecord]) -> Self {
+        let mut s = DeadlineStats::default();
+        for r in records {
+            if r.deadline_s.is_none() {
+                continue;
+            }
+            s.with_deadline += 1;
+            if r.missed_deadline() {
+                s.missed += 1;
+                s.total_late_s += r.lateness_s().unwrap_or(0.0);
+            } else {
+                s.met += 1;
+            }
+        }
+        if s.with_deadline > 0 {
+            s.miss_rate = s.missed as f64 / s.with_deadline as f64;
+        }
+        s
     }
 }
 
@@ -286,6 +348,8 @@ pub struct SimReport {
     /// Fault-injection accounting (all zeros when no faults were
     /// injected).
     pub fault: FaultStats,
+    /// Deadline/SLO rollup (all zeros when no job carried a deadline).
+    pub deadlines: DeadlineStats,
     /// Per-job records for downstream analysis (Figure 2 etc.).
     pub records: Vec<JobRecord>,
     /// Structured event log (JSONL lines from the observer's ring
@@ -348,6 +412,8 @@ impl SimReport {
         check(&mut bad, "flex_satisfied", self.flex_satisfied);
         check(&mut bad, "control_plane_latency_s", self.control_plane_latency_s);
         check(&mut bad, "fault.work_lost_s", self.fault.work_lost_s);
+        check(&mut bad, "deadlines.miss_rate", self.deadlines.miss_rate);
+        check(&mut bad, "deadlines.total_late_s", self.deadlines.total_late_s);
         for (name, series) in [
             ("hourly_overall_usage", &self.hourly_overall_usage),
             ("hourly_on_loan_usage", &self.hourly_on_loan_usage),
@@ -381,6 +447,7 @@ impl SimReport {
             for (field, v) in [
                 ("first_start_s", r.first_start_s),
                 ("complete_s", r.complete_s),
+                ("deadline_s", r.deadline_s),
             ] {
                 if let Some(v) = v {
                     check(&mut bad, &format!("records[{:?}].{field}", r.id), v);
@@ -562,6 +629,43 @@ mod tests {
     }
 
     #[test]
+    fn deadline_accounting_on_records() {
+        let mut met = JobRecord::new(JobId(0), 0.0);
+        met.deadline_s = Some(100.0);
+        met.complete_s = Some(90.0);
+        assert!(!met.missed_deadline());
+        assert_eq!(met.lateness_s(), Some(0.0));
+
+        let mut late = JobRecord::new(JobId(1), 0.0);
+        late.deadline_s = Some(100.0);
+        late.complete_s = Some(160.0);
+        assert!(late.missed_deadline());
+        assert_eq!(late.lateness_s(), Some(60.0));
+
+        let mut never = JobRecord::new(JobId(2), 0.0);
+        never.deadline_s = Some(100.0);
+        assert!(never.missed_deadline());
+        assert_eq!(never.lateness_s(), None);
+
+        let free = JobRecord::new(JobId(3), 0.0);
+        assert!(!free.missed_deadline());
+
+        let stats = DeadlineStats::from_records(&[met, late, never, free]);
+        assert_eq!(stats.with_deadline, 3);
+        assert_eq!(stats.met, 1);
+        assert_eq!(stats.missed, 2);
+        assert!((stats.miss_rate - 2.0 / 3.0).abs() < 1e-12);
+        assert!((stats.total_late_s - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_stats_empty_is_all_zeros() {
+        let stats = DeadlineStats::from_records(&[JobRecord::new(JobId(0), 0.0)]);
+        assert_eq!(stats, DeadlineStats::default());
+        assert_eq!(stats.miss_rate, 0.0);
+    }
+
+    #[test]
     fn hourly_queuing_ratio_counts_waits() {
         let mut records = vec![JobRecord::new(JobId(0), 100.0)];
         records[0].first_start_s = Some(110.0); // fast start
@@ -604,6 +708,7 @@ mod tests {
             on_loan_queuing: Percentiles::default(),
             on_loan_jct: Percentiles::default(),
             fault: FaultStats::default(),
+            deadlines: DeadlineStats::default(),
             records,
             events: vec![],
             metrics: vec![],

@@ -16,47 +16,126 @@ use crate::metrics::SimReport;
 use lyra_cluster::inference::InferenceScheduler;
 use lyra_cluster::orchestrator::{Orchestrator, ReclaimPolicy};
 use lyra_cluster::state::{ClusterConfig, ClusterState};
+use lyra_core::gpu::GpuType;
 use lyra_core::job::{Elasticity, JobSpec, ModelFamily, ScalingCurve};
-use lyra_core::policies::{
-    AfsScheduler, FifoScheduler, GandivaScheduler, JobScheduler, LyraConfig, LyraScheduler,
-    PolluxConfig, PolluxScheduler,
-};
-use lyra_core::AllocationConfig;
-use lyra_core::PlacementConfig;
+use lyra_core::policies::{JobScheduler, PolicyContext, PolicyRegistry, UnknownPolicy};
 use lyra_predictor::{LstmConfig, RuntimeEstimator, RuntimeEstimatorConfig, UsagePredictor};
 use lyra_trace::{InferenceTrace, JobTrace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-/// Which job scheduler a scenario runs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum PolicyKind {
-    /// Strict FIFO (the Baseline).
-    Fifo,
-    /// FIFO with backfill.
-    FifoBackfill,
-    /// FIFO with fungible jobs queued to the inference cluster only
-    /// (Opportunistic Scheduling).
-    Opportunistic,
-    /// Lyra's full two-phase scheduler.
-    Lyra,
-    /// Lyra with the elastic phase disabled (capacity-loaning-only rows).
-    LyraNoElastic,
-    /// Lyra without §5.3's special elastic placement (Table 6).
-    LyraNaivePlacement,
-    /// Gandiva comparator.
-    Gandiva,
-    /// AFS comparator.
-    Afs,
-    /// Pollux comparator (goodput GA + tuning).
-    Pollux,
-    /// Lyra with least-attained-service phase-1 ordering — the
-    /// information-agnostic variant the paper names as future work.
-    LyraLas,
-    /// Lyra with the greedy phase-2 solver instead of the knapsack
-    /// (ablation of §5.2's design choice).
-    LyraGreedyPhase2,
+/// Why a scenario configuration was rejected before the engine ever ran.
+///
+/// Every rejection is typed so harnesses (`lyra-bench` exits 2 on any of
+/// these) can distinguish operator error from an engine bug; nothing here
+/// ever panics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A generation speed factor was zero, negative or non-finite.
+    NonPositiveSpeedFactor {
+        /// The GPU generation with the bad factor.
+        gpu: GpuType,
+        /// The rejected factor.
+        factor: f64,
+    },
+    /// A job's shrink cost was negative or non-finite.
+    NegativeShrinkCost {
+        /// Offending job id.
+        job: u64,
+        /// The rejected cost, seconds.
+        cost_s: f64,
+    },
+    /// A job's expand cost was negative or non-finite.
+    NegativeExpandCost {
+        /// Offending job id.
+        job: u64,
+        /// The rejected cost, seconds.
+        cost_s: f64,
+    },
+    /// A job's deadline was before its own submission (or non-finite).
+    DeadlineBeforeArrival {
+        /// Offending job id.
+        job: u64,
+        /// The rejected deadline, seconds from trace start.
+        deadline_s: f64,
+        /// The job's submission time, seconds from trace start.
+        submit_s: f64,
+    },
+    /// The scenario names a policy the registry does not know.
+    UnknownPolicy(UnknownPolicy),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NonPositiveSpeedFactor { gpu, factor } => {
+                write!(f, "speed factor for {gpu:?} must be finite and > 0, got {factor}")
+            }
+            ConfigError::NegativeShrinkCost { job, cost_s } => {
+                write!(f, "job {job}: shrink cost must be finite and >= 0, got {cost_s}")
+            }
+            ConfigError::NegativeExpandCost { job, cost_s } => {
+                write!(f, "job {job}: expand cost must be finite and >= 0, got {cost_s}")
+            }
+            ConfigError::DeadlineBeforeArrival {
+                job,
+                deadline_s,
+                submit_s,
+            } => write!(
+                f,
+                "job {job}: deadline {deadline_s}s precedes its submission at {submit_s}s"
+            ),
+            ConfigError::UnknownPolicy(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Checks a scenario + job trace against the configuration invariants
+/// the engine assumes: positive finite speed factors, non-negative
+/// finite resize costs, deadlines at or after submission, and a policy
+/// name the builtin registry knows.
+///
+/// [`run_scenario`] runs this automatically; harnesses call it
+/// directly when they want the typed [`ConfigError`] (e.g. to exit with
+/// a usage error instead of a crash).
+///
+/// # Errors
+///
+/// The first violated invariant, as a [`ConfigError`].
+pub fn validate_scenario(scenario: &Scenario, jobs: &JobTrace) -> Result<(), ConfigError> {
+    if let Err((gpu, factor)) = scenario.cluster.speed.validate() {
+        return Err(ConfigError::NonPositiveSpeedFactor { gpu, factor });
+    }
+    for job in &jobs.jobs {
+        if job.shrink_cost_s < 0.0 || !job.shrink_cost_s.is_finite() {
+            return Err(ConfigError::NegativeShrinkCost {
+                job: job.id.0,
+                cost_s: job.shrink_cost_s,
+            });
+        }
+        if job.expand_cost_s < 0.0 || !job.expand_cost_s.is_finite() {
+            return Err(ConfigError::NegativeExpandCost {
+                job: job.id.0,
+                cost_s: job.expand_cost_s,
+            });
+        }
+        if let Some(d) = job.deadline_s {
+            if !d.is_finite() || d < job.submit_time_s {
+                return Err(ConfigError::DeadlineBeforeArrival {
+                    job: job.id.0,
+                    deadline_s: d,
+                    submit_s: job.submit_time_s,
+                });
+            }
+        }
+    }
+    if let Err(e) = PolicyRegistry::builtin().get_checked(&scenario.policy) {
+        return Err(ConfigError::UnknownPolicy(e));
+    }
+    Ok(())
 }
 
 /// A full experiment configuration.
@@ -66,8 +145,12 @@ pub struct Scenario {
     pub name: String,
     /// Cluster shape.
     pub cluster: ClusterConfig,
-    /// Job-scheduling policy.
-    pub policy: PolicyKind,
+    /// Job-scheduling policy, by registry name (see
+    /// [`PolicyRegistry::builtin`] for the built-in set: "fifo",
+    /// "fifo-backfill", "opportunistic", "lyra", "lyra-no-elastic",
+    /// "lyra-naive-placement", "gandiva", "afs", "pollux", "lyra-las",
+    /// "lyra-greedy-phase2").
+    pub policy: String,
     /// Capacity loaning with this reclaim policy; `None` disables
     /// loaning entirely.
     pub loaning: Option<ReclaimPolicy>,
@@ -93,7 +176,7 @@ impl Scenario {
         Scenario {
             name: name.to_string(),
             cluster: ClusterConfig::default(),
-            policy: PolicyKind::Lyra,
+            policy: "lyra".to_string(),
             loaning: Some(ReclaimPolicy::Lyra),
             sim: SimConfig::default(),
             estimator: RuntimeEstimatorConfig::default(),
@@ -111,7 +194,7 @@ impl Scenario {
     /// utilisation, which is incompatible with head-of-line blocking.
     pub fn baseline() -> Self {
         Scenario {
-            policy: PolicyKind::FifoBackfill,
+            policy: "fifo-backfill".to_string(),
             loaning: None,
             ..Self::base("baseline")
         }
@@ -136,7 +219,7 @@ impl Scenario {
     /// under the given reclaim policy.
     pub fn loaning_only(reclaim: ReclaimPolicy, name: &str) -> Self {
         Scenario {
-            policy: PolicyKind::FifoBackfill,
+            policy: "fifo-backfill".to_string(),
             loaning: Some(reclaim),
             ..Self::base(name)
         }
@@ -146,17 +229,17 @@ impl Scenario {
     /// servers (no managed loaning; evictions are random).
     pub fn opportunistic() -> Self {
         Scenario {
-            policy: PolicyKind::Opportunistic,
+            policy: "opportunistic".to_string(),
             loaning: Some(ReclaimPolicy::Random),
             ..Self::base("opportunistic")
         }
     }
 
-    /// Elastic-scaling-only rows (10–14): the given policy on the fixed
-    /// training cluster.
-    pub fn elastic_only(policy: PolicyKind, name: &str) -> Self {
+    /// Elastic-scaling-only rows (10–14): the given policy (by registry
+    /// name) on the fixed training cluster.
+    pub fn elastic_only(policy: &str, name: &str) -> Self {
         Scenario {
-            policy,
+            policy: policy.to_string(),
             loaning: None,
             ..Self::base(name)
         }
@@ -165,7 +248,7 @@ impl Scenario {
     /// Lyra+TunedJobs (row 14): Lyra scheduling with the tuning agent's
     /// goodput gain applied to elastic jobs.
     pub fn lyra_tuned() -> Self {
-        let mut s = Self::elastic_only(PolicyKind::Lyra, "lyra+tuned");
+        let mut s = Self::elastic_only("lyra", "lyra+tuned");
         s.sim.tuned = true;
         s
     }
@@ -268,53 +351,49 @@ pub mod transform {
             job.checkpointing = rng.gen_bool(fraction.clamp(0.0, 1.0));
         }
     }
+
+    /// Gives every job an explicit shrink/expand cost — the malleable
+    /// scenario. The costs are charged as extra training stalls on each
+    /// scale-in/scale-out (and on forced flex releases), so they only
+    /// bite for jobs that actually resize.
+    pub fn set_resize_costs(trace: &mut JobTrace, shrink_s: f64, expand_s: f64) {
+        for job in &mut trace.jobs {
+            job.shrink_cost_s = shrink_s;
+            job.expand_cost_s = expand_s;
+        }
+    }
+
+    /// Gives every job an SLO deadline at `submit + slack_mult · u ·
+    /// base_running_time` with `u` drawn uniformly from `[1, 4)` per job
+    /// (deterministically by seed). The same seed draws the same `u`s, so
+    /// a larger `slack_mult` strictly relaxes every deadline — the
+    /// deadline-slack monotonicity oracle depends on this.
+    pub fn set_deadlines(trace: &mut JobTrace, slack_mult: f64, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for job in &mut trace.jobs {
+            let u: f64 = rng.gen_range(1.0..4.0);
+            let base = job.running_time(job.demand);
+            job.deadline_s = Some(job.submit_time_s + slack_mult * u * base);
+        }
+    }
 }
 
-fn build_policy(scenario: &Scenario, inference: &InferenceTrace) -> Box<dyn JobScheduler> {
-    match scenario.policy {
-        PolicyKind::Fifo => Box::new(FifoScheduler::new()),
-        PolicyKind::FifoBackfill => Box::new(FifoScheduler::with_backfill()),
-        PolicyKind::Opportunistic => {
-            // The most the inference cluster can ever lend: its servers
-            // minus the demand at the traffic trough minus headroom.
-            // Fungible jobs larger than that fall back to training.
-            let servers = scenario.cluster.inference_servers;
-            let gpus = scenario.cluster.gpus_per_server;
-            let min_util = inference.samples.iter().copied().fold(1.0_f64, f64::min);
-            let needed_at_trough =
-                ((min_util * f64::from(servers * gpus)) / f64::from(gpus)).ceil() as u32;
-            let headroom = (0.02 * f64::from(servers)).ceil() as u32;
-            let loanable = servers.saturating_sub(needed_at_trough + headroom);
-            Box::new(FifoScheduler::opportunistic(loanable * gpus))
-        }
-        PolicyKind::Lyra => Box::new(LyraScheduler::default()),
-        PolicyKind::LyraNoElastic => Box::new(LyraScheduler::new(LyraConfig::loaning_only())),
-        PolicyKind::LyraNaivePlacement => Box::new(LyraScheduler::new(LyraConfig {
-            allocation: AllocationConfig::default(),
-            placement: PlacementConfig {
-                special_elastic_treatment: false,
-            },
-        })),
-        PolicyKind::Gandiva => Box::new(GandivaScheduler::new()),
-        PolicyKind::Afs => Box::new(AfsScheduler::new()),
-        PolicyKind::Pollux => Box::new(PolluxScheduler::new(PolluxConfig {
-            seed: scenario.seed,
-            ..PolluxConfig::default()
-        })),
-        PolicyKind::LyraLas => Box::new(LyraScheduler::new(LyraConfig {
-            allocation: AllocationConfig {
-                phase1: lyra_core::allocation::Phase1Order::Las,
-                ..AllocationConfig::default()
-            },
-            placement: PlacementConfig::default(),
-        })),
-        PolicyKind::LyraGreedyPhase2 => Box::new(LyraScheduler::new(LyraConfig {
-            allocation: AllocationConfig {
-                phase2: lyra_core::allocation::Phase2Solver::Greedy,
-                ..AllocationConfig::default()
-            },
-            placement: PlacementConfig::default(),
-        })),
+/// Derives the [`PolicyContext`] a scenario hands to policy builders:
+/// the scenario seed, plus the opportunistic GPU budget — the most the
+/// inference cluster can ever lend (its servers minus the demand at the
+/// traffic trough minus headroom). Fungible jobs larger than that
+/// budget fall back to training.
+fn policy_context(scenario: &Scenario, inference: &InferenceTrace) -> PolicyContext {
+    let servers = scenario.cluster.inference_servers;
+    let gpus = scenario.cluster.gpus_per_server;
+    let min_util = inference.samples.iter().copied().fold(1.0_f64, f64::min);
+    let needed_at_trough =
+        ((min_util * f64::from(servers * gpus)) / f64::from(gpus)).ceil() as u32;
+    let headroom = (0.02 * f64::from(servers)).ceil() as u32;
+    let loanable = servers.saturating_sub(needed_at_trough + headroom);
+    PolicyContext {
+        seed: scenario.seed,
+        opportunistic_gpus: loanable * gpus,
     }
 }
 
@@ -378,8 +457,15 @@ pub(crate) fn build_simulation(
     jobs: &JobTrace,
     inference: &InferenceTrace,
 ) -> Result<Simulation, SimError> {
+    validate_scenario(scenario, jobs).map_err(|e| SimError(e.to_string()))?;
+    let registry = PolicyRegistry::builtin();
+    let entry = registry
+        .get_checked(&scenario.policy)
+        .map_err(|e| SimError(e.to_string()))?;
+    let naive_placement = entry.naive_placement;
+    let ctx = policy_context(scenario, inference);
+    let policy: Box<dyn JobScheduler> = (entry.build)(&ctx);
     let cluster = ClusterState::new(scenario.cluster);
-    let policy = build_policy(scenario, inference);
     // The inference scheduler is always present — its cluster exists and
     // counts toward overall usage even when loaning is disabled; the
     // orchestrator (which moves servers) only exists with loaning.
@@ -414,7 +500,7 @@ pub(crate) fn build_simulation(
     if sim_config.usage_horizon_s <= 0.0 {
         sim_config.usage_horizon_s = f64::from(jobs.config.days) * 86_400.0;
     }
-    if scenario.policy == PolicyKind::LyraNaivePlacement {
+    if naive_placement {
         sim_config.special_placement = false;
     }
     let mut sim = Simulation::new(
@@ -471,6 +557,7 @@ pub mod generators {
             training_servers: 8,
             inference_servers: 8,
             gpus_per_server: 8,
+            speed: lyra_core::gpu::SpeedFactors::default(),
         }
     }
 
@@ -481,6 +568,90 @@ pub mod generators {
         s.cluster = tiny_cluster();
         s.seed = seed;
         s
+    }
+}
+
+/// The scenario zoo: the named (scenario, traces) cells the ablation
+/// runner sweeps every registered policy across, and the subjects of the
+/// committed golden traces beyond the original `tiny-basic` family.
+///
+/// Every cell is a pure function of its pinned seed; `lyra-bench ablate`
+/// iterates [`cases`](zoo::cases) in order, so the ablation matrix is
+/// deterministic row-by-row.
+pub mod zoo {
+    use super::generators::{tiny_cluster, tiny_traces};
+    use super::*;
+    use lyra_core::gpu::SpeedFactors;
+
+    /// One named scenario cell.
+    pub struct ZooCase {
+        /// Unique cell name (also the golden-trace directory suffix).
+        pub name: &'static str,
+        /// One-line description for listings.
+        pub summary: &'static str,
+        /// Seed pinning the cell's traces and scenario.
+        pub seed: u64,
+    }
+
+    impl ZooCase {
+        /// Materialises the cell: scenario plus the transformed traces.
+        pub fn build(&self) -> (Scenario, JobTrace, InferenceTrace) {
+            build_case(self.name, self.seed)
+        }
+    }
+
+    /// Every zoo cell, in sweep order.
+    pub fn cases() -> Vec<ZooCase> {
+        vec![
+            ZooCase {
+                name: "basic",
+                summary: "homogeneous fleet, Table 5 Basic configuration",
+                seed: 21,
+            },
+            ZooCase {
+                name: "hetero",
+                summary: "mixed GPU generations: V100s at 1.25x, T4s at 0.8x reference speed",
+                seed: 22,
+            },
+            ZooCase {
+                name: "malleable",
+                summary: "70% elastic jobs paying explicit shrink (30s) / expand (45s) costs",
+                seed: 23,
+            },
+            ZooCase {
+                name: "deadline",
+                summary: "every job carries an SLO deadline at 2x slack; misses are rolled up",
+                seed: 24,
+            },
+        ]
+    }
+
+    /// The per-cell speed factors of the `hetero` cell.
+    pub fn hetero_speed() -> SpeedFactors {
+        SpeedFactors { v100: 1.25, t4: 0.8 }
+    }
+
+    fn build_case(name: &str, seed: u64) -> (Scenario, JobTrace, InferenceTrace) {
+        let (mut jobs, inf) = tiny_traces(seed);
+        let mut s = Scenario::basic();
+        s.cluster = tiny_cluster();
+        s.seed = seed;
+        s.name = format!("zoo-{name}");
+        match name {
+            "basic" => {}
+            "hetero" => {
+                s.cluster = s.cluster.with_speed(hetero_speed());
+            }
+            "malleable" => {
+                transform::set_elastic_fraction(&mut jobs, 0.7, seed ^ 1);
+                transform::set_resize_costs(&mut jobs, 30.0, 45.0);
+            }
+            "deadline" => {
+                transform::set_deadlines(&mut jobs, 2.0, seed ^ 1);
+            }
+            other => unreachable!("zoo case {other} has no builder"),
+        }
+        (s, jobs, inf)
     }
 }
 
@@ -566,37 +737,145 @@ mod tests {
     fn all_policies_complete_all_jobs() {
         let (jobs, inf) = tiny_traces(4);
         for (kind, loaning) in [
-            (PolicyKind::Fifo, None),
-            (PolicyKind::FifoBackfill, None),
-            (PolicyKind::Gandiva, None),
-            (PolicyKind::Afs, None),
-            (PolicyKind::Pollux, None),
-            (PolicyKind::Lyra, Some(ReclaimPolicy::Lyra)),
-            (PolicyKind::LyraNoElastic, Some(ReclaimPolicy::Scf)),
-            (PolicyKind::Opportunistic, Some(ReclaimPolicy::Random)),
+            ("fifo", None),
+            ("fifo-backfill", None),
+            ("gandiva", None),
+            ("afs", None),
+            ("pollux", None),
+            ("lyra", Some(ReclaimPolicy::Lyra)),
+            ("lyra-no-elastic", Some(ReclaimPolicy::Scf)),
+            ("opportunistic", Some(ReclaimPolicy::Random)),
         ] {
             let mut s = Scenario::base("policy-test");
             s.cluster = tiny_cluster();
-            s.policy = kind;
+            s.policy = kind.to_string();
             s.loaning = loaning;
-            let r = run_scenario(&s, &jobs, &inf).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
-            if kind == PolicyKind::Opportunistic {
+            let r = run_scenario(&s, &jobs, &inf).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            if kind == "opportunistic" {
                 // At toy scale some fungible jobs legitimately never fit
                 // the inference cluster's loanable trough.
                 assert!(
                     r.completed >= jobs.jobs.len() * 85 / 100,
-                    "{kind:?} finished only {}/{}",
+                    "{kind} finished only {}/{}",
                     r.completed,
                     jobs.jobs.len()
                 );
             } else {
-                assert_eq!(
-                    r.completed,
-                    jobs.jobs.len(),
-                    "{kind:?} left jobs unfinished"
-                );
+                assert_eq!(r.completed, jobs.jobs.len(), "{kind} left jobs unfinished");
             }
         }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_with_typed_errors() {
+        let (jobs, inf) = tiny_traces(1);
+        let good = generators::tiny_basic(1);
+
+        let mut bad_policy = good.clone();
+        bad_policy.policy = "lyra-quantum".to_string();
+        assert!(matches!(
+            validate_scenario(&bad_policy, &jobs),
+            Err(ConfigError::UnknownPolicy(ref e)) if e.name == "lyra-quantum"
+        ));
+        let err = run_scenario(&bad_policy, &jobs, &inf).expect_err("unknown policy errors");
+        assert!(err.to_string().contains("lyra-quantum"), "{err}");
+
+        let mut bad_speed = good.clone();
+        bad_speed.cluster.speed.t4 = 0.0;
+        assert!(matches!(
+            validate_scenario(&bad_speed, &jobs),
+            Err(ConfigError::NonPositiveSpeedFactor { gpu: GpuType::T4, .. })
+        ));
+        assert!(run_scenario(&bad_speed, &jobs, &inf).is_err());
+
+        let mut bad_shrink = jobs.clone();
+        bad_shrink.jobs[2].shrink_cost_s = -1.0;
+        assert!(matches!(
+            validate_scenario(&good, &bad_shrink),
+            Err(ConfigError::NegativeShrinkCost { cost_s, .. }) if cost_s == -1.0
+        ));
+
+        let mut bad_expand = jobs.clone();
+        bad_expand.jobs[2].expand_cost_s = f64::NAN;
+        assert!(matches!(
+            validate_scenario(&good, &bad_expand),
+            Err(ConfigError::NegativeExpandCost { .. })
+        ));
+
+        let mut bad_deadline = jobs.clone();
+        bad_deadline.jobs[3].deadline_s = Some(bad_deadline.jobs[3].submit_time_s - 1.0);
+        match validate_scenario(&good, &bad_deadline) {
+            Err(ConfigError::DeadlineBeforeArrival { job, .. }) => {
+                assert_eq!(job, bad_deadline.jobs[3].id.0);
+            }
+            other => panic!("expected DeadlineBeforeArrival, got {other:?}"),
+        }
+        assert!(run_scenario(&good, &bad_deadline, &inf).is_err());
+    }
+
+    #[test]
+    fn zoo_cases_build_deterministically_and_run() {
+        for case in zoo::cases() {
+            let (s1, j1, i1) = case.build();
+            let (s2, j2, i2) = case.build();
+            assert_eq!(s1, s2, "{} scenario is pure in its seed", case.name);
+            assert_eq!(j1, j2);
+            assert_eq!(i1, i2);
+            let r = run_scenario(&s1, &j1, &i1)
+                .unwrap_or_else(|e| panic!("zoo case {}: {e}", case.name));
+            assert!(r.completed > 0, "{} completed nothing", case.name);
+            if case.name == "deadline" {
+                assert_eq!(
+                    r.deadlines.with_deadline,
+                    j1.jobs.len(),
+                    "every job carries a deadline"
+                );
+                assert_eq!(r.deadlines.met + r.deadlines.missed, r.deadlines.with_deadline);
+            } else {
+                assert_eq!(r.deadlines.with_deadline, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn hetero_speed_factors_change_the_outcome() {
+        // A uniformly faster fleet must not be slower on mean JCT; a
+        // distinctly-skewed fleet must produce a different report than
+        // the reference fleet (the factor actually reaches the engine).
+        let (jobs, inf) = tiny_traces(22);
+        let reference = generators::tiny_basic(22);
+        let mut faster = reference.clone();
+        faster.cluster.speed = lyra_core::gpu::SpeedFactors { v100: 2.0, t4: 2.0 };
+        let r_ref = run_scenario(&reference, &jobs, &inf).expect("reference runs");
+        let r_fast = run_scenario(&faster, &jobs, &inf).expect("faster runs");
+        assert!(
+            r_fast.jct.mean <= r_ref.jct.mean + 1e-9,
+            "2x fleet mean JCT {:.0}s vs reference {:.0}s",
+            r_fast.jct.mean,
+            r_ref.jct.mean
+        );
+        assert_ne!(r_ref, r_fast, "speed factors reach the progress model");
+    }
+
+    #[test]
+    fn resize_costs_are_charged_and_attributed() {
+        // With aggressive costs the malleable trace must not finish
+        // faster than the free-resize trace, and the stall shows up in
+        // the loan-scale-in / launch-overhead attribution buckets.
+        let (mut free, inf) = tiny_traces(23);
+        transform::set_elastic_fraction(&mut free, 0.7, 23 ^ 1);
+        let mut costly = free.clone();
+        transform::set_resize_costs(&mut costly, 600.0, 600.0);
+        let s = generators::tiny_basic(23);
+        let r_free = run_scenario(&s, &free, &inf).expect("free runs");
+        let r_costly = run_scenario(&s, &costly, &inf).expect("costly runs");
+        assert!(r_costly.scaling_ops > 0, "scenario exercises resizing");
+        assert!(
+            r_costly.jct.mean >= r_free.jct.mean - 1e-9,
+            "600s resize costs cannot speed the run up: {:.0}s vs {:.0}s",
+            r_costly.jct.mean,
+            r_free.jct.mean
+        );
     }
 
     #[test]

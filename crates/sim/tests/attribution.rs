@@ -38,6 +38,7 @@ fn cluster() -> ClusterConfig {
         training_servers: 4,
         inference_servers: 4,
         gpus_per_server: 8,
+        speed: lyra_core::gpu::SpeedFactors::default(),
     }
 }
 

@@ -4,7 +4,7 @@
 use lyra_cluster::orchestrator::ReclaimPolicy;
 use lyra_cluster::state::ClusterConfig;
 use lyra_sim::{
-    run_scenario, transform, FaultConfig, FaultPlan, PolicyKind, Scenario, SimReport,
+    run_scenario, transform, FaultConfig, FaultPlan, Scenario, SimReport,
 };
 use lyra_trace::{InferenceTrace, InferenceTraceConfig, JobTrace, TraceConfig};
 use proptest::prelude::*;
@@ -32,6 +32,7 @@ fn cluster() -> ClusterConfig {
         training_servers: 10,
         inference_servers: 10,
         gpus_per_server: 8,
+        speed: lyra_core::gpu::SpeedFactors::default(),
     }
 }
 
@@ -76,14 +77,14 @@ proptest! {
     ) {
         let (jobs, inference) = traces(seed, load);
         let (policy, loaning) = [
-            (PolicyKind::FifoBackfill, None),
-            (PolicyKind::Lyra, Some(ReclaimPolicy::Lyra)),
-            (PolicyKind::Lyra, Some(ReclaimPolicy::Random)),
-            (PolicyKind::Gandiva, None),
-            (PolicyKind::Afs, None),
+            ("fifo-backfill", None),
+            ("lyra", Some(ReclaimPolicy::Lyra)),
+            ("lyra", Some(ReclaimPolicy::Random)),
+            ("gandiva", None),
+            ("afs", None),
         ][policy_idx];
         let mut s = Scenario::basic();
-        s.policy = policy;
+        s.policy = policy.to_string();
         s.loaning = loaning;
         s.cluster = cluster();
         s.seed = seed;
@@ -213,7 +214,7 @@ fn oversized_job_reports_incomplete_not_hang() {
 fn tuned_jobs_never_slow_down() {
     let (mut jobs, inference) = traces(4, 0.6);
     transform::set_elastic_fraction(&mut jobs, 0.5, 9);
-    let mut plain = Scenario::elastic_only(PolicyKind::Lyra, "plain");
+    let mut plain = Scenario::elastic_only("lyra", "plain");
     plain.cluster = cluster();
     let mut tuned = Scenario::lyra_tuned();
     tuned.cluster = cluster();

@@ -188,6 +188,9 @@ pub fn jobs_from_csv(csv: &str, config: TraceConfig) -> Result<JobTrace, TraceIo
             model,
             curve,
             reference_gpu: GpuType::V100,
+            shrink_cost_s: 0.0,
+            expand_cost_s: 0.0,
+            deadline_s: None,
         });
     }
     Ok(JobTrace { config, jobs })

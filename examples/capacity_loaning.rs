@@ -19,6 +19,7 @@ fn main() {
         training_servers: 4,
         inference_servers: 6,
         gpus_per_server: 8,
+        speed: lyra::core::gpu::SpeedFactors::default(),
     });
     let mut orchestrator = Orchestrator::new(ReclaimPolicy::Lyra, 7);
 

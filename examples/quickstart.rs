@@ -46,6 +46,7 @@ fn main() {
         training_servers: 32,
         inference_servers: 36,
         gpus_per_server: 8,
+        speed: lyra::core::gpu::SpeedFactors::default(),
     };
 
     // Baseline: FIFO, no loaning, no scaling. Lyra: capacity loaning +

@@ -67,6 +67,7 @@ fn main() {
         training_servers: 16,
         inference_servers: 18,
         gpus_per_server: 8,
+        speed: lyra::core::gpu::SpeedFactors::default(),
     };
     let report = run_scenario(&scenario, &trace, &inference).expect("replay runs");
     println!(

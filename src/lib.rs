@@ -20,6 +20,7 @@
 //! use lyra::sim::{run_scenario, Scenario};
 //! use lyra::trace::{InferenceTrace, InferenceTraceConfig, JobTrace, TraceConfig};
 //! use lyra::cluster::state::ClusterConfig;
+//! use lyra::core::gpu::SpeedFactors;
 //!
 //! let jobs = JobTrace::generate(TraceConfig {
 //!     days: 1,
@@ -39,6 +40,7 @@
 //!     training_servers: 8,
 //!     inference_servers: 8,
 //!     gpus_per_server: 8,
+//!     speed: SpeedFactors::default(),
 //! };
 //! let report = run_scenario(&scenario, &jobs, &inference).unwrap();
 //! assert_eq!(report.completed, jobs.jobs.len());

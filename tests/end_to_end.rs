@@ -4,7 +4,7 @@
 
 use lyra::cluster::orchestrator::ReclaimPolicy;
 use lyra::cluster::state::ClusterConfig;
-use lyra::sim::{run_scenario, transform, PolicyKind, Scenario};
+use lyra::sim::{run_scenario, transform, Scenario};
 use lyra::trace::{InferenceTrace, InferenceTraceConfig, JobTrace, TraceConfig};
 
 fn traces(seed: u64, days: u32, servers: u32) -> (JobTrace, InferenceTrace) {
@@ -29,6 +29,7 @@ fn cluster(servers: u32) -> ClusterConfig {
         training_servers: servers,
         inference_servers: servers,
         gpus_per_server: 8,
+        speed: lyra::core::gpu::SpeedFactors::default(),
     }
 }
 
@@ -91,7 +92,7 @@ fn elastic_scaling_alone_reduces_jct() {
     let (jobs, inference) = traces(3, 2, 12);
     let mut baseline = Scenario::baseline();
     baseline.cluster = cluster(12);
-    let mut scaling = Scenario::elastic_only(PolicyKind::Lyra, "scaling");
+    let mut scaling = Scenario::elastic_only("lyra", "scaling");
     scaling.cluster = cluster(12);
     let rb = run_scenario(&baseline, &jobs, &inference).unwrap();
     let rs = run_scenario(&scaling, &jobs, &inference).unwrap();

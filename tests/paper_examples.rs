@@ -17,6 +17,7 @@ fn figure5_state() -> (ClusterState, Vec<lyra::core::ServerId>) {
         training_servers: 4,
         inference_servers: 8,
         gpus_per_server: 8,
+        speed: lyra::core::gpu::SpeedFactors::default(),
     });
     let loaned = state.loan(6).expect("six idle inference servers");
     let g = ServerGroup::Base;
