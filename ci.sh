@@ -52,6 +52,34 @@ smoke_dir=$(mktemp -d)
 ./target/release/lyra-bench export-trace --log "$smoke_dir/smoke.jsonl" \
   --out "$smoke_dir/smoke.trace.json"
 
+# Provenance smoke: the decision-provenance tooling must run end to end
+# — `why` for a job known to exist, the `blame` ranking from two fresh
+# same-seed runs (must be byte-identical), the filter's cause taxonomy
+# validation (unknown cause must exit 2 and list the alternatives), and
+# the flow-annotated trace export.
+./target/release/lyra-bench why 0 --log "$smoke_dir/smoke.jsonl" >/dev/null
+./target/release/lyra-bench blame --top 5 >"$smoke_dir/blame-a.txt"
+./target/release/lyra-bench blame --top 5 >"$smoke_dir/blame-b.txt"
+cmp "$smoke_dir/blame-a.txt" "$smoke_dir/blame-b.txt" || {
+  echo "ci: blame from two same-seed runs is not byte-identical" >&2
+  exit 1
+}
+./target/release/lyra-bench export-provenance --log "$smoke_dir/smoke.jsonl" \
+  --out "$smoke_dir/smoke.provenance.json"
+status=0
+./target/release/lyra-bench events --filter cause=no-such-cause \
+  --log "$smoke_dir/smoke.jsonl" >/dev/null 2>"$smoke_dir/cause-err.txt" || status=$?
+[ "$status" -eq 2 ] || {
+  echo "ci: events --filter cause=no-such-cause exited $status, want 2" >&2
+  exit 1
+}
+grep -q 'known causes' "$smoke_dir/cause-err.txt" || {
+  echo "ci: unknown-cause error does not list the taxonomy" >&2
+  exit 1
+}
+./target/release/lyra-bench events --filter cause=reclaim-preemption \
+  --log "$smoke_dir/smoke.jsonl" >/dev/null
+
 # Telemetry smoke: the sparkline dashboard must render from both a live
 # run and a replayed log, and the Prometheus exposition must come out
 # non-empty with the lyra_ namespace.
@@ -65,10 +93,12 @@ grep -q '^lyra_' "$smoke_dir/smoke.prom" || {
 rm -rf "$smoke_dir"
 
 # Perf smoke: the incremental snapshot cache and the legacy from-scratch
-# rebuild must stay observationally identical under the same seed, and
-# full observation (event log + telemetry sampling) must fit the
-# telemetry overhead budget (no hot-path timing at CI scale; the full
-# benchmark is `lyra-bench perf`).
+# rebuild must stay observationally identical under the same seed, full
+# observation (event log + telemetry sampling) must fit the telemetry
+# overhead budget, and the decision-provenance tracker must cost at
+# most 5 % (+ slack) over plain observation (no hot-path timing at CI
+# scale; the full benchmark is `lyra-bench perf`). The overhead probes
+# append to the history array in BENCH_scheduler.json.
 ./target/release/lyra-bench perf --smoke
 
 # Golden-trace gate: the pinned scenarios must reproduce the committed

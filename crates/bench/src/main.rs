@@ -35,7 +35,10 @@ fn usage_text() -> String {
          \x20      lyra-bench explain <job-id> [--log <file.jsonl>]\n\
          \x20      lyra-bench attribute <job-id>|--top <n> [--log <file.jsonl>]\n\
          \x20      lyra-bench export-trace [--log <file.jsonl>] [--out <file.json>]\n\
-         \x20      lyra-bench events --filter job=<id>,kind=<kind> [--log <file.jsonl>]\n\
+         \x20      lyra-bench events --filter job=<id>,kind=<kind>,cause=<cause> [--log <file.jsonl>]\n\
+         \x20      lyra-bench why <job-id> [--log <file.jsonl>]\n\
+         \x20      lyra-bench blame [--top <n>] [--log <file.jsonl>]\n\
+         \x20      lyra-bench export-provenance [--log <file.jsonl>] [--out <file.json>]\n\
          \x20      lyra-bench timeline [--log <file.jsonl>] [--width <cols>]\n\
          \x20      lyra-bench prom [--out <file.prom>]\n\
          \x20      lyra-bench perf [--smoke]\n\
@@ -45,9 +48,15 @@ fn usage_text() -> String {
          \x20      lyra-bench resume --ckpt <file.ckpt>\n\
          \x20      lyra-bench crash-storm [--kills <n>] [--seed <s>] [--dir <path>]\n\
          ids: {}  (or `all`)\n\
-         event kinds: {}",
+         event kinds: {}\n\
+         delay causes: {}",
         experiments::ALL.join(" "),
-        lyra_obs::KIND_NAMES.join(" ")
+        lyra_obs::KIND_NAMES.join(" "),
+        lyra_obs::DelayCause::ALL
+            .iter()
+            .map(|c| c.label())
+            .collect::<Vec<_>>()
+            .join(" ")
     )
 }
 
@@ -193,12 +202,14 @@ fn export_trace(log_path: Option<&str>, out: &str) -> ! {
     std::process::exit(0);
 }
 
-/// `events --filter job=<id>,kind=<kind>`: slice a JSONL event log,
-/// printing the raw lines that match every criterion (a job filter
-/// matches any event touching that job, audit records included).
+/// `events --filter job=<id>,kind=<kind>,cause=<cause>`: slice a JSONL
+/// event log, printing the raw lines that match every criterion (a job
+/// filter matches any event touching that job, audit records included;
+/// a cause filter matches events naming that [`lyra_obs::DelayCause`]).
 fn events_cmd(filter: &str, log_path: Option<&str>) -> ! {
     let mut job: Option<u64> = None;
     let mut kind: Option<String> = None;
+    let mut cause: Option<lyra_obs::DelayCause> = None;
     for part in filter.split(',').filter(|p| !p.is_empty()) {
         match part.split_once('=') {
             Some(("job", v)) => {
@@ -219,14 +230,30 @@ fn events_cmd(filter: &str, log_path: Option<&str>) -> ! {
                 }
                 kind = Some(v.to_string());
             }
+            Some(("cause", v)) => {
+                // Same deal for the delay-cause taxonomy.
+                cause = Some(lyra_obs::DelayCause::from_label(v).unwrap_or_else(|| {
+                    eprintln!(
+                        "events: unknown delay cause {v:?} (known causes: {})",
+                        lyra_obs::DelayCause::ALL
+                            .iter()
+                            .map(|c| c.label())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    std::process::exit(2);
+                }));
+            }
             _ => {
-                eprintln!("events: bad filter term {part:?} (use job=<id>,kind=<kind>)");
+                eprintln!(
+                    "events: bad filter term {part:?} (use job=<id>,kind=<kind>,cause=<cause>)"
+                );
                 std::process::exit(2);
             }
         }
     }
-    if job.is_none() && kind.is_none() {
-        eprintln!("events: empty filter (use job=<id>,kind=<kind>)");
+    if job.is_none() && kind.is_none() && cause.is_none() {
+        eprintln!("events: empty filter (use job=<id>,kind=<kind>,cause=<cause>)");
         std::process::exit(2);
     }
     let jsonl = load_log(log_path);
@@ -245,12 +272,63 @@ fn events_cmd(filter: &str, log_path: Option<&str>) -> ! {
     for (line, ev) in lines.iter().zip(&events) {
         let job_ok = job.is_none_or(|id| ev.event.touches_job(id));
         let kind_ok = kind.as_deref().is_none_or(|k| ev.event.kind_name() == k);
-        if job_ok && kind_ok {
+        let cause_ok = cause.is_none_or(|c| ev.event.cause() == Some(c));
+        if job_ok && kind_ok && cause_ok {
             println!("{line}");
             matched += 1;
         }
     }
     eprintln!("events: {matched} of {} lines matched", lines.len());
+    std::process::exit(0);
+}
+
+/// `why <job-id>`: render the decision provenance for one job — each
+/// delay interval annotated with the causal chain of scheduler
+/// decisions (victim ranking, loan demand, faults, …) that produced
+/// it, walked back through the provenance graph.
+fn why_cmd(job: u64, log_path: Option<&str>) -> ! {
+    let jsonl = load_log(log_path);
+    let events = parse_log_or_exit(&jsonl);
+    match lyra_obs::why_from_log(&events, job) {
+        Ok(text) => {
+            print!("{text}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("why: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `blame [--top <n>]`: the reclaim decisions ranked by the victim
+/// delay they caused, with the loan-demand decision each ranking
+/// answered. Same seed, same bytes.
+fn blame_cmd(top: usize, log_path: Option<&str>) -> ! {
+    let jsonl = load_log(log_path);
+    let events = parse_log_or_exit(&jsonl);
+    print!("{}", lyra_obs::blame_from_log(&events, top));
+    std::process::exit(0);
+}
+
+/// `export-provenance`: the Chrome/Perfetto trace with provenance flow
+/// arrows — each reclaim preemption linked back to the victim-ranking
+/// decision that chose it, each loan-enabled scale-out to its grant.
+/// Schema-validated before the command reports success.
+fn export_provenance(log_path: Option<&str>, out: &str) -> ! {
+    let jsonl = load_log(log_path);
+    let events = parse_log_or_exit(&jsonl);
+    let trace = lyra_obs::export_provenance_trace(&events);
+    let stats = lyra_obs::validate_chrome_trace(&trace)
+        .unwrap_or_else(|e| panic!("provenance trace failed validation: {e}"));
+    std::fs::write(out, &trace).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "wrote {out}: {} events, {} tracks, {} span pairs, {} flow events",
+        stats.events, stats.tracks, stats.span_pairs, stats.flow_events
+    );
     std::process::exit(0);
 }
 
@@ -318,7 +396,10 @@ fn is_operand_like(arg: &str) -> bool {
                 | "explain"
                 | "attribute"
                 | "export-trace"
+                | "export-provenance"
                 | "events"
+                | "why"
+                | "blame"
                 | "timeline"
                 | "prom"
                 | "perf"
@@ -600,6 +681,62 @@ fn main() {
                     _ => None,
                 };
                 attribute(job, top, log_path.as_deref());
+            }
+            "why" => {
+                let job: u64 = args
+                    .get(i + 1)
+                    .and_then(|a| a.parse().ok())
+                    .unwrap_or_else(|| usage());
+                let log_path = match args.get(i + 2).map(String::as_str) {
+                    Some("--log") => Some(args.get(i + 3).cloned().unwrap_or_else(|| usage())),
+                    _ => None,
+                };
+                why_cmd(job, log_path.as_deref());
+            }
+            "blame" => {
+                let mut top: usize = 10;
+                let mut log_path: Option<String> = None;
+                let mut k = i + 1;
+                while k < args.len() {
+                    match args[k].as_str() {
+                        "--top" => {
+                            let raw = args.get(k + 1).cloned().unwrap_or_else(|| usage());
+                            top = raw.parse().unwrap_or_else(|_| {
+                                eprintln!("blame: --top expects a count, got {raw:?}");
+                                std::process::exit(2);
+                            });
+                            k += 2;
+                        }
+                        "--log" => {
+                            log_path = Some(args.get(k + 1).cloned().unwrap_or_else(|| usage()));
+                            k += 2;
+                        }
+                        other => {
+                            eprintln!("blame: unknown argument {other:?}");
+                            usage();
+                        }
+                    }
+                }
+                blame_cmd(top, log_path.as_deref());
+            }
+            "export-provenance" => {
+                let mut log_path: Option<String> = None;
+                let mut out = "provenance.json".to_string();
+                let mut k = i + 1;
+                while k < args.len() {
+                    match args[k].as_str() {
+                        "--log" => {
+                            log_path = Some(args.get(k + 1).cloned().unwrap_or_else(|| usage()));
+                            k += 2;
+                        }
+                        "--out" => {
+                            out = args.get(k + 1).cloned().unwrap_or_else(|| usage());
+                            k += 2;
+                        }
+                        _ => usage(),
+                    }
+                }
+                export_provenance(log_path.as_deref(), &out);
             }
             "export-trace" => {
                 let mut log_path: Option<String> = None;

@@ -9,16 +9,22 @@
 //! produce byte-identical event logs and identical reports — the
 //! benchmark refuses to time configurations that diverge.
 //!
-//! `--smoke` runs the divergence gate, the telemetry-overhead budget
-//! and the reclaim-heavy probe (gating `core.reclaim`'s self-time
-//! share) at Small (CI) scale; the full run times at paper scale and
-//! writes `BENCH_scheduler.json` (including the overhead probe).
+//! `--smoke` runs the divergence gate, the telemetry-overhead budget,
+//! the provenance-overhead budget (the decision-provenance tracker may
+//! cost at most 5 % over plain observation) and the reclaim-heavy
+//! probe (gating `core.reclaim`'s self-time share) at Small (CI)
+//! scale; the full run times at paper scale and writes
+//! `BENCH_scheduler.json` (including the overhead probes).
+//!
+//! Every run — smoke and full — *appends* its overhead probes to the
+//! `history` array inside `BENCH_scheduler.json` rather than
+//! overwriting, so regressions are visible as a trend across runs.
 
 use crate::Scale;
 use lyra_obs::{PhaseStat, Profile};
 use lyra_sim::{run_scenario, run_scenario_observed, ObserverConfig, Scenario, SimReport};
 use lyra_trace::{InferenceTrace, JobTrace};
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 /// Span names surfaced in the per-phase comparison table.
 const PHASES: &[&str] = &[
@@ -51,7 +57,7 @@ pub struct ModeStats {
 /// scenario run bare and under full observation (event log, metrics,
 /// audit, telemetry sampling — everything `ObserverConfig::default()`
 /// turns on).
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct ObserverOverhead {
     /// Wall time of the unobserved run, seconds.
     pub unobserved_s: f64,
@@ -61,6 +67,31 @@ pub struct ObserverOverhead {
     /// measure).
     pub ratio: f64,
 }
+
+/// Wall time of the provenance overhead probe: the same scenario run
+/// observed with the decision-provenance tracker off and on. The
+/// tracker rides the existing emission path (one graph update per
+/// event), so its cost must stay marginal next to observation itself.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProvenanceOverhead {
+    /// Wall time of the observed run with provenance tracking off,
+    /// seconds.
+    pub observed_s: f64,
+    /// Wall time of the observed run with provenance tracking on,
+    /// seconds.
+    pub provenance_s: f64,
+    /// `provenance_s / observed_s` (0 when the base run is too fast to
+    /// measure).
+    pub ratio: f64,
+}
+
+/// The provenance-tracking run may take at most 5 % over the plain
+/// observed run…
+pub const PROVENANCE_BUDGET_RATIO: f64 = 1.05;
+/// …plus this much absolute slack: Small-scale CI runs finish in well
+/// under a second, where a 5 % relative budget alone would be pure
+/// timer noise.
+pub const PROVENANCE_BUDGET_SLACK_S: f64 = 0.5;
 
 /// The observed run may take at most `OVERHEAD_BUDGET_RATIO` × the
 /// bare run plus `OVERHEAD_BUDGET_SLACK_S` of absolute slack. The
@@ -107,6 +138,77 @@ fn observer_overhead(
     }
 }
 
+/// Times the scenario observed with provenance off vs on.
+fn provenance_overhead(
+    scenario: &Scenario,
+    jobs: &JobTrace,
+    inference: &InferenceTrace,
+) -> ProvenanceOverhead {
+    let off = ObserverConfig {
+        provenance: false,
+        ..ObserverConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    run_scenario_observed(scenario, jobs, inference, off)
+        .unwrap_or_else(|e| panic!("observed run failed: {e}"));
+    let observed_s = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    observed(scenario, jobs, inference);
+    let provenance_s = t1.elapsed().as_secs_f64();
+    ProvenanceOverhead {
+        observed_s,
+        provenance_s,
+        ratio: if observed_s > 0.0 {
+            provenance_s / observed_s
+        } else {
+            0.0
+        },
+    }
+}
+
+/// One `history` entry in `BENCH_scheduler.json`: the overhead probes
+/// of a single `perf` invocation.
+#[derive(Debug, Serialize)]
+pub struct HistoryEntry {
+    /// `"smoke"` or `"full"`.
+    pub mode: String,
+    /// Trace/cluster scale the probes ran at.
+    pub scale: String,
+    /// Bare vs observed wall time.
+    pub observer: ObserverOverhead,
+    /// Observed vs provenance-tracking wall time.
+    pub provenance: ProvenanceOverhead,
+}
+
+/// Appends `entry` to the `history` array of `BENCH_scheduler.json`,
+/// creating the file or the array as needed and leaving every other
+/// field of the report intact. With `report`, the top-level benchmark
+/// fields are replaced first (the full run refreshing its numbers)
+/// while `history` still accumulates.
+fn record_run(report: Option<&PerfReport>, entry: &HistoryEntry) -> Result<(), String> {
+    let path = "BENCH_scheduler.json";
+    let prior = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<Value>(&s).ok());
+    let mut history = match prior.as_ref().and_then(|v| v.get("history")) {
+        Some(Value::Array(items)) => items.clone(),
+        _ => Vec::new(),
+    };
+    history.push(entry.to_value());
+    let mut root = match report {
+        Some(r) => r.to_value(),
+        None => prior.unwrap_or(Value::Object(Vec::new())),
+    };
+    let Value::Object(pairs) = &mut root else {
+        return Err(format!("{path}: top level is not an object"));
+    };
+    pairs.retain(|(k, _)| k != "history");
+    pairs.push(("history".to_string(), Value::Array(history)));
+    let json =
+        serde_json::to_string_pretty(&root).map_err(|e| format!("serialise {path}: {e:?}"))?;
+    std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))
+}
+
 /// The benchmark result written to `BENCH_scheduler.json`.
 #[derive(Debug, Serialize)]
 pub struct PerfReport {
@@ -128,6 +230,9 @@ pub struct PerfReport {
     pub identical_event_logs: bool,
     /// Telemetry/observer overhead probe (bare vs observed wall time).
     pub observer: ObserverOverhead,
+    /// Provenance overhead probe (observed wall time with the
+    /// decision-provenance tracker off vs on).
+    pub provenance: ProvenanceOverhead,
 }
 
 fn epoch_stat(profile: &Profile) -> (u64, f64) {
@@ -316,6 +421,25 @@ pub fn run(smoke: bool) -> i32 {
         OVERHEAD_BUDGET_RATIO,
         OVERHEAD_BUDGET_SLACK_S
     );
+    // Provenance overhead budget: the decision-provenance tracker may
+    // cost at most 5 % (plus slack) over plain observation. Gated in
+    // smoke, reported in the full benchmark.
+    let prov_overhead = provenance_overhead(&incremental, &jobs, &inference);
+    println!(
+        "provenance overhead: {:.3}s observed vs {:.3}s with provenance \
+         ({:.2}x, budget {}x + {}s)",
+        prov_overhead.observed_s,
+        prov_overhead.provenance_s,
+        prov_overhead.ratio,
+        PROVENANCE_BUDGET_RATIO,
+        PROVENANCE_BUDGET_SLACK_S
+    );
+    let entry = HistoryEntry {
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        scale: format!("{scale:?}").to_lowercase(),
+        observer: overhead.clone(),
+        provenance: prov_overhead.clone(),
+    };
     if smoke {
         if overhead.observed_s
             > OVERHEAD_BUDGET_RATIO * overhead.unobserved_s + OVERHEAD_BUDGET_SLACK_S
@@ -327,14 +451,29 @@ pub fn run(smoke: bool) -> i32 {
             );
             return 1;
         }
+        if prov_overhead.provenance_s
+            > PROVENANCE_BUDGET_RATIO * prov_overhead.observed_s + PROVENANCE_BUDGET_SLACK_S
+        {
+            eprintln!(
+                "perf: provenance overhead budget EXCEEDED \
+                 ({:.3}s with provenance vs {:.3}s observed)",
+                prov_overhead.provenance_s, prov_overhead.observed_s
+            );
+            return 1;
+        }
         let rc = reclaim_probe();
         if rc != 0 {
             return rc;
         }
+        if let Err(e) = record_run(None, &entry) {
+            eprintln!("perf: {e}");
+            return 1;
+        }
         println!(
             "perf smoke: incremental and from-scratch runs identical \
-             ({} jobs, {} events, scale {:?}); telemetry overhead and \
-             reclaim share within budget",
+             ({} jobs, {} events, scale {:?}); telemetry, provenance and \
+             reclaim overheads within budget; probes appended to \
+             BENCH_scheduler.json history",
             a.completed,
             a.events.len(),
             scale
@@ -391,10 +530,12 @@ pub fn run(smoke: bool) -> i32 {
         identical_reports,
         identical_event_logs,
         observer: overhead,
+        provenance: prov_overhead,
     };
-    let path = "BENCH_scheduler.json";
-    let json = serde_json::to_string_pretty(&report).expect("serialise perf report");
-    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
-    println!("wrote {path}");
+    if let Err(e) = record_run(Some(&report), &entry) {
+        eprintln!("perf: {e}");
+        return 1;
+    }
+    println!("wrote BENCH_scheduler.json (history appended)");
     0
 }

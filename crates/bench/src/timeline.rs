@@ -247,6 +247,7 @@ mod tests {
                 SchedEvent::JobPreempt {
                     job: 9,
                     checkpointed: true,
+                    decision: None,
                 },
             ),
             mk(

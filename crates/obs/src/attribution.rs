@@ -75,6 +75,13 @@ impl DelayCause {
         }
     }
 
+    /// Parses a kebab-case label back into its cause — the inverse of
+    /// [`label`](Self::label). `None` for unknown labels, so CLI filters
+    /// can reject typos with the full alternatives list.
+    pub fn from_label(label: &str) -> Option<DelayCause> {
+        DelayCause::ALL.iter().copied().find(|c| c.label() == label)
+    }
+
     fn rank(self) -> usize {
         DelayCause::ALL.iter().position(|c| *c == self).unwrap_or(0)
     }
@@ -271,7 +278,7 @@ pub fn summarize(attrs: &[JobAttribution]) -> AttributionSummary {
     }
 }
 
-fn fmt_s(ms: u64) -> String {
+pub(crate) fn fmt_s(ms: u64) -> String {
     format!("{}.{:03}", ms / 1000, ms % 1000)
 }
 

@@ -20,11 +20,20 @@
 //! [`validate_chrome_trace`] is the minimal schema check CI runs against
 //! every exported trace: well-formed JSON, monotone `ts` per
 //! `(pid, tid)` track, and matched `B`/`E` pairs.
+//!
+//! [`export_provenance_trace`] layers Perfetto **flow events** (`ph:
+//! "s"` / `"f"`) derived from the provenance graph on top of the
+//! standard trace: preemption arrows run from the scheduler track to
+//! the victim's job track, and loan arrows to the launch or scale-out
+//! the loan enabled — so cross-job causality renders as arrows between
+//! tracks.
 
 use serde::Value;
 
 use crate::event::{SchedEvent, TimedEvent};
+use crate::graph::EdgeKind;
 use crate::lifecycle::attribute_log;
+use crate::provenance::build_provenance;
 
 const PID_JOBS: u64 = 1;
 const PID_SCHED: u64 = 2;
@@ -43,7 +52,8 @@ fn vu(v: u64) -> Value {
 }
 
 /// Sort rank within one timestamp: close spans before opening new ones
-/// so per-track `ts` order keeps `E` ahead of the adjacent `B`.
+/// so per-track `ts` order keeps `E` ahead of the adjacent `B`, and
+/// flow events (`s`/`f`) after the slices they bind into.
 fn phase_rank(ph: &str) -> u8 {
     match ph {
         "M" => 0,
@@ -51,7 +61,8 @@ fn phase_rank(ph: &str) -> u8 {
         "i" => 2,
         "C" => 3,
         "X" => 4,
-        _ => 5, // "B"
+        "B" => 5,
+        _ => 6, // flows ("s"/"f")
     }
 }
 
@@ -106,6 +117,12 @@ impl TraceBuilder {
 /// Exports a parsed event log as Chrome `trace_event` JSON (one event
 /// per line inside `traceEvents`, so pinned traces diff readably).
 pub fn export_chrome_trace(events: &[TimedEvent]) -> String {
+    build_trace(events).render()
+}
+
+/// Builds the standard trace (lifelines, markers, counters, epoch
+/// spans) without rendering, so layered exporters can add to it.
+fn build_trace(events: &[TimedEvent]) -> TraceBuilder {
     let mut b = TraceBuilder::new();
     b.meta(PID_JOBS, 0, "process_name", "jobs");
     b.meta(PID_SCHED, 0, "process_name", "scheduler");
@@ -154,7 +171,9 @@ pub fn export_chrome_trace(events: &[TimedEvent]) -> String {
         let ts = ev.time_ms * 1000;
         last_us = last_us.max(ts);
         match &ev.event {
-            SchedEvent::JobPreempt { job, checkpointed } => {
+            SchedEvent::JobPreempt {
+                job, checkpointed, ..
+            } => {
                 b.push(
                     ts,
                     "i",
@@ -327,6 +346,63 @@ pub fn export_chrome_trace(events: &[TimedEvent]) -> String {
         );
     }
 
+    b
+}
+
+/// Exports the standard Chrome trace plus Perfetto flow events derived
+/// from the provenance graph.
+///
+/// Each `Preemption` edge becomes a `preempt-flow` arrow from the
+/// scheduler track (where the victim ranking ran) to the victim's job
+/// track at the preemption instant; each `LoanEnabled` edge becomes a
+/// `loan-flow` arrow to the launch or scale-out the loan enabled. Flow
+/// ids are assigned in deterministic edge order, so same-seed exports
+/// are byte-identical.
+pub fn export_provenance_trace(events: &[TimedEvent]) -> String {
+    let mut b = build_trace(events);
+    let graph = build_provenance(events);
+    let mut flow_id = 0u64;
+    for e in graph.edges() {
+        let name = match e.kind {
+            EdgeKind::Preemption => "preempt-flow",
+            EdgeKind::LoanEnabled => "loan-flow",
+            _ => continue,
+        };
+        let (Some(from), Some(to)) = (graph.node(e.from), graph.node(e.to)) else {
+            continue;
+        };
+        let Some(job) = to.job else { continue };
+        flow_id += 1;
+        b.push(
+            from.time_ms * 1000,
+            "s",
+            obj(vec![
+                ("name", vs(name)),
+                ("cat", vs("provenance")),
+                ("ph", vs("s")),
+                ("id", vu(flow_id)),
+                ("ts", vu(from.time_ms * 1000)),
+                ("pid", vu(PID_SCHED)),
+                ("tid", vu(1)),
+                ("args", obj(vec![("decision", vu(e.from))])),
+            ]),
+        );
+        b.push(
+            to.time_ms * 1000,
+            "f",
+            obj(vec![
+                ("name", vs(name)),
+                ("cat", vs("provenance")),
+                ("ph", vs("f")),
+                ("bp", vs("e")),
+                ("id", vu(flow_id)),
+                ("ts", vu(to.time_ms * 1000)),
+                ("pid", vu(PID_JOBS)),
+                ("tid", vu(job + 1)),
+                ("args", obj(vec![("decision", vu(e.from))])),
+            ]),
+        );
+    }
     b.render()
 }
 
@@ -339,6 +415,8 @@ pub struct ChromeTraceStats {
     pub tracks: usize,
     /// Matched `B`/`E` span pairs.
     pub span_pairs: usize,
+    /// Flow events (`s`/`f` phases).
+    pub flow_events: usize,
 }
 
 fn as_str(v: &Value) -> Option<&str> {
@@ -365,7 +443,8 @@ fn field_u64(ev: &Value, key: &str) -> Result<u64, String> {
 /// Minimal `trace_event` schema check: well-formed JSON with a
 /// `traceEvents` array, every event carrying `name`/`ph`/`ts`/`pid`/
 /// `tid`, `ts` monotone (non-decreasing) per `(pid, tid)` track in file
-/// order, and `B`/`E` events forming matched, name-consistent pairs.
+/// order, `B`/`E` events forming matched, name-consistent pairs, and
+/// flow events (`s`/`f`) carrying the mandatory `id`.
 pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceStats, String> {
     let root: Value =
         serde_json::from_str(text).map_err(|e| format!("malformed JSON: {e}"))?;
@@ -378,6 +457,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceStats, String> {
     let mut stacks: std::collections::HashMap<(u64, u64), Vec<String>> =
         std::collections::HashMap::new();
     let mut span_pairs = 0usize;
+    let mut flow_events = 0usize;
     for (i, ev) in events.iter().enumerate() {
         let err = |msg: String| format!("event {i}: {msg}");
         if !matches!(ev, Value::Object(_)) {
@@ -391,7 +471,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceStats, String> {
             .get("ph")
             .and_then(as_str)
             .ok_or_else(|| err("missing `ph`".into()))?;
-        if !matches!(ph, "B" | "E" | "X" | "i" | "C" | "M") {
+        if !matches!(ph, "B" | "E" | "X" | "i" | "C" | "M" | "s" | "f") {
             return Err(err(format!("unsupported phase {ph:?}")));
         }
         let ts = field_u64(ev, "ts").map_err(err)?;
@@ -399,6 +479,10 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceStats, String> {
         let tid = field_u64(ev, "tid").map_err(err)?;
         if ph == "X" {
             field_u64(ev, "dur").map_err(err)?;
+        }
+        if matches!(ph, "s" | "f") {
+            field_u64(ev, "id").map_err(err)?;
+            flow_events += 1;
         }
         let track = (pid, tid);
         if let Some(prev) = last_ts.get(&track) {
@@ -436,6 +520,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceStats, String> {
         events: events.len(),
         tracks: last_ts.len(),
         span_pairs,
+        flow_events,
     })
 }
 
@@ -482,9 +567,21 @@ mod tests {
             ),
             (
                 5_000,
+                SchedEvent::Audit(crate::audit::AuditRecord::ReclaimChoice {
+                    need: 2,
+                    candidates: vec![],
+                    chosen: 4,
+                    preempted: vec![0],
+                    cause: Some(crate::attribution::DelayCause::ReclaimPreemption),
+                }),
+            ),
+            (
+                5_000,
                 SchedEvent::JobPreempt {
                     job: 0,
                     checkpointed: false,
+                    // seq of the ReclaimChoice audit above (enumerate order).
+                    decision: Some(5),
                 },
             ),
             (
@@ -556,5 +653,33 @@ mod tests {
             {"name":"b","ph":"i","ts":5,"pid":1,"tid":2}
         ]}"#;
         assert!(validate_chrome_trace(t).is_ok());
+        // Flow events need an id.
+        let t = r#"{"traceEvents":[
+            {"name":"a","ph":"s","ts":1,"pid":1,"tid":1}
+        ]}"#;
+        assert!(validate_chrome_trace(t).unwrap_err().contains("id"));
+        let t = r#"{"traceEvents":[
+            {"name":"a","ph":"s","ts":1,"pid":1,"tid":1,"id":7},
+            {"name":"a","ph":"f","bp":"e","ts":2,"pid":1,"tid":2,"id":7}
+        ]}"#;
+        assert!(validate_chrome_trace(t).is_ok());
+    }
+
+    #[test]
+    fn provenance_trace_adds_flow_arrows_and_validates() {
+        let log = sample_log();
+        let trace = export_provenance_trace(&log);
+        validate_chrome_trace(&trace).expect("valid trace");
+        assert!(trace.contains("preempt-flow"), "{trace}");
+        assert!(trace.contains("loan-flow"), "{trace}");
+        assert!(trace.contains("\"ph\":\"s\""));
+        assert!(trace.contains("\"ph\":\"f\""));
+        assert_eq!(
+            trace,
+            export_provenance_trace(&log),
+            "byte-identical re-export"
+        );
+        // The plain exporter stays flow-free.
+        assert!(!export_chrome_trace(&log).contains("\"ph\":\"s\""));
     }
 }

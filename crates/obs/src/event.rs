@@ -47,6 +47,11 @@ pub enum SchedEvent {
         delta: u32,
         /// Workers after the change.
         workers: u32,
+        /// Whether any of the new workers landed on a loaned server
+        /// (links the scale-out to the `LoanGrant` that enabled it).
+        on_loan: bool,
+        /// Servers hosting the new workers.
+        servers: Vec<u32>,
     },
     /// An elastic job shrank by `delta` workers.
     JobScaleIn {
@@ -82,6 +87,10 @@ pub enum SchedEvent {
         job: u64,
         /// Whether it resumes from a checkpoint.
         checkpointed: bool,
+        /// `DecisionId` (log `seq`) of the `ReclaimChoice` audit event
+        /// whose victim ranking picked this job; `None` when the audit
+        /// trail is disabled.
+        decision: Option<u64>,
     },
     /// A job finished.
     JobComplete {
@@ -105,6 +114,14 @@ pub enum SchedEvent {
     LoanGrant {
         /// Servers loaned.
         servers: Vec<u32>,
+    },
+    /// The inference side demanded loaned servers back — the
+    /// *loan-demand decision* that triggers a reclaim wave. Emitted
+    /// before the cost search runs, so its `seq` precedes (and is the
+    /// causal parent of) the wave's `ReclaimChoice` audits.
+    ReclaimDemand {
+        /// Servers demanded back (carried debt folded in).
+        servers: u32,
     },
     /// The inference side reclaimed loaned servers.
     ReclaimGrant {
@@ -211,6 +228,7 @@ pub const KIND_NAMES: &[&str] = &[
     "JobComplete",
     "DeadlineMiss",
     "LoanGrant",
+    "ReclaimDemand",
     "ReclaimGrant",
     "ReclaimCarryover",
     "ReclaimDeadlineMiss",
@@ -236,6 +254,7 @@ impl SchedEvent {
             SchedEvent::JobComplete { .. } => "JobComplete",
             SchedEvent::DeadlineMiss { .. } => "DeadlineMiss",
             SchedEvent::LoanGrant { .. } => "LoanGrant",
+            SchedEvent::ReclaimDemand { .. } => "ReclaimDemand",
             SchedEvent::ReclaimGrant { .. } => "ReclaimGrant",
             SchedEvent::ReclaimCarryover { .. } => "ReclaimCarryover",
             SchedEvent::ReclaimDeadlineMiss { .. } => "ReclaimDeadlineMiss",
@@ -245,6 +264,27 @@ impl SchedEvent {
             SchedEvent::Fault { .. } => "Fault",
             SchedEvent::Audit(_) => "Audit",
             SchedEvent::Alert { .. } => "Alert",
+        }
+    }
+
+    /// The [`DelayCause`] this event names, if any — the `JobStall`
+    /// cause, or the cause recorded inside an audit record (the first
+    /// one, for multi-entry audits). Used by
+    /// `events --filter cause=<name>`.
+    pub fn cause(&self) -> Option<DelayCause> {
+        match self {
+            SchedEvent::JobStall { cause, .. } => Some(*cause),
+            SchedEvent::Audit(rec) => match rec {
+                AuditRecord::Phase1Order { order, .. } => {
+                    order.iter().find_map(|e| e.cause)
+                }
+                AuditRecord::Phase2Mckp { groups, .. } => {
+                    groups.iter().find_map(|g| g.cause)
+                }
+                AuditRecord::PlacementDecision { .. } => None,
+                AuditRecord::ReclaimChoice { cause, .. } => *cause,
+            },
+            _ => None,
         }
     }
 
@@ -267,6 +307,7 @@ impl SchedEvent {
             SchedEvent::ReclaimGrant { preempted, .. } => preempted.contains(&job),
             SchedEvent::Fault { target, .. } => *target == job,
             SchedEvent::LoanGrant { .. }
+            | SchedEvent::ReclaimDemand { .. }
             | SchedEvent::ReclaimCarryover { .. }
             | SchedEvent::ReclaimDeadlineMiss { .. }
             | SchedEvent::SchedulerEpoch { .. }

@@ -188,9 +188,14 @@ pub fn explain_job(events: &[TimedEvent], job: u64) -> String {
                 job: j,
                 delta,
                 workers,
+                on_loan,
+                ..
             } if *j == job => Some((
                 "scale-out".to_string(),
-                format!("scaled out +{delta} -> {workers} workers"),
+                format!(
+                    "scaled out +{delta} -> {workers} workers{}",
+                    if *on_loan { " (partly on loaned capacity)" } else { "" }
+                ),
             )),
             SchedEvent::JobScaleIn {
                 job: j,
@@ -243,14 +248,22 @@ pub fn explain_job(events: &[TimedEvent], job: u64) -> String {
                     "straggler episode ended (back to nominal speed)".to_string()
                 },
             )),
-            SchedEvent::JobPreempt { job: j, checkpointed } if *j == job => Some((
+            SchedEvent::JobPreempt {
+                job: j,
+                checkpointed,
+                decision,
+            } if *j == job => Some((
                 "preempt".to_string(),
                 format!(
-                    "PREEMPTED{}",
+                    "PREEMPTED{}{}",
                     if *checkpointed {
                         " (will resume from checkpoint)"
                     } else {
                         " (restarts from scratch)"
+                    },
+                    match decision {
+                        Some(d) => format!(" by decision #{d}"),
+                        None => String::new(),
                     }
                 ),
             )),
@@ -380,7 +393,14 @@ mod tests {
                 cause: Some(crate::attribution::DelayCause::ReclaimPreemption),
             }),
         );
-        log.emit(7_200_000, SchedEvent::JobPreempt { job: 42, checkpointed: false });
+        log.emit(
+            7_200_000,
+            SchedEvent::JobPreempt {
+                job: 42,
+                checkpointed: false,
+                decision: None,
+            },
+        );
 
         let events = parse_log(&log.to_jsonl()).expect("parses");
         let text = explain_job(&events, 42);

@@ -38,6 +38,16 @@
 //! completion − arrival, checked end-of-run), and [`chrome`] exports
 //! the whole run as Chrome/Perfetto `trace_event` JSON.
 //!
+//! [`provenance`] + [`graph`] add **decision provenance**: every
+//! scheduling decision gets a stable `DecisionId` (its log `seq`) and
+//! the events form a causal graph — admission → rank → MCKP verdict →
+//! placement → launch per job, plus the cross-job edges (loan-grant →
+//! the scale-out it enabled, loan-demand → victim ranking → the
+//! preemptions it triggered, fault → restart → re-placement). The graph
+//! builds online (checkpoint-safe observer state) or offline from any
+//! JSONL log, and renders as `why`/`blame` reports and Perfetto flow
+//! arrows.
+//!
 //! [`output`] is the small experiment-output writer used by the bench
 //! CLI's `--quiet` / `--json` modes.
 //!
@@ -52,9 +62,11 @@ pub mod audit;
 pub mod chrome;
 pub mod event;
 pub mod explain;
+pub mod graph;
 pub mod lifecycle;
 pub mod log;
 pub mod output;
+pub mod provenance;
 pub mod prom;
 pub mod registry;
 pub mod span;
@@ -68,11 +80,19 @@ pub use attribution::{
 pub use audit::{
     AuditRecord, MckpGroupAudit, Phase1Entry, PlacementAlternative, ReclaimCandidate,
 };
-pub use chrome::{export_chrome_trace, validate_chrome_trace, ChromeTraceStats};
+pub use chrome::{
+    export_chrome_trace, export_provenance_trace, validate_chrome_trace, ChromeTraceStats,
+};
 pub use event::{SchedEvent, TimedEvent, KIND_NAMES};
 pub use explain::{explain_job, parse_log};
+pub use graph::{
+    DecisionId, EdgeKind, NodeKind, ProvenanceEdge, ProvenanceGraph, ProvenanceNode,
+};
 pub use lifecycle::{attribute_log, LifecycleTracker};
 pub use log::{EventLog, EventLogState};
+pub use provenance::{
+    blame_from_log, build_provenance, render_blame, render_why, why_from_log, ProvenanceTracker,
+};
 pub use output::OutputMode;
 pub use prom::render_prometheus;
 pub use registry::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot, DEFAULT_HISTOGRAM_BOUNDS};

@@ -342,6 +342,7 @@ mod tests {
                 SchedEvent::JobPreempt {
                     job: 1,
                     checkpointed: true,
+                    decision: None,
                 },
             ),
             (8_000, start(1)),

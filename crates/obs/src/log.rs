@@ -78,17 +78,27 @@ impl EventLog {
     }
 
     /// Stamps `event` with `time_ms` and the next sequence number, then
-    /// appends it to the ring (and sink, if any).
-    pub fn emit(&mut self, time_ms: u64, event: SchedEvent) {
+    /// appends it to the ring (and sink, if any). Returns the sequence
+    /// number assigned — the event's stable `DecisionId` for provenance
+    /// tracking (persisted in the line itself and in checkpoints, so it
+    /// survives log replay and crash/resume unchanged).
+    pub fn emit(&mut self, time_ms: u64, event: SchedEvent) -> u64 {
+        let seq = self.seq;
         let timed = TimedEvent {
             time_ms,
-            seq: self.seq,
+            seq,
             event,
         };
         self.seq += 1;
         let line = serde_json::to_string(&timed)
             .expect("event serialisation is infallible for in-tree types");
         self.push_line(line);
+        seq
+    }
+
+    /// The sequence number the *next* emitted event will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.seq
     }
 
     fn push_line(&mut self, line: String) {

@@ -104,8 +104,34 @@ struct Baseline {
     /// Prometheus text exposition rendered from the telemetry store and
     /// the final registry snapshot.
     prom: String,
+    /// `why` rendering for the first preemption victim, top-5 `blame`
+    /// table and flow-annotated provenance trace, all derived from the
+    /// log — the online graph is pinned through the report JSON, these
+    /// pin the offline rendering pipeline too.
+    why: String,
+    blame: String,
+    prov_trace: String,
     /// Simulated time of the last logged event, seconds.
     last_s: f64,
+}
+
+/// Derives the provenance artifacts from a JSONL event log: the `why`
+/// rendering for the log's first preemption victim (or a fixed line if
+/// none), the top-5 blame table and the provenance-annotated Chrome
+/// trace.
+fn provenance_artifacts(events: &[String]) -> Result<(String, String, String), String> {
+    let parsed =
+        lyra_obs::parse_log(&events.join("\n")).map_err(|e| format!("log does not parse: {e}"))?;
+    let victim = parsed.iter().find_map(|e| match &e.event {
+        lyra_obs::SchedEvent::JobPreempt { job, .. } => Some(*job),
+        _ => None,
+    });
+    let why = match victim {
+        Some(job) => lyra_obs::why_from_log(&parsed, job).map_err(|e| format!("why: {e}"))?,
+        None => "no preemption victim in log\n".to_string(),
+    };
+    let blame = lyra_obs::blame_from_log(&parsed, 5);
+    Ok((why, blame, lyra_obs::export_provenance_trace(&parsed)))
 }
 
 /// Renders the Prometheus exposition a finished run would serve.
@@ -192,6 +218,20 @@ fn compare(report: &SimReport, sink: &Path, base: &Baseline) -> Vec<String> {
     }
     if prom_text(report) != base.prom {
         failures.push("Prometheus exposition diverges".to_string());
+    }
+    match provenance_artifacts(&report.events) {
+        Ok((why, blame, prov_trace)) => {
+            if why != base.why {
+                failures.push("provenance `why` rendering diverges".to_string());
+            }
+            if blame != base.blame {
+                failures.push("provenance `blame` table diverges".to_string());
+            }
+            if prov_trace != base.prov_trace {
+                failures.push("provenance trace diverges".to_string());
+            }
+        }
+        Err(e) => failures.push(format!("provenance artifacts: {e}")),
     }
     failures
 }
@@ -283,6 +323,7 @@ pub fn crash_storm(kills: usize, seed: u64, dir: &Path) -> Result<StormReport, S
         .last()
         .map(|ev| ev.time_ms as f64 / 1000.0)
         .ok_or("baseline log is empty")?;
+    let (why, blame, prov_trace) = provenance_artifacts(&base_report.events)?;
     let base = Baseline {
         report_json: report_json(&base_report)?,
         table: attribution_table(&base_report.events)?,
@@ -290,6 +331,9 @@ pub fn crash_storm(kills: usize, seed: u64, dir: &Path) -> Result<StormReport, S
             .map_err(|e| format!("reading baseline sink: {e}"))?,
         series_csv: base_report.telemetry.to_csv(),
         prom: prom_text(&base_report),
+        why,
+        blame,
+        prov_trace,
         events: base_report.events,
         last_s,
     };

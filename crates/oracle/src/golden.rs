@@ -6,18 +6,23 @@
 //! intended or not — shows up as a diff; intended changes are blessed
 //! with `lyra-bench golden --bless`.
 //!
-//! The faulted case additionally pins three artifacts — the
-//! delay-attribution table (`.attribution.txt`) and the Chrome
-//! `trace_event` export (`.trace.json`), both *derived* from its log,
-//! plus the telemetry series export (`.series.csv`) from the run's
-//! report — so a change to the attribution, export or telemetry
-//! pipeline is caught even when the underlying event stream is
-//! unchanged. Fired alerts are pinned implicitly: `Alert` events land
-//! in the JSONL log like every other event.
+//! The faulted case additionally pins five artifacts — the
+//! delay-attribution table (`.attribution.txt`), the Chrome
+//! `trace_event` export (`.trace.json`), the rendered decision
+//! provenance for one preemption victim (`.provenance.txt`) and the
+//! flow-annotated provenance trace (`.provenance.json`), all *derived*
+//! from its log, plus the telemetry series export (`.series.csv`)
+//! from the run's report — so a change to the attribution, export,
+//! provenance or telemetry pipeline is caught even when the
+//! underlying event stream is unchanged. Fired alerts are pinned
+//! implicitly: `Alert` events land in the JSONL log like every other
+//! event.
 //!
 //! The gate also proves its own teeth: [`mutation_smoke`] flips one
 //! scheduler constant (the phase-2 solver, MCKP DP → greedy ablation)
-//! and asserts both the gate and a differential oracle actually fail.
+//! and asserts both the gate and a differential oracle actually fail,
+//! and flips the reclaim policy to assert the pinned provenance
+//! artifacts move with the victim-ranking decisions they record.
 
 use lyra_sim::scenario::generators;
 use lyra_sim::{
@@ -89,10 +94,24 @@ impl GoldenCase {
         dir.join(format!("{}.series.csv", self.name))
     }
 
+    /// Path of the pinned `why` rendering (decision provenance for one
+    /// preemption victim) inside `dir`.
+    pub fn provenance_path(&self, dir: &Path) -> PathBuf {
+        dir.join(format!("{}.provenance.txt", self.name))
+    }
+
+    /// Path of the pinned provenance-annotated Chrome trace inside
+    /// `dir`.
+    pub fn provenance_trace_path(&self, dir: &Path) -> PathBuf {
+        dir.join(format!("{}.provenance.json", self.name))
+    }
+
     /// Derives the pinned artifacts from a JSONL event log: the
-    /// rendered delay-attribution table and the Chrome `trace_event`
-    /// export (schema-validated before it is returned).
-    pub fn artifacts(&self, log: &[String]) -> Result<(String, String), String> {
+    /// rendered delay-attribution table, the Chrome `trace_event`
+    /// export (schema-validated before it is returned), the `why`
+    /// rendering for the log's first preemption victim, and the
+    /// flow-annotated provenance trace (also schema-validated).
+    pub fn artifacts(&self, log: &[String]) -> Result<PinnedArtifacts, String> {
         let events = lyra_obs::parse_log(&log.join("\n"))
             .map_err(|e| format!("{}: event log does not parse: {e}", self.name))?;
         let attrs = lyra_obs::attribute_log(&events);
@@ -100,8 +119,42 @@ impl GoldenCase {
         let trace = lyra_obs::export_chrome_trace(&events);
         lyra_obs::validate_chrome_trace(&trace)
             .map_err(|e| format!("{}: exported Chrome trace is malformed: {e}", self.name))?;
-        Ok((table, trace))
+        // The provenance artifacts anchor on the first preemption
+        // victim in the log; a pinned case without any preemption
+        // would leave the reclaim blame chain untested, so fail loud.
+        let victim = events
+            .iter()
+            .find_map(|e| match &e.event {
+                lyra_obs::SchedEvent::JobPreempt { job, .. } => Some(*job),
+                _ => None,
+            })
+            .ok_or_else(|| {
+                format!("{}: log has no JobPreempt event to anchor provenance on", self.name)
+            })?;
+        let why = lyra_obs::why_from_log(&events, victim)
+            .map_err(|e| format!("{}: {e}", self.name))?;
+        let prov_trace = lyra_obs::export_provenance_trace(&events);
+        lyra_obs::validate_chrome_trace(&prov_trace)
+            .map_err(|e| format!("{}: provenance trace is malformed: {e}", self.name))?;
+        Ok(PinnedArtifacts {
+            table,
+            trace,
+            why,
+            provenance_trace: prov_trace,
+        })
     }
+}
+
+/// The derived artifacts pinned alongside a golden log.
+pub struct PinnedArtifacts {
+    /// Rendered delay-attribution table.
+    pub table: String,
+    /// Chrome `trace_event` export.
+    pub trace: String,
+    /// `why` rendering for the log's first preemption victim.
+    pub why: String,
+    /// Flow-annotated provenance trace.
+    pub provenance_trace: String,
 }
 
 /// The pinned cases. Deliberately small (a day of 64-GPU trace on an
@@ -269,7 +322,7 @@ pub fn compare(dir: &Path) -> Vec<GoldenDiff> {
         if !case.pin_artifacts {
             continue;
         }
-        let (table, trace) = match case.artifacts(&lines) {
+        let arts = match case.artifacts(&lines) {
             Ok(a) => a,
             Err(e) => {
                 diffs.push(GoldenDiff {
@@ -280,9 +333,15 @@ pub fn compare(dir: &Path) -> Vec<GoldenDiff> {
             }
         };
         for (label, path, got) in [
-            ("attribution table", case.attribution_path(dir), table),
-            ("chrome trace", case.trace_path(dir), trace),
+            ("attribution table", case.attribution_path(dir), arts.table),
+            ("chrome trace", case.trace_path(dir), arts.trace),
             ("series export", case.series_path(dir), series_csv),
+            ("provenance rendering", case.provenance_path(dir), arts.why),
+            (
+                "provenance trace",
+                case.provenance_trace_path(dir),
+                arts.provenance_trace,
+            ),
         ] {
             match fs::read_to_string(&path) {
                 Ok(committed) => {
@@ -321,16 +380,19 @@ pub fn bless(dir: &Path) -> Result<Vec<String>, String> {
         fs::write(&path, render(&log)).map_err(|e| format!("{}: {e}", path.display()))?;
         written.push(format!("{} ({} events)", path.display(), log.len()));
         if case.pin_artifacts {
-            let (table, trace) = case.artifacts(&log)?;
-            let apath = case.attribution_path(dir);
-            fs::write(&apath, table).map_err(|e| format!("{}: {e}", apath.display()))?;
-            written.push(format!("{}", apath.display()));
-            let tpath = case.trace_path(dir);
-            fs::write(&tpath, trace).map_err(|e| format!("{}: {e}", tpath.display()))?;
-            written.push(format!("{}", tpath.display()));
+            let arts = case.artifacts(&log)?;
             let spath = case.series_path(dir);
             fs::write(&spath, report.telemetry.to_csv())
                 .map_err(|e| format!("{}: {e}", spath.display()))?;
+            for (path, content) in [
+                (case.attribution_path(dir), arts.table),
+                (case.trace_path(dir), arts.trace),
+                (case.provenance_path(dir), arts.why),
+                (case.provenance_trace_path(dir), arts.provenance_trace),
+            ] {
+                fs::write(&path, content).map_err(|e| format!("{}: {e}", path.display()))?;
+                written.push(format!("{}", path.display()));
+            }
             written.push(format!("{}", spath.display()));
         }
     }
@@ -368,7 +430,40 @@ pub fn mutation_smoke(dir: &Path) -> Result<(), String> {
     {
         return Err("phase-2 exactness oracle did not fail under the greedy mutation".into());
     }
+    provenance_mutation_smoke(dir)?;
     zoo_mutation_smoke(dir)
+}
+
+/// The provenance arm of the mutation smoke: flipping the reclaim
+/// policy (cost-guided Lyra → random victim choice) must move the
+/// pinned provenance artifacts of the faulted case — the `why`
+/// rendering blames specific victim-ranking decisions, so a different
+/// ranking must produce different bytes. Returns `Err` if neither
+/// pinned provenance artifact moved.
+pub fn provenance_mutation_smoke(dir: &Path) -> Result<(), String> {
+    use lyra_cluster::orchestrator::ReclaimPolicy;
+
+    let mut case = cases()
+        .into_iter()
+        .find(|c| c.name == "tiny-faulty")
+        .expect("tiny-faulty golden case exists");
+    case.scenario.loaning = Some(ReclaimPolicy::Random);
+    let log = case.event_log()?;
+    let arts = case.artifacts(&log)?;
+    let committed_why = fs::read_to_string(case.provenance_path(dir))
+        .map_err(|e| format!("{} ({e}); bless first", case.provenance_path(dir).display()))?;
+    let committed_trace = fs::read_to_string(case.provenance_trace_path(dir)).map_err(|e| {
+        format!(
+            "{} ({e}); bless first",
+            case.provenance_trace_path(dir).display()
+        )
+    })?;
+    if committed_why == arts.why && committed_trace == arts.provenance_trace {
+        return Err(
+            "provenance artifacts did not move under the flipped reclaim policy".into(),
+        );
+    }
+    Ok(())
 }
 
 /// The zoo arm of the mutation smoke: flipping the hetero cell's speed

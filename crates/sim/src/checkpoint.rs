@@ -35,8 +35,11 @@ use std::path::Path;
 /// Current checkpoint format version; bumped on any change to
 /// [`SimCheckpoint`]'s serialized shape. Version 3 added the cluster
 /// state's job-footprint index (`occupancy`); version 4 added per-server
-/// speed factors, malleable resize costs and job deadlines.
-pub const CHECKPOINT_VERSION: u32 = 4;
+/// speed factors, malleable resize costs and job deadlines; version 5
+/// added the observer's decision-provenance tracker (and the
+/// provenance-bearing event schema: `ReclaimDemand`, `JobPreempt.
+/// decision`, `JobScaleOut.{on_loan,servers}`).
+pub const CHECKPOINT_VERSION: u32 = 5;
 
 /// File-type tag in the header line.
 const MAGIC: &str = "lyra-checkpoint";

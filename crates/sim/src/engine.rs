@@ -284,6 +284,9 @@ pub struct ObserverConfig {
     /// Alert rules evaluated against the telemetry gauges each epoch;
     /// fire/resolve transitions become `Alert` events in the log.
     pub alert_rules: Vec<lyra_obs::AlertRule>,
+    /// Build the decision-provenance graph online (checkpoint-safe
+    /// observer state; exported in the report's `provenance`).
+    pub provenance: bool,
 }
 
 impl Default for ObserverConfig {
@@ -294,6 +297,7 @@ impl Default for ObserverConfig {
             audit: true,
             telemetry_capacity: lyra_obs::timeseries::DEFAULT_SERIES_CAPACITY,
             alert_rules: lyra_obs::default_rules(),
+            provenance: true,
         }
     }
 }
@@ -325,6 +329,10 @@ struct Observer {
     /// When the current reclaim carry was first sampled, for the
     /// backlog-age gauge; `None` while no debt is open.
     carry_since_ms: Option<u64>,
+    /// Online decision-provenance graph builder, fed from `emit` with
+    /// each event's assigned seq (its `DecisionId`); `None` when
+    /// provenance tracking is disabled.
+    provenance: Option<lyra_obs::ProvenanceTracker>,
 }
 
 /// Fixed histogram bucket bounds for job-level durations, seconds
@@ -399,6 +407,7 @@ struct ObserverState {
     alerts: lyra_obs::AlertEngine,
     rm_latency_seen_s: f64,
     carry_since_ms: Option<u64>,
+    provenance: Option<lyra_obs::ProvenanceTracker>,
 }
 
 /// The complete runtime state of a [`Simulation`] between two events —
@@ -537,6 +546,11 @@ pub struct Simulation {
     /// Cluster-level delay-attribution rollup, reconciled and collected
     /// at the end of an observed run.
     attribution: lyra_obs::AttributionSummary,
+    /// Victim job id → `DecisionId` of the `ReclaimChoice` that picked
+    /// it, captured by `drain_audit_mapped` and consumed by
+    /// `apply_preemption` within the same reclaim wave. Always empty
+    /// between events, so it is deliberately *not* checkpointed.
+    pending_preempt_decisions: std::collections::BTreeMap<u64, u64>,
 }
 
 /// GPUs a pending job contributes to loan-eligible demand: zero unless
@@ -630,6 +644,7 @@ impl Simulation {
             observer: None,
             profile: lyra_obs::Profile::default(),
             attribution: lyra_obs::AttributionSummary::default(),
+            pending_preempt_decisions: std::collections::BTreeMap::new(),
         };
         if let Some(orch) = sim.orchestrator.as_mut() {
             orch.incremental = sim.config.incremental_reclaim;
@@ -695,16 +710,24 @@ impl Simulation {
             alerts: lyra_obs::AlertEngine::new(cfg.alert_rules.clone()),
             rm_latency_seen_s: 0.0,
             carry_since_ms: None,
+            provenance: cfg.provenance.then(lyra_obs::ProvenanceTracker::new),
         });
         Ok(self)
     }
 
     /// Emits `ev` into the event log (no-op without an observer).
-    fn emit(&mut self, ev: SchedEvent) {
+    /// Returns the sequence number the event was emitted under — its
+    /// stable `DecisionId` for provenance tracking.
+    fn emit(&mut self, ev: SchedEvent) -> Option<u64> {
         if let Some(obs) = self.observer.as_mut() {
             let time_ms = (self.now_s.max(0.0) * 1000.0).round() as u64;
             obs.lifecycle.observe(time_ms, &ev);
-            obs.log.emit(time_ms, ev);
+            if let Some(prov) = obs.provenance.as_mut() {
+                prov.observe(time_ms, obs.log.next_seq(), &ev);
+            }
+            Some(obs.log.emit(time_ms, ev))
+        } else {
+            None
         }
     }
 
@@ -782,6 +805,32 @@ impl Simulation {
         }
         for rec in lyra_obs::audit::drain() {
             self.emit(SchedEvent::Audit(rec));
+        }
+    }
+
+    /// Like [`drain_audit`](Self::drain_audit), additionally capturing
+    /// each `ReclaimChoice` record's emitted seq (its `DecisionId`)
+    /// keyed by every victim it names, so the `apply_preemption` calls
+    /// that follow in the same reclaim wave can stamp `JobPreempt`
+    /// events with the decision that picked them.
+    fn drain_audit_mapped(&mut self) {
+        if !self.observer.as_ref().is_some_and(|o| o.audit) {
+            return;
+        }
+        debug_assert!(
+            self.pending_preempt_decisions.is_empty(),
+            "victim decision map must be consumed within one reclaim wave"
+        );
+        for rec in lyra_obs::audit::drain() {
+            let victims: Vec<u64> = match &rec {
+                lyra_obs::AuditRecord::ReclaimChoice { preempted, .. } => preempted.clone(),
+                _ => Vec::new(),
+            };
+            if let Some(seq) = self.emit(SchedEvent::Audit(rec)) {
+                for v in victims {
+                    self.pending_preempt_decisions.insert(v, seq);
+                }
+            }
         }
     }
 
@@ -1347,10 +1396,16 @@ impl Simulation {
                 self.reschedule_finish(idx);
                 if self.observer.is_some() {
                     let workers_now = self.jobs[idx].workers;
+                    let on_loan = placement
+                        .iter()
+                        .any(|(sid, _)| self.cluster.is_loaned(*sid));
+                    let servers = placement.iter().map(|(sid, _)| sid.0).collect();
                     self.emit(SchedEvent::JobScaleOut {
                         job: job.0,
                         delta: *extra,
                         workers: workers_now,
+                        on_loan,
+                        servers,
                     });
                     self.count("sim.scale.out");
                     if self.jobs[idx].controller.is_some() && pause > 0.0 {
@@ -1579,9 +1634,11 @@ impl Simulation {
         self.enqueue(idx);
         if self.observer.is_some() {
             let checkpointed = self.jobs[idx].spec.checkpointing;
+            let decision = self.pending_preempt_decisions.remove(&job.0);
             self.emit(SchedEvent::JobPreempt {
                 job: job.0,
                 checkpointed,
+                decision,
             });
             self.count("sim.jobs.preemptions");
         }
@@ -2238,6 +2295,11 @@ impl Simulation {
                 // Fold a carried-forward debt into the demand once its
                 // retry backoff has elapsed.
                 let (demand, retried_carry) = self.reclaim_ledger.fold_into(self.now_s, n);
+                // The loan-demand decision: causal parent of every
+                // victim ranking in the wave it triggers.
+                if self.observer.is_some() && demand > 0 {
+                    self.emit(SchedEvent::ReclaimDemand { servers: demand });
+                }
                 let Some(orchestrator) = self.orchestrator.as_mut() else {
                     return Ok(());
                 };
@@ -2248,8 +2310,9 @@ impl Simulation {
                 // groups in one stroke: rebuild rather than track.
                 self.mark_structural();
                 // Surface the reclaim cost-search audit before the
-                // follow-on scale-ins and preemptions.
-                self.drain_audit();
+                // follow-on scale-ins and preemptions, capturing each
+                // victim ranking's decision id for the preemptions.
+                self.drain_audit_mapped();
                 let returned = d.servers_returned() as u32;
                 self.note_reclaim_shortfall(demand.saturating_sub(returned), retried_carry);
                 if let OrchestratorDecision::Reclaimed {
@@ -2301,6 +2364,9 @@ impl Simulation {
                         self.count("cluster.reclaim.ops");
                     }
                 }
+                // Any victims named by audits but not ultimately
+                // preempted must not leak into later waves.
+                self.pending_preempt_decisions.clear();
             }
             LoanInstruction::Hold => {
                 // No outstanding reclaim pressure from the inference side:
@@ -2447,6 +2513,7 @@ impl Simulation {
                 alerts: o.alerts.clone(),
                 rm_latency_seen_s: o.rm_latency_seen_s,
                 carry_since_ms: o.carry_since_ms,
+                provenance: o.provenance.clone(),
             }),
         }
     }
@@ -2512,6 +2579,7 @@ impl Simulation {
                 alerts: os.alerts,
                 rm_latency_seen_s: os.rm_latency_seen_s,
                 carry_since_ms: os.carry_since_ms,
+                provenance: os.provenance,
             }),
             None => None,
         };
@@ -2876,6 +2944,12 @@ impl Simulation {
                 .observer
                 .as_ref()
                 .map(|o| o.telemetry.clone())
+                .unwrap_or_default(),
+            provenance: self
+                .observer
+                .as_ref()
+                .and_then(|o| o.provenance.as_ref())
+                .map(|p| p.graph().clone())
                 .unwrap_or_default(),
         }
     }
